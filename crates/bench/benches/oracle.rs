@@ -1,0 +1,182 @@
+//! Criterion micro/macro benchmarks for the oracle pipeline components:
+//! parsing, call-graph construction, SPDA/ISPA policy extraction under each
+//! memoization scope (Table 2's ablation in benchmark form), policy
+//! differencing, and the Dnf lattice operations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spo_core::{AnalysisOptions, Analyzer, MemoScope};
+use spo_corpus::{figures::FIGURE1, generate, CorpusConfig, Lib};
+use spo_dataflow::{BitSet32, Dnf, JoinLattice};
+use std::hint::black_box;
+
+/// A small corpus reused across benches (deterministic).
+fn bench_corpus() -> spo_corpus::Corpus {
+    generate(&CorpusConfig { scale: 0.05, ..Default::default() })
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let src = corpus.sources[&Lib::Jdk].clone();
+    let bytes = src.len() as u64;
+    let mut g = c.benchmark_group("parser");
+    g.throughput(criterion::Throughput::Bytes(bytes));
+    g.bench_function("parse_jdk_source", |b| {
+        b.iter(|| {
+            let mut p = spo_corpus::prelude_program();
+            spo_jir::parse_into(black_box(&src), &mut p).unwrap();
+            black_box(p.class_count())
+        })
+    });
+    g.finish();
+}
+
+fn bench_callgraph(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let program = corpus.program(Lib::Jdk);
+    c.bench_function("callgraph/from_entry_points", |b| {
+        b.iter(|| {
+            let h = spo_resolve::Hierarchy::new(black_box(program));
+            let cg = spo_resolve::CallGraph::from_entry_points(&h);
+            black_box(cg.reachable_count())
+        })
+    });
+}
+
+fn bench_spda_figure1(c: &mut Criterion) {
+    // Policy extraction for the paper's motivating example: one entry point
+    // with the unique disjunctive policy.
+    let program = FIGURE1.program(Lib::Jdk);
+    c.bench_function("ispa/figure1_entry", |b| {
+        b.iter(|| {
+            let analyzer = Analyzer::new(black_box(&program), AnalysisOptions::default());
+            let lib = analyzer.analyze_library("jdk");
+            black_box(lib.entries.len())
+        })
+    });
+}
+
+fn bench_memo_scopes(c: &mut Criterion) {
+    // Table 2 as a benchmark: whole-library policy extraction under each
+    // memoization scope.
+    let corpus = bench_corpus();
+    let program = corpus.program(Lib::Jdk);
+    let mut g = c.benchmark_group("memoization");
+    g.sample_size(10);
+    for (name, scope) in [
+        ("none", MemoScope::None),
+        ("per_entry", MemoScope::PerEntry),
+        ("global", MemoScope::Global),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let opts = AnalysisOptions { memo: scope, ..Default::default() };
+                let lib = Analyzer::new(black_box(program), opts).analyze_library("jdk");
+                black_box(lib.stats.frames_analyzed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_differencing(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let jdk = Analyzer::new(corpus.program(Lib::Jdk), AnalysisOptions::default())
+        .analyze_library("jdk");
+    let harmony = Analyzer::new(corpus.program(Lib::Harmony), AnalysisOptions::default())
+        .analyze_library("harmony");
+    c.bench_function("diff/jdk_vs_harmony", |b| {
+        b.iter(|| {
+            let d = spo_core::diff_libraries(black_box(&jdk), black_box(&harmony));
+            black_box(d.differences.len())
+        })
+    });
+}
+
+fn bench_dnf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dnf");
+    g.bench_function("join_disjoint", |b| {
+        let left: Dnf = (0..16u8).map(BitSet32::singleton).collect();
+        let right: Dnf = (16..31u8).map(BitSet32::singleton).collect();
+        b.iter_batched(
+            || left.clone(),
+            |mut l| {
+                l.join(black_box(&right));
+                black_box(l)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("gen_check", |b| {
+        let base: Dnf = (0..16u8).map(BitSet32::singleton).collect();
+        b.iter_batched(
+            || base.clone(),
+            |mut d| {
+                d.gen(30);
+                black_box(d)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_broad_events(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let program = corpus.program(Lib::Harmony);
+    let mut g = c.benchmark_group("event_definition");
+    g.sample_size(10);
+    for (name, events) in [
+        ("narrow", spo_core::EventDef::Narrow),
+        ("broad", spo_core::EventDef::Broad),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let opts = AnalysisOptions { events, ..Default::default() };
+                let lib = Analyzer::new(black_box(program), opts).analyze_library("harmony");
+                black_box(lib.may_policy_count())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let program = corpus.program(Lib::Jdk);
+    c.bench_function("throws/analyze_library", |b| {
+        b.iter(|| {
+            let t = spo_core::ThrowsAnalyzer::new(black_box(program)).analyze_library("jdk");
+            black_box(t.entries.len())
+        })
+    });
+    let jdk = Analyzer::new(program, AnalysisOptions::default()).analyze_library("jdk");
+    let exported = spo_core::export_policies(&jdk);
+    c.bench_function("exchange/export", |b| {
+        b.iter(|| black_box(spo_core::export_policies(black_box(&jdk))).len())
+    });
+    c.bench_function("exchange/import", |b| {
+        b.iter(|| {
+            let lib = spo_core::import_policies(black_box(&exported)).unwrap();
+            black_box(lib.entries.len())
+        })
+    });
+    c.bench_function("baseline/mine_rules", |b| {
+        b.iter(|| black_box(spo_core::mine_rules(black_box(&jdk), 3, 0.8)).len())
+    });
+    c.bench_function("resolve/lint_program", |b| {
+        b.iter(|| black_box(spo_resolve::lint_program(black_box(program))).len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parser,
+    bench_callgraph,
+    bench_spda_figure1,
+    bench_memo_scopes,
+    bench_differencing,
+    bench_dnf,
+    bench_broad_events,
+    bench_extensions,
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Compares the oracle against the prior-work baselines it displaces
+//! (§1/§2/§7): a CMV-style complete-mediation verifier and a
+//! bugs-as-deviant-behaviour code miner, over the full synthetic corpus
+//! with ground truth.
+//!
+//! The paper's argument, quantified: the miner finds nothing within a
+//! single (internally consistent) implementation and floods with false
+//! positives as thresholds drop; the must-based verifier needs a manual
+//! policy and flags correct may-policy code; the oracle finds the planted
+//! census with zero unplanned reports.
+//!
+//! ```text
+//! cargo run -p spo-bench --release --bin baselines
+//! ```
+
+use security_policy_oracle::compare_implementations;
+use spo_bench::{corpus_from_env, Table};
+use spo_core::{
+    mine_rules, mining_deviations, verify_mediation, AnalysisOptions, Analyzer, Check, EventKey,
+    MediationPolicy,
+};
+use spo_corpus::{BugCategory, Lib};
+
+fn main() {
+    let corpus = corpus_from_env();
+    let harmony = Analyzer::new(corpus.program(Lib::Harmony), AnalysisOptions::default())
+        .analyze_library("harmony");
+    let jdk = Analyzer::new(corpus.program(Lib::Jdk), AnalysisOptions::default())
+        .analyze_library("jdk");
+
+    // --- The oracle.
+    let report = compare_implementations(
+        corpus.program(Lib::Jdk),
+        "jdk",
+        corpus.program(Lib::Harmony),
+        "harmony",
+        AnalysisOptions::default(),
+    );
+    let (mut oracle_real, mut oracle_fp) = (0usize, 0usize);
+    for g in &report.groups {
+        match corpus.catalog.classify(g) {
+            Some(bug) if bug.category != BugCategory::FalsePositive => oracle_real += 1,
+            _ => oracle_fp += 1,
+        }
+    }
+
+    // --- Code miner at several thresholds, on Harmony alone.
+    let mut table = Table::new(vec![
+        "approach",
+        "input needed",
+        "real bugs found",
+        "false positives",
+    ]);
+    table.row(vec![
+        "policy oracle (this paper)".to_owned(),
+        "2 implementations".to_owned(),
+        oracle_real.to_string(),
+        oracle_fp.to_string(),
+    ]);
+    for (sup, conf) in [(5usize, 0.95f64), (3, 0.8), (2, 0.5), (2, 0.3)] {
+        let rules = mine_rules(&harmony, sup, conf);
+        let deviations = mining_deviations(&harmony, &rules);
+        // A deviation is "real" if its entry manifests a planted harmony
+        // vulnerability.
+        let vuln_sigs: Vec<&str> = report
+            .groups
+            .iter()
+            .filter(|g| {
+                corpus
+                    .catalog
+                    .classify(g)
+                    .is_some_and(|b| b.buggy_lib == Lib::Harmony
+                        && b.category == BugCategory::Vulnerability)
+            })
+            .flat_map(|g| g.manifestations.iter().map(String::as_str))
+            .collect();
+        let real = deviations.iter().filter(|d| vuln_sigs.contains(&d.signature.as_str())).count();
+        table.row(vec![
+            format!("miner (sup>={sup}, conf>={conf})"),
+            "1 implementation".to_owned(),
+            real.to_string(),
+            (deviations.len() - real).to_string(),
+        ]);
+    }
+
+    // --- CMV-style verifier with a hand-written policy over the bug-plan
+    // checks, applied to the *correct* jdk side: every may-policy site is a
+    // false positive.
+    let manual_policy = MediationPolicy::new(
+        [Check::Read, Check::Write, Check::Connect, Check::Permission]
+            .into_iter()
+            .map(|c| (c, EventKey::ApiReturn))
+            .collect(),
+    );
+    let violations = verify_mediation(&jdk, &manual_policy);
+    table.row(vec![
+        "CMV-style verifier (manual policy)".to_owned(),
+        "1 impl + manual policy".to_owned(),
+        "n/a (flags non-dominated events)".to_owned(),
+        violations.len().to_string(),
+    ]);
+
+    println!("\nOracle vs prior-work baselines, jdk/harmony pairing\n");
+    println!("{}", table.render());
+    println!(
+        "Paper's claims quantified: mining within one (internally consistent)\n\
+         implementation finds none of the planted cross-implementation bugs\n\
+         and accumulates false positives as thresholds drop; must-based\n\
+         verification of a blanket manual policy flags every may-policy and\n\
+         unchecked entry point. The oracle needs no policy and reports only\n\
+         real differences."
+    );
+}

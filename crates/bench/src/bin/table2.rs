@@ -1,0 +1,98 @@
+//! Regenerates **Table 2 — Analysis time** for the MAY and MUST passes
+//! under the three memoization configurations: no summaries, per-entry
+//! summaries, and global summaries.
+//!
+//! The paper reports minutes on 2011 hardware for 600 KLoC subjects; the
+//! reproduction target is the *shape* — per-entry memoization beats no
+//! memoization, and global memoization beats both by a further large
+//! factor (the paper's overall 15–65×).
+//!
+//! ```text
+//! cargo run -p spo-bench --release --bin table2
+//! ```
+
+use spo_bench::{corpus_from_env, Table};
+use spo_core::{AnalysisOptions, Analyzer, MemoScope};
+use spo_corpus::Lib;
+
+/// Paper values in minutes: rows (no-memo, per-entry, global) × (may, must)
+/// per library.
+const PAPER_MAY: [(Lib, [usize; 3]); 3] = [
+    (Lib::Jdk, [300, 180, 10]),
+    (Lib::Harmony, [190, 130, 13]),
+    (Lib::Classpath, [340, 190, 20]),
+];
+const PAPER_MUST: [(Lib, [usize; 3]); 3] = [
+    (Lib::Jdk, [560, 50, 10]),
+    (Lib::Harmony, [290, 40, 12]),
+    (Lib::Classpath, [650, 50, 10]),
+];
+
+fn main() {
+    let corpus = corpus_from_env();
+    let scopes = [
+        ("No summaries", MemoScope::None),
+        ("Summaries (per entry point)", MemoScope::PerEntry),
+        ("Summaries (global)", MemoScope::Global),
+    ];
+
+    // measurements[scope][lib] = (may_ms, must_ms)
+    let mut measured = vec![vec![(0.0f64, 0.0f64); 3]; 3];
+    for (si, (name, scope)) in scopes.iter().enumerate() {
+        for (li, lib) in Lib::ALL.iter().enumerate() {
+            let options = AnalysisOptions { memo: *scope, ..Default::default() };
+            let analyzer = Analyzer::new(corpus.program(*lib), options);
+            let policies = analyzer.analyze_library(lib.name());
+            let may_ms = policies.stats.may_nanos as f64 / 1e6;
+            let must_ms = policies.stats.must_nanos as f64 / 1e6;
+            measured[si][li] = (may_ms, must_ms);
+            eprintln!(
+                "{name:<28} {lib:<10} may {may_ms:>9.1} ms  must {must_ms:>9.1} ms  \
+                 ({} frames, {} memo hits)",
+                policies.stats.frames_analyzed, policies.stats.memo_hits
+            );
+        }
+    }
+
+    for (pass, paper, pick) in [
+        ("MAY", &PAPER_MAY, 0usize),
+        ("MUST", &PAPER_MUST, 1usize),
+    ] {
+        let mut table = Table::new(vec![
+            "configuration",
+            "jdk ms",
+            "(paper min)",
+            "harmony ms",
+            "(paper min)",
+            "classpath ms",
+            "(paper min)",
+        ]);
+        for (si, (name, _)) in scopes.iter().enumerate() {
+            let mut row = vec![name.to_string()];
+            for (li, lib) in Lib::ALL.iter().enumerate() {
+                let v = if pick == 0 { measured[si][li].0 } else { measured[si][li].1 };
+                row.push(format!("{v:.1}"));
+                let p = paper.iter().find(|(l, _)| l == lib).unwrap().1[si];
+                row.push(p.to_string());
+            }
+            table.row(row);
+        }
+        println!("\nTable 2 ({pass} pass): analysis time, measured (ms) vs paper (minutes)\n");
+        println!("{}", table.render());
+    }
+
+    // Speedup summary (the paper's headline: 1.5–13x from per-entry
+    // summaries, a further 3–18x from global reuse, 15–65x overall).
+    let mut table = Table::new(vec!["library", "no-memo/per-entry", "per-entry/global", "overall"]);
+    for (li, lib) in Lib::ALL.iter().enumerate() {
+        let total = |si: usize| measured[si][li].0 + measured[si][li].1;
+        table.row(vec![
+            lib.to_string(),
+            format!("{:.1}x", total(0) / total(1)),
+            format!("{:.1}x", total(1) / total(2)),
+            format!("{:.1}x", total(0) / total(2)),
+        ]);
+    }
+    println!("Memoization speedups (paper: 1.5-13x, 3-18x, 15-65x)\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,137 @@
+//! Shared harness utilities for the table-regeneration binaries.
+//!
+//! Each binary regenerates one table of the paper's evaluation (§6) over
+//! the synthetic corpus and prints measured-vs-paper rows. Scale is
+//! controlled by the `SPO_SCALE` environment variable (default `1.0`,
+//! approximating the paper's library sizes).
+
+use parking_lot::Mutex;
+use spo_core::{AnalysisOptions, Analyzer, LibraryPolicies};
+use spo_corpus::{generate, Corpus, CorpusConfig, Lib};
+
+/// Reads the corpus scale from `SPO_SCALE` (default 1.0).
+pub fn scale_from_env() -> f64 {
+    std::env::var("SPO_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Generates the corpus at the environment-selected scale, printing a
+/// header.
+pub fn corpus_from_env() -> Corpus {
+    let scale = scale_from_env();
+    let config = CorpusConfig { scale, ..Default::default() };
+    eprintln!("generating corpus (scale {scale}, seed {:#x}) ...", config.seed);
+    let t = std::time::Instant::now();
+    let corpus = generate(&config);
+    eprintln!("generated in {:?}", t.elapsed());
+    corpus
+}
+
+/// Analyzes all three implementations in parallel (one OS thread per
+/// library — the analysis itself is single-threaded and deterministic).
+pub fn analyze_all(corpus: &Corpus, options: AnalysisOptions) -> Vec<(Lib, LibraryPolicies)> {
+    let results = Mutex::new(Vec::new());
+    crossbeam::scope(|s| {
+        for lib in Lib::ALL {
+            let results = &results;
+            let corpus = &corpus;
+            s.spawn(move |_| {
+                let analyzer = Analyzer::new(corpus.program(lib), options);
+                let policies = analyzer.analyze_library(lib.name());
+                results.lock().push((lib, policies));
+            });
+        }
+    })
+    .expect("analysis thread panicked");
+    let mut out = results.into_inner();
+    out.sort_by_key(|(lib, _)| *lib);
+    out
+}
+
+/// A fixed-width table printer for paper-style tables.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths = vec![0usize; ncols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |row: &[String]| {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = widths.get(i).copied().unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats the paper's `distinct (manifestations)` cell.
+pub fn dm(distinct: usize, manifestations: usize) -> String {
+    format!("{distinct} ({manifestations})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["a", "long-header", "c"]);
+        t.row(vec!["1", "2", "3"]);
+        t.row(vec!["wide-cell", "x", "y"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[2].starts_with("1"));
+    }
+
+    #[test]
+    fn dm_format() {
+        assert_eq!(dm(6, 23), "6 (23)");
+    }
+
+    #[test]
+    fn parallel_analysis_matches_serial() {
+        let corpus = generate(&CorpusConfig::test_sized());
+        let par = analyze_all(&corpus, AnalysisOptions::default());
+        for (lib, policies) in &par {
+            let serial = Analyzer::new(corpus.program(*lib), AnalysisOptions::default())
+                .analyze_library(lib.name());
+            assert_eq!(policies.entries.len(), serial.entries.len());
+            for (sig, e) in &serial.entries {
+                assert_eq!(&policies.entries[sig].events, &e.events, "{lib} {sig}");
+            }
+        }
+    }
+}

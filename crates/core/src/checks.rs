@@ -1,0 +1,299 @@
+//! The 31 `SecurityManager` security checks.
+//!
+//! "The SecurityManager class in Java provides 31 methods that perform
+//! security checks for user code and libraries. [...] We restrict our
+//! analysis to these methods. [...] Our analysis keeps track of which of
+//! the 31 security checks is invoked at any given point." (§3)
+//!
+//! Java 6's `SecurityManager` reaches 31 via overloads that differ only in
+//! parameter *types* (e.g. `checkAccess(Thread)` vs
+//! `checkAccess(ThreadGroup)`). JIR resolves overloads by name and arity,
+//! so the runtime prelude gives each of the 31 checks a distinct method
+//! name, suffixing type-overloads (`checkAccessGroup`,
+//! `checkConnectContext`, `checkReadFd`, ...). The set size and semantics
+//! are unchanged.
+
+use spo_dataflow::BitSet32;
+use std::fmt;
+
+/// The class whose methods are security checks.
+pub const SECURITY_MANAGER_CLASS: &str = "java.lang.SecurityManager";
+
+macro_rules! checks {
+    ($($variant:ident = $idx:expr => $name:literal / $argc:expr),+ $(,)?) => {
+        /// One of the 31 `SecurityManager` check methods.
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        #[repr(u8)]
+        pub enum Check {
+            $(
+                #[doc = concat!("`SecurityManager.", $name, "`")]
+                $variant = $idx,
+            )+
+        }
+
+        /// All 31 checks, in index order.
+        pub const ALL_CHECKS: [Check; 31] = [$(Check::$variant),+];
+
+        impl Check {
+            /// The check's method name in the runtime prelude.
+            pub fn method_name(self) -> &'static str {
+                match self {
+                    $(Check::$variant => $name,)+
+                }
+            }
+
+            /// The check's declared arity in the runtime prelude.
+            pub fn argc(self) -> u32 {
+                match self {
+                    $(Check::$variant => $argc,)+
+                }
+            }
+
+            /// Looks up a check by method name.
+            pub fn from_name(name: &str) -> Option<Check> {
+                match name {
+                    $($name => Some(Check::$variant),)+
+                    _ => None,
+                }
+            }
+
+            /// The check's dense index (0..31).
+            pub fn index(self) -> u8 {
+                self as u8
+            }
+
+            /// The check with the given dense index.
+            pub fn from_index(i: u8) -> Option<Check> {
+                match i {
+                    $($idx => Some(Check::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+checks! {
+    Accept = 0 => "checkAccept" / 2,
+    Access = 1 => "checkAccess" / 1,
+    AccessGroup = 2 => "checkAccessGroup" / 1,
+    AwtEventQueueAccess = 3 => "checkAwtEventQueueAccess" / 0,
+    Connect = 4 => "checkConnect" / 2,
+    ConnectContext = 5 => "checkConnectContext" / 3,
+    CreateClassLoader = 6 => "checkCreateClassLoader" / 0,
+    Delete = 7 => "checkDelete" / 1,
+    Exec = 8 => "checkExec" / 1,
+    Exit = 9 => "checkExit" / 1,
+    Link = 10 => "checkLink" / 1,
+    Listen = 11 => "checkListen" / 1,
+    MemberAccess = 12 => "checkMemberAccess" / 2,
+    Multicast = 13 => "checkMulticast" / 1,
+    MulticastTtl = 14 => "checkMulticastTtl" / 2,
+    PackageAccess = 15 => "checkPackageAccess" / 1,
+    PackageDefinition = 16 => "checkPackageDefinition" / 1,
+    Permission = 17 => "checkPermission" / 1,
+    PermissionContext = 18 => "checkPermissionContext" / 2,
+    PrintJobAccess = 19 => "checkPrintJobAccess" / 0,
+    PropertiesAccess = 20 => "checkPropertiesAccess" / 0,
+    PropertyAccess = 21 => "checkPropertyAccess" / 1,
+    Read = 22 => "checkRead" / 1,
+    ReadFd = 23 => "checkReadFd" / 1,
+    ReadContext = 24 => "checkReadContext" / 2,
+    SecurityAccess = 25 => "checkSecurityAccess" / 1,
+    SetFactory = 26 => "checkSetFactory" / 0,
+    SystemClipboardAccess = 27 => "checkSystemClipboardAccess" / 0,
+    TopLevelWindow = 28 => "checkTopLevelWindow" / 1,
+    Write = 29 => "checkWrite" / 1,
+    WriteFd = 30 => "checkWriteFd" / 1,
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.method_name())
+    }
+}
+
+/// A set of [`Check`]s, backed by the 31-bit powerset lattice of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CheckSet(BitSet32);
+
+impl CheckSet {
+    /// The empty set.
+    pub const fn empty() -> Self {
+        CheckSet(BitSet32::empty())
+    }
+
+    /// Wraps a raw bitset.
+    pub const fn from_bits(bits: BitSet32) -> Self {
+        CheckSet(bits)
+    }
+
+    /// The underlying bitset.
+    pub const fn bits(self) -> BitSet32 {
+        self.0
+    }
+
+    /// Singleton set.
+    pub fn of(check: Check) -> Self {
+        CheckSet(BitSet32::singleton(check.index()))
+    }
+
+    /// Adds a check.
+    pub fn insert(&mut self, check: Check) {
+        self.0.insert(check.index());
+    }
+
+    /// Membership test.
+    pub fn contains(self, check: Check) -> bool {
+        self.0.contains(check.index())
+    }
+
+    /// Set union.
+    pub fn union(self, other: Self) -> Self {
+        CheckSet(self.0.union(other.0))
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: Self) -> Self {
+        CheckSet(self.0.intersect(other.0))
+    }
+
+    /// Checks present in `self` but not `other`.
+    pub fn difference(self, other: Self) -> Self {
+        CheckSet(self.0.difference(other.0))
+    }
+
+    /// Subset test.
+    pub fn is_subset(self, other: Self) -> bool {
+        self.0.is_subset(other.0)
+    }
+
+    /// Emptiness test.
+    pub fn is_empty(self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of checks.
+    pub fn len(self) -> u32 {
+        self.0.len()
+    }
+
+    /// Iterates over member checks in index order.
+    pub fn iter(self) -> impl Iterator<Item = Check> {
+        self.0.iter().filter_map(Check::from_index)
+    }
+}
+
+impl FromIterator<Check> for CheckSet {
+    fn from_iter<T: IntoIterator<Item = Check>>(iter: T) -> Self {
+        let mut s = CheckSet::empty();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for CheckSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for CheckSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for c in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Recognizes a call site as one of the 31 security checks: the statically
+/// named callee class must be `java.lang.SecurityManager` and the method
+/// name one of the check names. Returns the check.
+pub fn check_of_call(program: &spo_jir::Program, call: &spo_jir::Call) -> Option<Check> {
+    if program.str(call.callee.class) != SECURITY_MANAGER_CLASS {
+        return None;
+    }
+    Check::from_name(program.str(call.callee.name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_31_checks() {
+        assert_eq!(ALL_CHECKS.len(), 31);
+        // Indices are dense and in order.
+        for (i, c) in ALL_CHECKS.iter().enumerate() {
+            assert_eq!(c.index() as usize, i);
+            assert_eq!(Check::from_index(i as u8), Some(*c));
+        }
+        assert_eq!(Check::from_index(31), None);
+    }
+
+    #[test]
+    fn names_are_unique_and_roundtrip() {
+        let mut names: Vec<&str> = ALL_CHECKS.iter().map(|c| c.method_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 31);
+        for c in ALL_CHECKS {
+            assert_eq!(Check::from_name(c.method_name()), Some(c));
+        }
+        assert_eq!(Check::from_name("checkNothing"), None);
+    }
+
+    #[test]
+    fn checkset_operations() {
+        let a: CheckSet = [Check::Connect, Check::Accept].into_iter().collect();
+        let b: CheckSet = [Check::Connect, Check::Multicast].into_iter().collect();
+        assert_eq!(a.intersect(b), CheckSet::of(Check::Connect));
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.difference(b), CheckSet::of(Check::Accept));
+        assert!(CheckSet::of(Check::Connect).is_subset(a));
+        assert!(a.contains(Check::Accept));
+        assert!(!a.contains(Check::Exit));
+    }
+
+    #[test]
+    fn checkset_displays_names() {
+        let s: CheckSet = [Check::Accept, Check::Connect].into_iter().collect();
+        assert_eq!(s.to_string(), "{checkAccept, checkConnect}");
+        assert_eq!(CheckSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn check_of_call_requires_security_manager_class() {
+        let p = spo_jir::parse_program(
+            r#"
+class Other {
+  method public void checkConnect(java.lang.String host, int port) { return; }
+}
+class T {
+  method public void m(java.lang.SecurityManager sm, Other o, java.lang.String h) {
+    virtualinvoke sm.checkConnect(h, 80);
+    virtualinvoke o.checkConnect(h, 80);
+    virtualinvoke sm.notACheck(h);
+    return;
+  }
+}
+"#,
+        )
+        .unwrap();
+        let t = p.class_by_str("T").unwrap();
+        let body = p.class(t).methods[0].body.as_ref().unwrap();
+        let calls: Vec<_> = body.stmts.iter().filter_map(|s| s.as_call()).collect();
+        assert_eq!(check_of_call(&p, calls[0]), Some(Check::Connect));
+        assert_eq!(check_of_call(&p, calls[1]), None);
+        assert_eq!(check_of_call(&p, calls[2]), None);
+    }
+}

@@ -1,0 +1,338 @@
+//! The policy exchange format (§8).
+//!
+//! "Even if all implementations of the same API are proprietary,
+//! developers may be willing to share security policies with each other
+//! without sharing the actual code." This module serializes a
+//! [`LibraryPolicies`] to a line-oriented text format and parses it back
+//! with full fidelity — enough to run [`diff_libraries`]
+//! (crate::diff_libraries) against a policy file whose source code you
+//! never see.
+//!
+//! Format (one declaration per line, `#` comments):
+//!
+//! ```text
+//! library jdk
+//! entry java.net.Socket.connect(java.net.SocketAddress,int)
+//! event return must checkConnect may {checkConnect}|{}
+//! origin return java.net.Socket.connect
+//! checkorigin checkConnect java.net.Socket.connect
+//! ```
+
+use crate::checks::{Check, CheckSet};
+use crate::events::EventKey;
+use crate::policy::{EntryPolicy, EventPolicy, LibraryPolicies};
+use spo_dataflow::{BitSet32, Dnf};
+use std::fmt;
+
+/// An error encountered while parsing a policy file.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExchangeError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ExchangeError {}
+
+fn event_token(key: &EventKey) -> String {
+    match key {
+        EventKey::ApiReturn => "return".to_owned(),
+        EventKey::Native(n) => format!("native:{n}"),
+        EventKey::DataRead(n) => format!("read:{n}"),
+        EventKey::DataWrite(n) => format!("write:{n}"),
+    }
+}
+
+fn parse_event_token(tok: &str) -> Option<EventKey> {
+    if tok == "return" {
+        return Some(EventKey::ApiReturn);
+    }
+    let (kind, name) = tok.split_once(':')?;
+    match kind {
+        "native" => Some(EventKey::Native(name.to_owned())),
+        "read" => Some(EventKey::DataRead(name.to_owned())),
+        "write" => Some(EventKey::DataWrite(name.to_owned())),
+        _ => None,
+    }
+}
+
+fn checkset_token(set: CheckSet) -> String {
+    if set.is_empty() {
+        "-".to_owned()
+    } else {
+        set.iter().map(|c| c.method_name().to_owned()).collect::<Vec<_>>().join(",")
+    }
+}
+
+fn parse_checkset(tok: &str) -> Option<CheckSet> {
+    if tok == "-" {
+        return Some(CheckSet::empty());
+    }
+    let mut set = CheckSet::empty();
+    for name in tok.split(',') {
+        set.insert(Check::from_name(name)?);
+    }
+    Some(set)
+}
+
+fn dnf_token(dnf: &Dnf) -> String {
+    if dnf.is_bottom() {
+        return "!".to_owned();
+    }
+    dnf.disjuncts()
+        .iter()
+        .map(|&d| format!("{{{}}}", checkset_token(CheckSet::from_bits(d))))
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn parse_dnf(tok: &str) -> Option<Dnf> {
+    if tok == "!" {
+        return Some(Dnf::bottom());
+    }
+    let mut disjuncts: Vec<BitSet32> = Vec::new();
+    for part in tok.split('|') {
+        let inner = part.strip_prefix('{')?.strip_suffix('}')?;
+        let set = if inner.is_empty() { CheckSet::empty() } else { parse_checkset(inner)? };
+        disjuncts.push(set.bits());
+    }
+    Some(disjuncts.into_iter().collect())
+}
+
+/// Serializes a library's policies to the exchange format.
+pub fn export_policies(lib: &LibraryPolicies) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "# security-policy-oracle exchange format v1").unwrap();
+    writeln!(out, "library {}", lib.name).unwrap();
+    for (sig, entry) in &lib.entries {
+        writeln!(out, "entry {sig}").unwrap();
+        for (key, policy) in &entry.events {
+            writeln!(
+                out,
+                "event {} must {} may {}",
+                event_token(key),
+                checkset_token(policy.must),
+                dnf_token(&policy.may_paths),
+            )
+            .unwrap();
+        }
+        for (key, origins) in &entry.event_origins {
+            for origin in origins {
+                writeln!(out, "origin {} {origin}", event_token(key)).unwrap();
+            }
+        }
+        for (check_idx, origins) in &entry.check_origins {
+            let Some(check) = Check::from_index(*check_idx) else { continue };
+            for origin in origins {
+                writeln!(out, "checkorigin {} {origin}", check.method_name()).unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// Parses a policy file produced by [`export_policies`].
+///
+/// # Errors
+///
+/// Returns [`ExchangeError`] with the offending line on malformed input,
+/// unknown check names, or declarations outside their context (e.g.
+/// `event` before any `entry`).
+pub fn import_policies(text: &str) -> Result<LibraryPolicies, ExchangeError> {
+    let mut lib = LibraryPolicies::default();
+    let mut current: Option<String> = None;
+    let err = |line: usize, message: &str| ExchangeError { line, message: message.to_owned() };
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (keyword, rest) =
+            line.split_once(' ').ok_or_else(|| err(lineno, "missing argument"))?;
+        match keyword {
+            "library" => lib.name = rest.to_owned(),
+            "entry" => {
+                let sig = rest.to_owned();
+                lib.entries.entry(sig.clone()).or_insert_with(|| EntryPolicy::new(sig.clone()));
+                current = Some(sig);
+            }
+            "event" => {
+                let sig = current.as_ref().ok_or_else(|| err(lineno, "`event` before `entry`"))?;
+                let mut parts = rest.split_whitespace();
+                let ev = parts
+                    .next()
+                    .and_then(parse_event_token)
+                    .ok_or_else(|| err(lineno, "bad event token"))?;
+                if parts.next() != Some("must") {
+                    return Err(err(lineno, "expected `must`"));
+                }
+                let must = parts
+                    .next()
+                    .and_then(parse_checkset)
+                    .ok_or_else(|| err(lineno, "bad must set"))?;
+                if parts.next() != Some("may") {
+                    return Err(err(lineno, "expected `may`"));
+                }
+                let may_paths = parts
+                    .next()
+                    .and_then(parse_dnf)
+                    .ok_or_else(|| err(lineno, "bad may disjunction"))?;
+                let may = CheckSet::from_bits(may_paths.flat_union());
+                lib.entries
+                    .get_mut(sig)
+                    .expect("entry inserted above")
+                    .events
+                    .insert(ev, EventPolicy { must, may, may_paths });
+            }
+            "origin" => {
+                let sig =
+                    current.as_ref().ok_or_else(|| err(lineno, "`origin` before `entry`"))?;
+                let (ev_tok, origin) =
+                    rest.split_once(' ').ok_or_else(|| err(lineno, "missing origin method"))?;
+                let ev =
+                    parse_event_token(ev_tok).ok_or_else(|| err(lineno, "bad event token"))?;
+                lib.entries
+                    .get_mut(sig)
+                    .expect("entry inserted above")
+                    .event_origins
+                    .entry(ev)
+                    .or_default()
+                    .insert(origin.to_owned());
+            }
+            "checkorigin" => {
+                let sig = current
+                    .as_ref()
+                    .ok_or_else(|| err(lineno, "`checkorigin` before `entry`"))?;
+                let (check_tok, origin) =
+                    rest.split_once(' ').ok_or_else(|| err(lineno, "missing origin method"))?;
+                let check = Check::from_name(check_tok)
+                    .ok_or_else(|| err(lineno, "unknown check name"))?;
+                lib.entries
+                    .get_mut(sig)
+                    .expect("entry inserted above")
+                    .check_origins
+                    .entry(check.index())
+                    .or_default()
+                    .insert(origin.to_owned());
+            }
+            other => return Err(err(lineno, &format!("unknown keyword `{other}`"))),
+        }
+    }
+    Ok(lib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LibraryPolicies {
+        let mut lib = LibraryPolicies { name: "jdk".into(), ..Default::default() };
+        let mut entry = EntryPolicy::new("api.C.m(int)".into());
+        let mc: CheckSet = [Check::Multicast].into_iter().collect();
+        let ca: CheckSet = [Check::Connect, Check::Accept].into_iter().collect();
+        let may_paths: Dnf = [mc.bits(), ca.bits()].into_iter().collect();
+        entry.events.insert(
+            EventKey::Native("connect0".into()),
+            EventPolicy {
+                must: CheckSet::empty(),
+                may: CheckSet::from_bits(may_paths.flat_union()),
+                may_paths,
+            },
+        );
+        entry.events.insert(
+            EventKey::ApiReturn,
+            EventPolicy {
+                must: CheckSet::of(Check::Connect),
+                may: CheckSet::of(Check::Connect),
+                may_paths: Dnf::of(CheckSet::of(Check::Connect).bits()),
+            },
+        );
+        entry
+            .event_origins
+            .entry(EventKey::ApiReturn)
+            .or_default()
+            .insert("api.C.m".into());
+        entry
+            .check_origins
+            .entry(Check::Connect.index())
+            .or_default()
+            .insert("api.C.helper".into());
+        lib.entries.insert(entry.signature.clone(), entry);
+        lib
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_but_stats() {
+        let lib = sample();
+        let text = export_policies(&lib);
+        let back = import_policies(&text).unwrap();
+        assert_eq!(back.name, lib.name);
+        assert_eq!(back.entries, lib.entries);
+    }
+
+    #[test]
+    fn diffing_imported_policies_matches_direct_diff() {
+        let lib = sample();
+        let mut other = sample();
+        other.name = "harmony".into();
+        // Harmony misses checkAccept on the connect path.
+        let e = other.entries.get_mut("api.C.m(int)").unwrap();
+        let ev = e.events.get_mut(&EventKey::Native("connect0".into())).unwrap();
+        let mc: CheckSet = [Check::Multicast].into_iter().collect();
+        let c: CheckSet = [Check::Connect].into_iter().collect();
+        ev.may_paths = [mc.bits(), c.bits()].into_iter().collect();
+        ev.may = CheckSet::from_bits(ev.may_paths.flat_union());
+
+        let direct = crate::diff_libraries(&lib, &other);
+        let imported = import_policies(&export_policies(&other)).unwrap();
+        let via_exchange = crate::diff_libraries(&lib, &imported);
+        assert_eq!(direct.differences, via_exchange.differences);
+        assert_eq!(direct.matching_apis, via_exchange.matching_apis);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(import_policies("frobnicate x").is_err());
+        assert!(import_policies("event return must - may {}").is_err()); // before entry
+        let e = import_policies("entry a.B.c()\nevent return must checkBogus may {}")
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let lib = import_policies("# header\n\nlibrary x\n").unwrap();
+        assert_eq!(lib.name, "x");
+        assert!(lib.entries.is_empty());
+    }
+
+    #[test]
+    fn empty_dnf_and_sets_roundtrip() {
+        let mut lib = LibraryPolicies { name: "n".into(), ..Default::default() };
+        let mut entry = EntryPolicy::new("a.B.c()".into());
+        entry.events.insert(EventKey::ApiReturn, EventPolicy::default());
+        lib.entries.insert(entry.signature.clone(), entry);
+        let back = import_policies(&export_policies(&lib)).unwrap();
+        assert_eq!(back.entries, lib.entries);
+    }
+
+    #[test]
+    fn broad_event_tokens_roundtrip() {
+        let mut lib = LibraryPolicies { name: "n".into(), ..Default::default() };
+        let mut entry = EntryPolicy::new("a.B.c()".into());
+        entry.events.insert(EventKey::DataRead("data1".into()), EventPolicy::default());
+        entry.events.insert(EventKey::DataWrite("data2".into()), EventPolicy::default());
+        lib.entries.insert(entry.signature.clone(), entry);
+        let back = import_policies(&export_policies(&lib)).unwrap();
+        assert_eq!(back.entries, lib.entries);
+    }
+}

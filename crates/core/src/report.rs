@@ -1,0 +1,278 @@
+//! Report grouping and root-cause classification (§6, Table 3).
+//!
+//! "To reduce the number of reports the developer must read, our analysis
+//! automatically combines reports when the error stems from the same root
+//! cause, i.e., when the method containing the error is called from
+//! multiple API entry points. The number of entry points (manifestations)
+//! that can exploit the error is shown in parentheses."
+
+use crate::diff::{DiffResult, DifferenceKind, PolicyDifference};
+use crate::policy::render_dnf;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Which analysis feature is required to detect a difference — Table 3's
+/// "Root cause of policy difference" rows.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum RootCause {
+    /// Visible to an analysis that only computes policies local to the
+    /// entry method.
+    Intraprocedural,
+    /// Requires following calls (the majority in the paper).
+    Interprocedural,
+    /// A may-vs-must status difference (case 3b).
+    MustMay,
+}
+
+impl fmt::Display for RootCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RootCause::Intraprocedural => f.write_str("intraprocedural"),
+            RootCause::Interprocedural => f.write_str("interprocedural"),
+            RootCause::MustMay => f.write_str("MUST/MAY"),
+        }
+    }
+}
+
+/// A distinct error: one root cause with all the entry points that manifest
+/// it.
+#[derive(Clone, Debug)]
+pub struct ReportGroup {
+    /// Stable root-cause key (delta checks + implicated methods).
+    pub root_key: String,
+    /// Entry-point signatures affected.
+    pub manifestations: BTreeSet<String>,
+    /// A representative difference (the first encountered).
+    pub representative: PolicyDifference,
+    /// Detection requirement classification.
+    pub cause: RootCause,
+}
+
+impl ReportGroup {
+    /// Number of manifesting entry points — the parenthesized counts in
+    /// Table 3.
+    pub fn manifestation_count(&self) -> usize {
+        self.manifestations.len()
+    }
+}
+
+/// Groups raw differences into distinct errors by root cause.
+///
+/// `intra_keys` are the root keys found by the intraprocedural-only
+/// ablation; groups whose key appears there are classified
+/// [`RootCause::Intraprocedural`], may/must-status differences
+/// [`RootCause::MustMay`], and everything else
+/// [`RootCause::Interprocedural`].
+pub fn group_differences(
+    result: &DiffResult,
+    intra_keys: &BTreeSet<String>,
+) -> Vec<ReportGroup> {
+    let mut groups: BTreeMap<String, ReportGroup> = BTreeMap::new();
+    for diff in &result.differences {
+        let key = diff.root_key();
+        groups
+            .entry(key.clone())
+            .and_modify(|g| {
+                g.manifestations.insert(diff.signature.clone());
+            })
+            .or_insert_with(|| {
+                let cause = if matches!(diff.kind, DifferenceKind::MustMayMismatch { .. }) {
+                    RootCause::MustMay
+                } else if intra_keys.contains(&key) {
+                    RootCause::Intraprocedural
+                } else {
+                    RootCause::Interprocedural
+                };
+                ReportGroup {
+                    root_key: key,
+                    manifestations: [diff.signature.clone()].into(),
+                    representative: diff.clone(),
+                    cause,
+                }
+            });
+    }
+    groups.into_values().collect()
+}
+
+/// The root keys of a diff result, for feeding the intraprocedural ablation
+/// into [`group_differences`].
+pub fn root_keys(result: &DiffResult) -> BTreeSet<String> {
+    result.differences.iter().map(PolicyDifference::root_key).collect()
+}
+
+/// Tallies of grouped reports in the shape of one Table 3 column.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ReportTally {
+    /// Distinct intraprocedural errors (manifestations).
+    pub intraprocedural: (usize, usize),
+    /// Distinct interprocedural errors (manifestations).
+    pub interprocedural: (usize, usize),
+    /// Distinct MUST/MAY errors (manifestations).
+    pub must_may: (usize, usize),
+}
+
+impl ReportTally {
+    /// Builds the tally from grouped reports.
+    pub fn of(groups: &[ReportGroup]) -> Self {
+        let mut t = ReportTally::default();
+        for g in groups {
+            let slot = match g.cause {
+                RootCause::Intraprocedural => &mut t.intraprocedural,
+                RootCause::Interprocedural => &mut t.interprocedural,
+                RootCause::MustMay => &mut t.must_may,
+            };
+            slot.0 += 1;
+            slot.1 += g.manifestation_count();
+        }
+        t
+    }
+
+    /// Total distinct errors.
+    pub fn total_distinct(&self) -> usize {
+        self.intraprocedural.0 + self.interprocedural.0 + self.must_may.0
+    }
+
+    /// Total manifestations.
+    pub fn total_manifestations(&self) -> usize {
+        self.intraprocedural.1 + self.interprocedural.1 + self.must_may.1
+    }
+}
+
+/// Renders grouped reports as a human-readable listing, most-manifested
+/// first.
+pub fn render_reports(result: &DiffResult, groups: &[ReportGroup]) -> String {
+    use std::fmt::Write as _;
+    let mut sorted: Vec<&ReportGroup> = groups.iter().collect();
+    sorted.sort_by_key(|g| std::cmp::Reverse(g.manifestation_count()));
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} vs {}: {} distinct difference(s), {} manifestation(s)",
+        result.left_name,
+        result.right_name,
+        groups.len(),
+        groups.iter().map(ReportGroup::manifestation_count).sum::<usize>()
+    )
+    .unwrap();
+    for (i, g) in sorted.iter().enumerate() {
+        let d = &g.representative;
+        writeln!(out, "\n[{}] {} ({} manifestations, {} cause)", i + 1, d.kind, g.manifestation_count(), g.cause)
+            .unwrap();
+        writeln!(out, "    delta checks: {}", d.delta).unwrap();
+        writeln!(
+            out,
+            "    {}: must {} may {}",
+            result.left_name,
+            d.left.must,
+            render_dnf(&d.left.may_paths)
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "    {}: must {} may {}",
+            result.right_name,
+            d.right.must,
+            render_dnf(&d.right.may_paths)
+        )
+        .unwrap();
+        if !d.origins.is_empty() {
+            let origins: Vec<&str> = d.origins.iter().map(String::as_str).collect();
+            writeln!(out, "    implicated methods: {}", origins.join(", ")).unwrap();
+        }
+        let sample: Vec<&str> = g.manifestations.iter().take(4).map(String::as_str).collect();
+        writeln!(out, "    e.g. {}", sample.join(", ")).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::{Check, CheckSet};
+    use crate::diff::{DifferenceKind, SideEvidence};
+    use crate::events::EventKey;
+
+    fn diff(sig: &str, origin: &str, delta: &[Check], kind: DifferenceKind) -> PolicyDifference {
+        PolicyDifference {
+            signature: sig.into(),
+            kind,
+            left: SideEvidence::default(),
+            right: SideEvidence::default(),
+            origins: [origin.to_owned()].into(),
+            delta: delta.iter().copied().collect(),
+        }
+    }
+
+    fn mismatch() -> DifferenceKind {
+        DifferenceKind::CheckSetMismatch { event: EventKey::ApiReturn }
+    }
+
+    #[test]
+    fn same_root_cause_grouped() {
+        let result = DiffResult {
+            left_name: "a".into(),
+            right_name: "b".into(),
+            matching_apis: 10,
+            differences: vec![
+                diff("C.m1()", "C.helper", &[Check::Read], mismatch()),
+                diff("C.m2()", "C.helper", &[Check::Read], mismatch()),
+                diff("C.m3()", "D.other", &[Check::Read], mismatch()),
+            ],
+        };
+        let groups = group_differences(&result, &BTreeSet::new());
+        assert_eq!(groups.len(), 2);
+        let max = groups.iter().map(|g| g.manifestation_count()).max().unwrap();
+        assert_eq!(max, 2);
+    }
+
+    #[test]
+    fn classification_uses_intra_keys_and_kind() {
+        let d_intra = diff("C.a()", "C.a", &[Check::Read], mismatch());
+        let d_inter = diff("C.b()", "C.deep", &[Check::Exit], mismatch());
+        let d_mm = diff(
+            "C.c()",
+            "C.c",
+            &[Check::Link],
+            DifferenceKind::MustMayMismatch {
+                event: EventKey::ApiReturn,
+                checks: CheckSet::of(Check::Link),
+            },
+        );
+        let intra_keys: BTreeSet<String> = [d_intra.root_key()].into();
+        let result = DiffResult {
+            left_name: "a".into(),
+            right_name: "b".into(),
+            matching_apis: 3,
+            differences: vec![d_intra, d_inter, d_mm],
+        };
+        let groups = group_differences(&result, &intra_keys);
+        let tally = ReportTally::of(&groups);
+        assert_eq!(tally.intraprocedural, (1, 1));
+        assert_eq!(tally.interprocedural, (1, 1));
+        assert_eq!(tally.must_may, (1, 1));
+        assert_eq!(tally.total_distinct(), 3);
+        assert_eq!(tally.total_manifestations(), 3);
+    }
+
+    #[test]
+    fn render_is_nonempty_and_sorted() {
+        let result = DiffResult {
+            left_name: "jdk".into(),
+            right_name: "harmony".into(),
+            matching_apis: 2,
+            differences: vec![
+                diff("C.m1()", "C.h", &[Check::Read], mismatch()),
+                diff("C.m2()", "C.h", &[Check::Read], mismatch()),
+                diff("D.x()", "D.y", &[Check::Exit], mismatch()),
+            ],
+        };
+        let groups = group_differences(&result, &BTreeSet::new());
+        let text = render_reports(&result, &groups);
+        assert!(text.contains("jdk vs harmony"));
+        assert!(text.contains("2 distinct"));
+        // The 2-manifestation group is listed first.
+        let pos_read = text.find("checkRead").unwrap();
+        let pos_exit = text.find("checkExit").unwrap();
+        assert!(pos_read < pos_exit);
+    }
+}

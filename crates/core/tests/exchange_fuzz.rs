@@ -1,0 +1,97 @@
+//! Robustness and round-trip properties of the policy exchange format.
+
+use proptest::prelude::*;
+use spo_core::{
+    export_policies, import_policies, Check, CheckSet, EntryPolicy, EventKey, EventPolicy,
+    LibraryPolicies, ALL_CHECKS,
+};
+use spo_dataflow::Dnf;
+
+/// Strategy for an arbitrary check set.
+fn any_checkset() -> impl Strategy<Value = CheckSet> {
+    proptest::collection::vec(0usize..31, 0..6).prop_map(|idxs| {
+        idxs.into_iter().map(|i| ALL_CHECKS[i]).collect()
+    })
+}
+
+fn any_event() -> impl Strategy<Value = EventKey> {
+    prop_oneof![
+        Just(EventKey::ApiReturn),
+        "[a-z][a-z0-9_]{0,10}".prop_map(EventKey::Native),
+        "[a-z][a-z0-9_]{0,10}".prop_map(EventKey::DataRead),
+        "[a-z][a-z0-9_]{0,10}".prop_map(EventKey::DataWrite),
+    ]
+}
+
+fn any_policy() -> impl Strategy<Value = EventPolicy> {
+    (any_checkset(), proptest::collection::vec(any_checkset(), 0..4)).prop_map(
+        |(extra_must, paths)| {
+            let may_paths: Dnf = paths.iter().map(|c| c.bits()).collect();
+            let flat = CheckSet::from_bits(may_paths.flat_union());
+            // must ⊆ may to mirror real analysis output.
+            let must = extra_must.intersect(flat).intersect(CheckSet::from_bits(
+                may_paths.must_view(),
+            ));
+            EventPolicy { must, may: flat, may_paths }
+        },
+    )
+}
+
+fn any_library() -> impl Strategy<Value = LibraryPolicies> {
+    proptest::collection::btree_map(
+        "[A-Za-z][A-Za-z0-9.]{0,16}\\(\\)",
+        proptest::collection::btree_map(any_event(), any_policy(), 0..4),
+        0..6,
+    )
+    .prop_map(|entries| {
+        let mut lib = LibraryPolicies { name: "fuzz".into(), ..Default::default() };
+        for (sig, events) in entries {
+            let mut e = EntryPolicy::new(sig.clone());
+            e.events = events;
+            // Exercise origins too.
+            e.event_origins
+                .entry(EventKey::ApiReturn)
+                .or_default()
+                .insert(format!("{sig}#origin"));
+            e.check_origins
+                .entry(Check::Read.index())
+                .or_default()
+                .insert(format!("{sig}#check"));
+            lib.entries.insert(sig, e);
+        }
+        lib
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary libraries round-trip exactly.
+    #[test]
+    fn roundtrip_arbitrary_policies(lib in any_library()) {
+        let text = export_policies(&lib);
+        let back = import_policies(&text).unwrap();
+        prop_assert_eq!(back.entries, lib.entries);
+    }
+
+    /// The importer never panics on arbitrary text.
+    #[test]
+    fn importer_total_on_noise(s in "\\PC{0,300}") {
+        let _ = import_policies(&s);
+    }
+
+    /// Keyword soup exercises deeper importer paths.
+    #[test]
+    fn importer_total_on_keyword_soup(words in proptest::collection::vec(
+        prop_oneof![
+            Just("library"), Just("entry"), Just("event"), Just("origin"),
+            Just("checkorigin"), Just("return"), Just("must"), Just("may"),
+            Just("native:x"), Just("read:y"), Just("{}"), Just("{checkRead}"),
+            Just("-"), Just("!"), Just("checkRead"), Just("a.B.c()"),
+        ],
+        0..30,
+    )) {
+        let _ = import_policies(&words.join(" "));
+        let _ = import_policies(&words.join("\n"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Differential testing of the policy analysis against a brute-force
+//! reference: on acyclic single-method programs, enumerate every
+//! entry-to-event path explicitly and compute the policy from first
+//! principles — the MUST set is the intersection of per-path check sets,
+//! the MAY disjuncts are exactly the distinct per-path check sets. The
+//! dataflow fixpoint must agree.
+
+use proptest::prelude::*;
+use spo_core::{AnalysisOptions, Analyzer, Check, CheckSet, EventKey};
+use spo_jir::{Body, Cfg, Stmt};
+use std::collections::BTreeSet;
+
+const CHECKS: [Check; 4] = [Check::Read, Check::Write, Check::Connect, Check::Exit];
+
+/// A structured random body: a sequence of segments, each either a check,
+/// a diamond (two arms, each a list of checks), or a nop; ends with the
+/// native event and a return.
+#[derive(Clone, Debug)]
+enum Seg {
+    Check(u8),
+    Diamond(Vec<u8>, Vec<u8>),
+    Nop,
+}
+
+fn seg() -> impl Strategy<Value = Seg> {
+    prop_oneof![
+        (0..4u8).prop_map(Seg::Check),
+        (
+            proptest::collection::vec(0..4u8, 0..3),
+            proptest::collection::vec(0..4u8, 0..3)
+        )
+            .prop_map(|(a, b)| Seg::Diamond(a, b)),
+        Just(Seg::Nop),
+    ]
+}
+
+fn program_source(segs: &[Seg]) -> String {
+    use std::fmt::Write as _;
+    let mut body = String::new();
+    let mut params = String::new();
+    let mut label = 0usize;
+    for (i, s) in segs.iter().enumerate() {
+        match s {
+            Seg::Nop => body.push_str("    nop;\n"),
+            Seg::Check(c) => {
+                writeln!(
+                    body,
+                    "    virtualinvoke sm.{}(null);",
+                    CHECKS[*c as usize].method_name()
+                )
+                .unwrap();
+            }
+            Seg::Diamond(a, b) => {
+                let (alt, join) = (label, label + 1);
+                label += 2;
+                if !params.is_empty() {
+                    params.push_str(", ");
+                }
+                writeln!(params, "bool c{i}").unwrap();
+                // Trim the trailing newline the `writeln!` added to params.
+                params = params.trim_end().to_owned();
+                writeln!(body, "    if c{i} goto alt{alt};").unwrap();
+                for c in a {
+                    writeln!(
+                        body,
+                        "    virtualinvoke sm.{}(null);",
+                        CHECKS[*c as usize].method_name()
+                    )
+                    .unwrap();
+                }
+                writeln!(body, "    goto join{join};").unwrap();
+                writeln!(body, "  alt{alt}:").unwrap();
+                for c in b {
+                    writeln!(
+                        body,
+                        "    virtualinvoke sm.{}(null);",
+                        CHECKS[*c as usize].method_name()
+                    )
+                    .unwrap();
+                }
+                writeln!(body, "  join{join}:").unwrap();
+                body.push_str("    nop;\n");
+            }
+        }
+    }
+    format!(
+        r#"
+class java.lang.SecurityManager {{
+  method public native void checkRead(java.lang.Object f);
+  method public native void checkWrite(java.lang.Object f);
+  method public native void checkConnect(java.lang.Object a, java.lang.Object b);
+  method public native void checkExit(java.lang.Object s);
+}}
+class t.C {{
+  method public void m(java.lang.SecurityManager sm{comma}{params}) {{
+{body}    staticinvoke t.C.event0();
+    return;
+  }}
+  method private static native void event0();
+}}
+"#,
+        comma = if params.is_empty() { "" } else { ", " },
+    )
+}
+
+/// Brute-force: enumerate all acyclic paths from entry to each `event0`
+/// call site, collecting the check set gen'd along each path.
+fn reference_paths(program: &spo_jir::Program) -> BTreeSet<CheckSet> {
+    let c = program.class_by_str("t.C").unwrap();
+    let m = &program.class(c).methods[0];
+    let body: &Body = m.body.as_ref().unwrap();
+    let cfg: Cfg = body.cfg();
+    let mut out = BTreeSet::new();
+    // DFS over paths (bodies are acyclic by construction).
+    let mut stack: Vec<(usize, CheckSet)> = vec![(0, CheckSet::empty())];
+    while let Some((i, checks)) = stack.pop() {
+        let stmt = &body.stmts[i];
+        let mut checks = checks;
+        if let Stmt::Invoke { call, .. } = stmt {
+            if program.str(call.callee.class) == "java.lang.SecurityManager" {
+                if let Some(check) = Check::from_name(program.str(call.callee.name)) {
+                    checks.insert(check);
+                }
+            } else if program.str(call.callee.name) == "event0" {
+                // Policy snapshot at the event (before it executes).
+                out.insert(checks);
+            }
+        }
+        for &s in cfg.succs(i) {
+            stack.push((s, checks));
+        }
+    }
+    out
+}
+
+fn cmp_char(segs: &[Seg]) -> Result<(), TestCaseError> {
+    let src = program_source(segs);
+    let program = spo_jir::parse_program(&src)
+        .map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
+
+    let reference = reference_paths(&program);
+    let ref_must = reference
+        .iter()
+        .copied()
+        .reduce(|a, b| a.intersect(b))
+        .unwrap_or(CheckSet::empty());
+
+    let analyzer = Analyzer::new(&program, AnalysisOptions::default());
+    let lib = analyzer.analyze_library("t");
+    let entry = lib
+        .entries
+        .values()
+        .find(|e| e.signature.starts_with("t.C.m("))
+        .expect("entry analyzed");
+    let ev = &entry.events[&EventKey::Native("event0".into())];
+
+    prop_assert_eq!(ev.must, ref_must, "must mismatch\n{}", src);
+    let analysis_paths: BTreeSet<CheckSet> = ev
+        .may_paths
+        .disjuncts()
+        .iter()
+        .map(|&d| CheckSet::from_bits(d))
+        .collect();
+    prop_assert_eq!(analysis_paths, reference, "may disjuncts mismatch\n{}", src);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// SPDA agrees with explicit path enumeration on must sets and on the
+    /// exact disjunctive may structure.
+    #[test]
+    fn spda_matches_brute_force_path_enumeration(
+        segs in proptest::collection::vec(seg(), 0..6)
+    ) {
+        cmp_char(&segs)?;
+    }
+}
+
+#[test]
+fn brute_force_agrees_on_figure_1_shape() {
+    // Deterministic instance: the Figure 1 disjunctive pattern.
+    let segs = vec![Seg::Diamond(vec![2, 0], vec![3])];
+    cmp_char(&segs).unwrap();
+}

@@ -1,0 +1,634 @@
+//! Faithful JIR transliterations of every code example in the paper.
+//!
+//! Each figure provides per-implementation sources; a library that does not
+//! implement the API in the paper's narrative (e.g. Harmony for Figure 5)
+//! has no source. Tests and examples layer these on the
+//! [`prelude`](crate::prelude_source) and run the oracle over them.
+
+use crate::lib_id::Lib;
+
+/// One paper figure: per-implementation `.jir` sources.
+#[derive(Clone, Copy, Debug)]
+pub struct Figure {
+    /// Figure identifier, e.g. `"figure1"`.
+    pub name: &'static str,
+    /// What the figure demonstrates.
+    pub description: &'static str,
+    /// Source per library (`None` = not implemented by that library).
+    jdk: Option<&'static str>,
+    harmony: Option<&'static str>,
+    classpath: Option<&'static str>,
+}
+
+impl Figure {
+    /// The source for one implementation, if it implements this API.
+    pub fn source(&self, lib: Lib) -> Option<&'static str> {
+        match lib {
+            Lib::Jdk => self.jdk,
+            Lib::Harmony => self.harmony,
+            Lib::Classpath => self.classpath,
+        }
+    }
+
+    /// Builds a program containing the prelude plus this figure's code for
+    /// `lib`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lib` does not implement this figure (check
+    /// [`Figure::source`] first) or on a parse error in this crate's
+    /// sources (covered by tests).
+    pub fn program(&self, lib: Lib) -> spo_jir::Program {
+        let src = self.source(lib).expect("library implements this figure");
+        let mut p = crate::prelude_program();
+        spo_jir::parse_into(src, &mut p)
+            .unwrap_or_else(|e| panic!("{} {lib:?} source: {e}", self.name));
+        p
+    }
+}
+
+/// Figure 1: `DatagramSocket.connect` — Harmony misses `checkAccept` on the
+/// non-multicast path. The correct policy is unique to this method and
+/// disjunctive (Figure 2), the paper's motivating example.
+pub const FIGURE1: Figure = Figure {
+    name: "figure1",
+    description: "DatagramSocket.connect: Harmony missing checkAccept (unique disjunctive policy)",
+    jdk: Some(FIG1_CORRECT),
+    harmony: Some(FIG1_HARMONY),
+    classpath: Some(FIG1_CORRECT),
+};
+
+const FIG1_CORRECT: &str = r#"
+class java.net.DatagramSocketImpl {
+  method public void connect(java.net.InetAddress addr, int port) {
+    staticinvoke java.net.DatagramSocketImpl.connect0(addr, port);
+    return;
+  }
+  method private static native void connect0(java.net.InetAddress addr, int port);
+}
+class java.net.DatagramSocket {
+  field private java.net.InetAddress connectedAddress;
+  field private int connectedPort;
+  field private java.net.DatagramSocketImpl impl;
+
+  method public void connect(java.net.InetAddress address, int port) {
+    local java.net.DatagramSocket self;
+    self = this;
+    virtualinvoke self.connectInternal(address, port);
+    return;
+  }
+
+  method private synchronized void connectInternal(java.net.InetAddress address, int port) {
+    local java.lang.SecurityManager sm;
+    local bool multicast;
+    local java.lang.String host;
+    local java.net.DatagramSocketImpl i;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto doconnect;
+    multicast = virtualinvoke address.isMulticastAddress();
+    if multicast goto mcast;
+    host = virtualinvoke address.getHostAddress();
+    virtualinvoke sm.checkConnect(host, port);
+    virtualinvoke sm.checkAccept(host, port);
+    goto doconnect;
+  mcast:
+    virtualinvoke sm.checkMulticast(address);
+  doconnect:
+    i = this.impl;
+    virtualinvoke i.connect(address, port);
+    this.connectedAddress = address;
+    this.connectedPort = port;
+    return;
+  }
+}
+"#;
+
+const FIG1_HARMONY: &str = r#"
+class java.net.DatagramSocketImpl {
+  method public void connect(java.net.InetAddress addr, int port) {
+    staticinvoke java.net.DatagramSocketImpl.connect0(addr, port);
+    return;
+  }
+  method private static native void connect0(java.net.InetAddress addr, int port);
+}
+class java.net.DatagramSocket {
+  field private java.net.InetAddress address;
+  field private int port;
+  field private java.net.DatagramSocketImpl impl;
+
+  method public void connect(java.net.InetAddress anAddr, int aPort) {
+    local java.lang.SecurityManager sm;
+    local bool multicast;
+    local java.lang.String host;
+    local java.net.DatagramSocketImpl i;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto doconnect;
+    multicast = virtualinvoke anAddr.isMulticastAddress();
+    if multicast goto mcast;
+    host = virtualinvoke anAddr.getHostName();
+    // BUG (Figure 1): checkAccept is missing on this path.
+    virtualinvoke sm.checkConnect(host, aPort);
+    goto doconnect;
+  mcast:
+    virtualinvoke sm.checkMulticast(anAddr);
+  doconnect:
+    i = this.impl;
+    virtualinvoke i.connect(anAddr, aPort);
+    this.address = anAddr;
+    this.port = aPort;
+    return;
+  }
+}
+"#;
+
+/// Figure 3: the hypothetical bug visible only with the broad definition of
+/// security-sensitive events. Narrowly, both implementations have identical
+/// `{checkRead}` may policies for the API return; broadly, the read of
+/// `data1` is guarded in one implementation and unguarded in the other.
+pub const FIGURE3: Figure = Figure {
+    name: "figure3",
+    description: "broad-events-only inconsistency on private data reads",
+    jdk: Some(FIG3_IMPL1),
+    harmony: Some(FIG3_IMPL2),
+    classpath: Some(FIG3_IMPL1),
+};
+
+const FIG3_IMPL1: &str = r#"
+class hypo.Holder {
+  field private java.lang.Object data1;
+  field private java.lang.Object data2;
+
+  method public java.lang.Object a(bool condition) {
+    local java.lang.SecurityManager sm;
+    local java.lang.Object o;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if condition goto second;
+    virtualinvoke sm.checkRead(o);
+    o = this.data1;
+    return o;
+  second:
+    o = this.data2;
+    return o;
+  }
+}
+"#;
+
+const FIG3_IMPL2: &str = r#"
+class hypo.Holder {
+  field private java.lang.Object data1;
+  field private java.lang.Object data2;
+
+  method public java.lang.Object a(bool condition) {
+    local java.lang.SecurityManager sm;
+    local java.lang.Object o;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if condition goto second;
+    // BUG (Figure 3): data1 is read without the checkRead guard.
+    o = this.data1;
+    return o;
+  second:
+    virtualinvoke sm.checkRead(o);
+    o = this.data2;
+    return o;
+  }
+}
+"#;
+
+/// Figure 4: the context-sensitive may policy in the URL constructors.
+/// `URL(String)` passes a `null` handler to `URL(URL, String,
+/// URLStreamHandler)`, which checks a permission only when the handler is
+/// non-null. Interprocedural constant propagation is required to see that
+/// the one-argument constructor performs no check in any implementation —
+/// without it, the oracle reports a spurious difference against an
+/// implementation that writes the constructors independently.
+pub const FIGURE4: Figure = Figure {
+    name: "figure4",
+    description: "URL constructors: ICP needed to kill a false positive",
+    jdk: Some(FIG4_DIRECT),
+    harmony: Some(FIG4_DELEGATING),
+    classpath: Some(FIG4_DIRECT),
+};
+
+const FIG4_DIRECT: &str = r#"
+class java.net.URLStreamHandler { }
+class java.net.URL {
+  field private java.net.URLStreamHandler strmHandler;
+
+  method public void init(java.lang.String spec) {
+    staticinvoke java.net.URL.parse0(spec);
+    return;
+  }
+
+  method public void initFull(java.net.URL context, java.lang.String spec, java.net.URLStreamHandler handler) {
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto parse;
+    if handler == null goto parse;
+    virtualinvoke sm.checkPermission(handler);
+    this.strmHandler = handler;
+  parse:
+    staticinvoke java.net.URL.parse0(spec);
+    return;
+  }
+
+  method private static native void parse0(java.lang.String spec);
+}
+"#;
+
+const FIG4_DELEGATING: &str = r#"
+class java.net.URLStreamHandler { }
+class java.net.URL {
+  field private java.net.URLStreamHandler strmHandler;
+
+  method public void init(java.lang.String spec) {
+    local java.net.URL self;
+    self = this;
+    // Passes null context and null handler (Figure 4, lines 2-5).
+    virtualinvoke self.initFull(null, spec, null);
+    return;
+  }
+
+  method public void initFull(java.net.URL context, java.lang.String spec, java.net.URLStreamHandler handler) {
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto parse;
+    if handler == null goto parse;
+    virtualinvoke sm.checkPermission(handler);
+    this.strmHandler = handler;
+  parse:
+    staticinvoke java.net.URL.parse0(spec);
+    return;
+  }
+
+  method private static native void parse0(java.lang.String spec);
+}
+"#;
+
+/// Figure 5: `Runtime.loadLibrary` — JDK calls only `checkLink`, while
+/// Classpath also calls `checkRead` before loading the library. Detecting
+/// the vulnerability requires interprocedural analysis. Harmony does not
+/// participate in this comparison.
+pub const FIGURE5: Figure = Figure {
+    name: "figure5",
+    description: "Runtime.loadLibrary: JDK missing checkRead (interprocedural)",
+    jdk: Some(FIG5_JDK),
+    harmony: None,
+    classpath: Some(FIG5_CLASSPATH),
+};
+
+const FIG5_JDK: &str = r#"
+class java.lang.NativeLibrary {
+  method public void load(java.lang.String name) {
+    staticinvoke java.lang.NativeLibrary.load0(name);
+    return;
+  }
+  method private static native void load0(java.lang.String name);
+}
+class java.lang.ClassLoader {
+  method public static void loadLibrary(java.lang.Class fromClass, java.lang.String name, bool isAbsolute) {
+    staticinvoke java.lang.ClassLoader.loadLibrary0(fromClass, name);
+    return;
+  }
+  method private static void loadLibrary0(java.lang.Class fromClass, java.lang.String file) {
+    local java.lang.NativeLibrary lib;
+    lib = new java.lang.NativeLibrary;
+    virtualinvoke lib.load(file);
+    return;
+  }
+}
+class java.lang.RuntimeLib {
+  method public void loadLibrary(java.lang.String libname) {
+    local java.lang.RuntimeLib self;
+    self = this;
+    virtualinvoke self.loadLibrary0(null, libname);
+    return;
+  }
+  method private synchronized void loadLibrary0(java.lang.Class fromClass, java.lang.String libname) {
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto load;
+    // BUG (Figure 5): only checkLink; Classpath also performs checkRead.
+    virtualinvoke sm.checkLink(libname);
+  load:
+    staticinvoke java.lang.ClassLoader.loadLibrary(fromClass, libname, false);
+    return;
+  }
+}
+"#;
+
+const FIG5_CLASSPATH: &str = r#"
+class java.lang.VMRuntime {
+  method public static int nativeLoad(java.lang.String filename, java.lang.Object loader) {
+    local int r;
+    r = staticinvoke java.lang.VMRuntime.nativeLoad0(filename, loader);
+    return r;
+  }
+  method private static native int nativeLoad0(java.lang.String filename, java.lang.Object loader);
+}
+class java.lang.RuntimeLib {
+  method public void loadLibrary(java.lang.String libname) {
+    local java.lang.RuntimeLib self;
+    self = this;
+    virtualinvoke self.loadLibraryLoader(libname, null);
+    return;
+  }
+  method public void loadLibraryLoader(java.lang.String libname, java.lang.Object loader) {
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto load;
+    virtualinvoke sm.checkLink(libname);
+  load:
+    staticinvoke java.lang.RuntimeLib.loadLib(libname, loader);
+    return;
+  }
+  method private static int loadLib(java.lang.String filename, java.lang.Object loader) {
+    local java.lang.SecurityManager sm;
+    local int r;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto load;
+    virtualinvoke sm.checkRead(filename);
+  load:
+    r = staticinvoke java.lang.VMRuntime.nativeLoad(filename, loader);
+    return r;
+  }
+}
+"#;
+
+/// Figure 6: `URLConnection.openConnection(Proxy)` — Harmony returns
+/// internal state without any check, JDK conditionally performs
+/// `checkConnect`. Finding this requires API returns as security-sensitive
+/// events: no JNI call is involved.
+pub const FIGURE6: Figure = Figure {
+    name: "figure6",
+    description: "URLConnection.openConnection: Harmony missing checkConnect (API-return event)",
+    jdk: Some(FIG6_JDK),
+    harmony: Some(FIG6_HARMONY),
+    classpath: None,
+};
+
+const FIG6_JDK: &str = r#"
+class java.net.URLConnection {
+  field private java.lang.Object handler;
+
+  method public java.lang.Object openConnection(java.net.Proxy proxy) {
+    local java.lang.SecurityManager sm;
+    local bool direct;
+    local java.lang.Object h;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto open;
+    direct = virtualinvoke proxy.isDirect();
+    if direct goto open;
+    virtualinvoke sm.checkConnect(proxy, 0);
+  open:
+    h = this.handler;
+    return h;
+  }
+}
+"#;
+
+const FIG6_HARMONY: &str = r#"
+class java.net.URLConnection {
+  field private java.lang.Object strmHandler;
+
+  method public java.lang.Object openConnection(java.net.Proxy proxy) {
+    local java.lang.Object h;
+    // BUG (Figure 6): internal state returned without any check.
+    h = this.strmHandler;
+    return h;
+  }
+}
+"#;
+
+/// Figure 7: `Socket.connect` — Classpath omits all security checks, a
+/// case-2 (missing policy) difference that is directly exploitable.
+pub const FIGURE7: Figure = Figure {
+    name: "figure7",
+    description: "Socket.connect: Classpath missing all checks (case 2)",
+    jdk: Some(FIG7_CORRECT),
+    harmony: Some(FIG7_CORRECT),
+    classpath: Some(FIG7_CLASSPATH),
+};
+
+const FIG7_CORRECT: &str = r#"
+class java.net.SocketImpl {
+  method public void connect(java.net.SocketAddress endpoint, int timeout) {
+    staticinvoke java.net.SocketImpl.connect0(endpoint, timeout);
+    return;
+  }
+  method private static native void connect0(java.net.SocketAddress endpoint, int timeout);
+}
+class java.net.Socket {
+  field private java.net.SocketImpl impl;
+  method public void connect(java.net.SocketAddress endpoint, int timeout) {
+    local java.lang.SecurityManager sm;
+    local java.net.SocketImpl i;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto doconnect;
+    virtualinvoke sm.checkConnect(endpoint, timeout);
+  doconnect:
+    i = this.impl;
+    virtualinvoke i.connect(endpoint, timeout);
+    return;
+  }
+}
+"#;
+
+const FIG7_CLASSPATH: &str = r#"
+class java.net.SocketImpl {
+  method public void connect(java.net.SocketAddress endpoint, int timeout) {
+    staticinvoke java.net.SocketImpl.connect0(endpoint, timeout);
+    return;
+  }
+  method private static native void connect0(java.net.SocketAddress endpoint, int timeout);
+}
+class java.net.Socket {
+  field private java.net.SocketImpl impl;
+  method public void connect(java.net.SocketAddress endpoint, int timeout) {
+    local java.net.SocketImpl i;
+    // BUG (Figure 7): no security checks at all.
+    i = this.impl;
+    virtualinvoke i.connect(endpoint, timeout);
+    return;
+  }
+}
+"#;
+
+/// Figure 8: `String.getBytes` — when the default charset is missing, JDK
+/// calls `System.exit(1)` (requiring `checkExit` permission and reaching
+/// the native halt), while Harmony throws an exception. An
+/// interoperability bug surfacing as a security-policy difference.
+pub const FIGURE8: Figure = Figure {
+    name: "figure8",
+    description: "String.getBytes: JDK exits (checkExit) where Harmony throws",
+    jdk: Some(FIG8_JDK),
+    harmony: Some(FIG8_HARMONY),
+    classpath: Some(FIG8_HARMONY),
+};
+
+const FIG8_JDK: &str = r#"
+class java.lang.StringCoding {
+  method static java.lang.Object encode(java.lang.String charset, bool ok) {
+    local java.lang.Object r;
+    if ok goto done;
+    // Unsupported encoding: JDK terminates the VM.
+    staticinvoke java.lang.System.exit(1);
+    r = null;
+    return r;
+  done:
+    r = staticinvoke java.lang.StringCoding.encode0(charset);
+    return r;
+  }
+  method private static native java.lang.Object encode0(java.lang.String charset);
+}
+class java.lang.StringOps {
+  method public java.lang.Object getBytes(bool ok) {
+    local java.lang.Object r;
+    r = staticinvoke java.lang.StringCoding.encode("ISO-8859-1", ok);
+    return r;
+  }
+}
+"#;
+
+const FIG8_HARMONY: &str = r#"
+class java.lang.StringCoding {
+  method static java.lang.Object encode(java.lang.String charset, bool ok) {
+    local java.lang.Object r;
+    local java.lang.Throwable t;
+    if ok goto done;
+    // Unsupported encoding: throw instead of exiting.
+    t = new java.lang.UnsupportedOperationException;
+    throw t;
+  done:
+    r = staticinvoke java.lang.StringCoding.encode0(charset);
+    return r;
+  }
+  method private static native java.lang.Object encode0(java.lang.String charset);
+}
+class java.lang.StringOps {
+  method public java.lang.Object getBytes(bool ok) {
+    local java.lang.Object r;
+    r = staticinvoke java.lang.StringCoding.encode("ISO-8859-1", ok);
+    return r;
+  }
+}
+"#;
+
+/// The paper's false-positive patterns (§6.4): Harmony uses a different but
+/// equivalent check. `Security.getProperty` uses `checkSecurityAccess`
+/// where JDK uses `checkPermission`.
+pub const FP_GET_PROPERTY: Figure = Figure {
+    name: "fp_get_property",
+    description: "Security.getProperty: equivalent but different checks (false positive)",
+    jdk: Some(FP_GP_JDK),
+    harmony: Some(FP_GP_HARMONY),
+    classpath: Some(FP_GP_JDK),
+};
+
+const FP_GP_JDK: &str = r#"
+class java.security.Security {
+  field private static java.lang.String props;
+  method public static java.lang.String getProperty(java.lang.String key) {
+    local java.lang.SecurityManager sm;
+    local java.lang.String v;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto get;
+    virtualinvoke sm.checkPermission(key);
+  get:
+    v = java.security.Security.props;
+    return v;
+  }
+}
+"#;
+
+const FP_GP_HARMONY: &str = r#"
+class java.security.Security {
+  field private static java.lang.String props;
+  method public static java.lang.String getProperty(java.lang.String key) {
+    local java.lang.SecurityManager sm;
+    local java.lang.String v;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto get;
+    // Equivalent goal, different check: a benign difference the oracle
+    // cannot distinguish (one of the paper's 3 false positives).
+    virtualinvoke sm.checkSecurityAccess(key);
+  get:
+    v = java.security.Security.props;
+    return v;
+  }
+}
+"#;
+
+/// §6.3's charset-provider interoperability difference: Classpath loads
+/// `CharsetProvider` dynamically (guarded by
+/// `checkPermission(new RuntimePermission("charsetProvider"))`), whereas
+/// JDK and Harmony load it statically at boot and perform no check.
+pub const INTEROP_CHARSET: Figure = Figure {
+    name: "interop_charset",
+    description: "CharsetProvider: Classpath's dynamic loading needs a permission the others never check",
+    jdk: Some(CHARSET_STATIC),
+    harmony: Some(CHARSET_STATIC),
+    classpath: Some(CHARSET_DYNAMIC),
+};
+
+const CHARSET_STATIC: &str = r#"
+class java.nio.charset.Charset {
+  field private static java.lang.Object provider;
+  method public static java.lang.Object providerForName(java.lang.String name) {
+    local java.lang.Object p;
+    // Provider installed statically at boot: plain field read.
+    p = java.nio.charset.Charset.provider;
+    return p;
+  }
+}
+"#;
+
+const CHARSET_DYNAMIC: &str = r#"
+class java.nio.charset.Charset {
+  method public static java.lang.Object providerForName(java.lang.String name) {
+    local java.lang.Object p;
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto load;
+    // Dynamic class loading requires the charsetProvider permission.
+    virtualinvoke sm.checkPermission(name);
+  load:
+    p = staticinvoke java.nio.charset.Charset.loadProvider(name);
+    return p;
+  }
+  method private static java.lang.Object loadProvider(java.lang.String name) {
+    local java.lang.Object p;
+    p = staticinvoke java.nio.charset.Charset.defineClass0(name);
+    return p;
+  }
+  method private static native java.lang.Object defineClass0(java.lang.String name);
+}
+"#;
+
+/// All figures, in paper order.
+pub const ALL_FIGURES: [Figure; 7] = [
+    FIGURE1, FIGURE3, FIGURE4, FIGURE5, FIGURE6, FIGURE7, FIGURE8,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_figure_sources_parse() {
+        for fig in ALL_FIGURES.iter().chain([&FP_GET_PROPERTY]) {
+            for lib in Lib::ALL {
+                if fig.source(lib).is_some() {
+                    let p = fig.program(lib);
+                    assert!(p.class_count() > 5, "{} {lib:?}", fig.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure5_sides() {
+        assert!(FIGURE5.source(Lib::Jdk).is_some());
+        assert!(FIGURE5.source(Lib::Harmony).is_none());
+        assert!(FIGURE5.source(Lib::Classpath).is_some());
+    }
+}

@@ -1,0 +1,165 @@
+//! The shared runtime prelude: the `java.lang` core every library
+//! implementation is layered on.
+//!
+//! Contains `java.lang.Object`, `java.lang.SecurityManager` with all 31
+//! check methods (declared `native`; the analysis treats calls to them as
+//! checks, never as events), `java.lang.System` with the standard
+//! `getSecurityManager()` / `exit()` pair, and the small set of value
+//! classes the figure scenarios reference.
+
+use spo_core::ALL_CHECKS;
+use std::fmt::Write as _;
+
+/// Returns the prelude as `.jir` source text.
+pub fn prelude_source() -> String {
+    let mut out = String::from(
+        r#"// ---- runtime prelude (shared by all implementations) ----
+class java.lang.Object { }
+
+class java.lang.String { }
+
+class java.lang.Class { }
+
+class java.lang.Throwable { }
+
+class java.lang.RuntimeException extends java.lang.Throwable { }
+
+class java.lang.UnsupportedOperationException extends java.lang.RuntimeException { }
+
+class java.lang.Runtime {
+  method public static native void halt0(int status);
+}
+
+class java.lang.System {
+  field static java.lang.SecurityManager security;
+  method public static java.lang.SecurityManager getSecurityManager() {
+    local java.lang.SecurityManager sm;
+    sm = java.lang.System.security;
+    return sm;
+  }
+  method public static void exit(int status) {
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto halt;
+    virtualinvoke sm.checkExit(status);
+  halt:
+    staticinvoke java.lang.Runtime.halt0(status);
+    return;
+  }
+}
+
+class java.net.InetAddress {
+  field private bool multicast;
+  field private java.lang.String host;
+  method public bool isMulticastAddress() {
+    local bool b;
+    b = this.multicast;
+    return b;
+  }
+  method public java.lang.String getHostAddress() {
+    local java.lang.String s;
+    s = this.host;
+    return s;
+  }
+  method public java.lang.String getHostName() {
+    local java.lang.String s;
+    s = this.host;
+    return s;
+  }
+}
+
+class java.net.SocketAddress { }
+
+class java.net.InetSocketAddress extends java.net.SocketAddress {
+  field private java.lang.String host;
+  field private int port;
+  method public java.lang.String getHostName() {
+    local java.lang.String s;
+    s = this.host;
+    return s;
+  }
+  method public int getPort() {
+    local int p;
+    p = this.port;
+    return p;
+  }
+}
+
+class java.net.Proxy {
+  field private bool direct;
+  method public bool isDirect() {
+    local bool b;
+    b = this.direct;
+    return b;
+  }
+}
+"#,
+    );
+    out.push_str("\nclass java.lang.SecurityManager {\n");
+    for check in ALL_CHECKS {
+        let params: Vec<String> = (0..check.argc())
+            .map(|i| format!("java.lang.Object a{i}"))
+            .collect();
+        writeln!(
+            out,
+            "  method public native void {}({});",
+            check.method_name(),
+            params.join(", ")
+        )
+        .unwrap();
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses the prelude into a fresh program.
+///
+/// # Panics
+///
+/// Panics if the prelude source is malformed — a bug in this crate, caught
+/// by tests.
+pub fn prelude_program() -> spo_jir::Program {
+    spo_jir::parse_program(&prelude_source()).expect("prelude must parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spo_core::{Check, SECURITY_MANAGER_CLASS};
+
+    #[test]
+    fn prelude_parses() {
+        let p = prelude_program();
+        assert!(p.class_by_str(SECURITY_MANAGER_CLASS).is_some());
+        assert!(p.class_by_str("java.lang.System").is_some());
+    }
+
+    #[test]
+    fn all_31_checks_declared_with_matching_arity() {
+        let p = prelude_program();
+        let sm = p.class_by_str(SECURITY_MANAGER_CLASS).unwrap();
+        for check in ALL_CHECKS {
+            let name = p.interner().get(check.method_name()).unwrap_or_else(|| {
+                panic!("check {} not in prelude", check.method_name())
+            });
+            let m = p
+                .find_method(sm, name, check.argc())
+                .unwrap_or_else(|| panic!("missing {}", check.method_name()));
+            assert!(p.method(m).is_native());
+        }
+        assert_eq!(p.class(sm).methods.len(), 31);
+    }
+
+    #[test]
+    fn exit_checks_then_halts() {
+        // System.exit must produce a native halt0 event guarded by a may
+        // checkExit — the Figure 8 ingredient.
+        let p = prelude_program();
+        let analyzer = spo_core::Analyzer::new(&p, spo_core::AnalysisOptions::default());
+        let lib = analyzer.analyze_library("prelude");
+        let e = &lib.entries["java.lang.System.exit(int)"];
+        let ev = &e.events[&spo_core::EventKey::Native("halt0".into())];
+        assert!(ev.may.contains(Check::Exit));
+        assert!(!ev.must.contains(Check::Exit));
+    }
+}

@@ -1,0 +1,241 @@
+//! Intraprocedural may-alias analysis.
+//!
+//! The paper uses Soot's alias analysis as part of its substrate (§4).
+//! This module supplies the equivalent at the granularity JIR needs: a
+//! flow-insensitive, unification-based (Steensgaard-style) partition of a
+//! body's reference locals. Locals connected by copies, casts, or the
+//! same call result share an alias class; a `new` introduces a fresh
+//! object identity. Clients use it to ask whether two locals may denote
+//! the same object — e.g. whether a field write through one local can be
+//! observed through another.
+
+use spo_jir::{Body, Expr, LocalId, Operand, Stmt, Type};
+
+/// Union–find partition of a body's locals into may-alias classes.
+///
+/// # Examples
+///
+/// ```
+/// use spo_dataflow::AliasClasses;
+///
+/// let p = spo_jir::parse_program(
+///     "class C { method public static void m(C a) {
+///        local C b, c;
+///        b = a;
+///        c = new C;
+///        return;
+///      } }",
+/// ).unwrap();
+/// let cid = p.class_by_str("C").unwrap();
+/// let body = p.class(cid).methods[0].body.as_ref().unwrap();
+/// let alias = AliasClasses::new(body);
+/// use spo_jir::LocalId;
+/// assert!(alias.may_alias(LocalId(0), LocalId(1)));  // b = a
+/// assert!(!alias.may_alias(LocalId(0), LocalId(2))); // c is fresh
+/// ```
+#[derive(Clone, Debug)]
+pub struct AliasClasses {
+    parent: Vec<usize>,
+    /// Locals that were ever assigned a fresh allocation *and nothing
+    /// else*; two distinct-allocation classes never alias.
+    is_ref: Vec<bool>,
+}
+
+impl AliasClasses {
+    /// Builds the partition for `body`.
+    pub fn new(body: &Body) -> Self {
+        let n = body.locals.len();
+        let mut this = AliasClasses {
+            parent: (0..n).collect(),
+            is_ref: body.locals.iter().map(|l| l.ty.is_ref()).collect(),
+        };
+        for stmt in &body.stmts {
+            match stmt {
+                Stmt::Assign { dst, value } => match value {
+                    Expr::Operand(Operand::Local(src))
+                    | Expr::Cast { operand: Operand::Local(src), .. }
+                        if this.is_ref(*dst) && this.is_ref(*src) => {
+                            this.union(dst.index(), src.index());
+                        }
+                    // Array loads may surface any element stored into the
+                    // array: unify with the array local (coarse but sound).
+                    Expr::ArrayLoad { array, .. }
+                        if this.is_ref(*dst) => {
+                            this.union(dst.index(), array.index());
+                        }
+                    _ => {}
+                },
+                Stmt::ArrayStore { array, value: Operand::Local(v), .. }
+                    if this.is_ref(*v) => {
+                        this.union(array.index(), v.index());
+                    }
+                // A call result is a fresh handle: no unification (the
+                // callee's aliasing is out of scope intraprocedurally,
+                // mirroring Soot's per-body alias queries).
+                _ => {}
+            }
+        }
+        this
+    }
+
+    fn is_ref(&self, l: LocalId) -> bool {
+        self.is_ref.get(l.index()).copied().unwrap_or(false)
+    }
+
+    fn find(&self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    /// Returns `true` if the two locals may denote the same object.
+    /// Primitive locals never alias. A local aliases itself if it is a
+    /// reference.
+    pub fn may_alias(&self, a: LocalId, b: LocalId) -> bool {
+        if !self.is_ref(a) || !self.is_ref(b) {
+            return false;
+        }
+        self.find(a.index()) == self.find(b.index())
+    }
+
+    /// The representative of a local's alias class.
+    pub fn class_of(&self, l: LocalId) -> usize {
+        self.find(l.index())
+    }
+
+    /// Number of distinct alias classes among reference locals.
+    pub fn class_count(&self) -> usize {
+        let mut reps: Vec<usize> = (0..self.parent.len())
+            .filter(|&i| self.is_ref[i])
+            .map(|i| self.find(i))
+            .collect();
+        reps.sort_unstable();
+        reps.dedup();
+        reps.len()
+    }
+}
+
+/// Convenience: `true` when `ty` locals can participate in aliasing.
+pub fn is_aliasable(ty: &Type) -> bool {
+    ty.is_ref()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spo_jir::parse_program;
+
+    fn classes(src: &str) -> (spo_jir::Program, AliasClasses) {
+        let p = parse_program(src).unwrap();
+        let c = p.class_by_str("C").unwrap();
+        let body = p.class(c).methods[0].body.as_ref().unwrap();
+        let a = AliasClasses::new(body);
+        (p, a)
+    }
+
+    fn lid(i: u32) -> LocalId {
+        LocalId(i)
+    }
+
+    #[test]
+    fn copies_unify() {
+        let (_, a) = classes(
+            "class C { method public static void m(C p) {
+               local C x, y;
+               x = p;
+               y = x;
+               return;
+             } }",
+        );
+        assert!(a.may_alias(lid(0), lid(1)));
+        assert!(a.may_alias(lid(0), lid(2)));
+        assert!(a.may_alias(lid(1), lid(2)));
+    }
+
+    #[test]
+    fn fresh_allocations_do_not_alias_params() {
+        let (_, a) = classes(
+            "class C { method public static void m(C p) {
+               local C x;
+               x = new C;
+               return;
+             } }",
+        );
+        assert!(!a.may_alias(lid(0), lid(1)));
+        assert_eq!(a.class_count(), 2);
+    }
+
+    #[test]
+    fn casts_preserve_aliasing() {
+        let (_, a) = classes(
+            "class D { }
+             class C { method public static void m(C p) {
+               local D x;
+               x = (D) p;
+               return;
+             } }",
+        );
+        assert!(a.may_alias(lid(0), lid(1)));
+    }
+
+    #[test]
+    fn primitives_never_alias() {
+        let (_, a) = classes(
+            "class C { method public static void m(int p) {
+               local int x;
+               x = p;
+               return;
+             } }",
+        );
+        assert!(!a.may_alias(lid(0), lid(1)));
+        assert!(!a.may_alias(lid(0), lid(0)));
+    }
+
+    #[test]
+    fn array_store_then_load_aliases_through_the_array() {
+        let (_, a) = classes(
+            "class C { method public static void m(C p) {
+               local C[] arr;
+               local C out;
+               arr = newarray C [2];
+               arr[0] = p;
+               out = arr[0];
+               return;
+             } }",
+        );
+        assert!(a.may_alias(lid(0), lid(2)), "p flows through the array to out");
+    }
+
+    #[test]
+    fn call_results_are_independent_handles() {
+        let (_, a) = classes(
+            "class C { method public static void m(C p) {
+               local C x;
+               x = staticinvoke C.make();
+               return;
+             }
+             method public static C make() {
+               local C c;
+               c = new C;
+               return c;
+             } }",
+        );
+        assert!(!a.may_alias(lid(0), lid(1)));
+    }
+
+    #[test]
+    fn self_alias_for_refs() {
+        let (_, a) = classes(
+            "class C { method public static void m(C p) { return; } }",
+        );
+        assert!(a.may_alias(lid(0), lid(0)));
+    }
+}

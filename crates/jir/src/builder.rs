@@ -1,0 +1,665 @@
+//! Fluent builders for constructing [`Program`]s in code.
+//!
+//! The builders are the programmatic alternative to the textual frontend
+//! ([`parse_program`](crate::parse_program)) and are what the synthetic
+//! corpus generator uses to emit library implementations at scale.
+//!
+//! # Examples
+//!
+//! ```
+//! use spo_jir::{ProgramBuilder, Type, MethodFlags, Const};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! {
+//!     let mut cb = pb.class("demo.Greeter");
+//!     cb.extends("java.lang.Object");
+//!     let mut mb = cb.method("answer", MethodFlags::PUBLIC, Type::Int);
+//!     let x = mb.local("x", Type::Int);
+//!     mb.assign_const(x, Const::Int(42));
+//!     mb.ret_val(x);
+//!     mb.finish();
+//!     cb.finish().unwrap();
+//! }
+//! let program = pb.finish();
+//! assert_eq!(program.class_count(), 1);
+//! ```
+
+use crate::body::{Body, LocalDecl};
+use crate::flags::{ClassFlags, FieldFlags, MethodFlags};
+use crate::intern::Symbol;
+use crate::program::{Class, ClassId, Field, Method, Program, ProgramError};
+use crate::stmt::{
+    Call, CmpOp, Cond, Const, Expr, FieldRef, FieldTarget, InvokeKind, LocalId, MethodRef,
+    Operand, Stmt,
+};
+use crate::types::Type;
+
+/// Top-level builder that accumulates classes into a [`Program`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a string in the program under construction.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.program.intern(s)
+    }
+
+    /// Shorthand for a class-reference type.
+    pub fn ref_ty(&mut self, class: &str) -> Type {
+        let s = self.intern(class);
+        Type::Ref(s)
+    }
+
+    /// Starts a class. Call [`ClassBuilder::finish`] to commit it.
+    pub fn class<'a>(&'a mut self, name: &str) -> ClassBuilder<'a> {
+        let name = self.program.intern(name);
+        let object = self.program.intern("java.lang.Object");
+        ClassBuilder {
+            pb: self,
+            class: Class {
+                name,
+                superclass: Some(object),
+                interfaces: vec![],
+                flags: ClassFlags::PUBLIC,
+                fields: vec![],
+                methods: vec![],
+            },
+            is_root: false,
+        }
+    }
+
+    /// Starts the hierarchy-root class (no superclass), conventionally
+    /// `java.lang.Object`.
+    pub fn root_class<'a>(&'a mut self, name: &str) -> ClassBuilder<'a> {
+        let mut cb = self.class(name);
+        cb.is_root = true;
+        cb.class.superclass = None;
+        cb
+    }
+
+    /// Consumes the builder, returning the finished program.
+    pub fn finish(self) -> Program {
+        self.program
+    }
+
+    /// Read access to the program under construction.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+/// Builder for one class. Created by [`ProgramBuilder::class`].
+#[derive(Debug)]
+pub struct ClassBuilder<'a> {
+    pb: &'a mut ProgramBuilder,
+    class: Class,
+    is_root: bool,
+}
+
+impl<'a> ClassBuilder<'a> {
+    /// Sets the superclass (default `java.lang.Object`).
+    pub fn extends(&mut self, name: &str) -> &mut Self {
+        if !self.is_root {
+            self.class.superclass = Some(self.pb.intern(name));
+        }
+        self
+    }
+
+    /// Adds an implemented interface.
+    pub fn implements(&mut self, name: &str) -> &mut Self {
+        let s = self.pb.intern(name);
+        self.class.interfaces.push(s);
+        self
+    }
+
+    /// Replaces the class flags.
+    pub fn flags(&mut self, flags: ClassFlags) -> &mut Self {
+        self.class.flags = flags;
+        self
+    }
+
+    /// Adds a field.
+    pub fn field(&mut self, name: &str, ty: Type, flags: FieldFlags) -> &mut Self {
+        let name = self.pb.intern(name);
+        self.class.fields.push(Field { name, ty, flags });
+        self
+    }
+
+    /// Adds a body-less `native` method.
+    pub fn native_method(
+        &mut self,
+        name: &str,
+        flags: MethodFlags,
+        params: Vec<Type>,
+        ret: Type,
+    ) -> &mut Self {
+        let name = self.pb.intern(name);
+        self.class.methods.push(Method {
+            name,
+            params,
+            ret,
+            flags: flags | MethodFlags::NATIVE,
+            body: None,
+        });
+        self
+    }
+
+    /// Adds a body-less `abstract` method.
+    pub fn abstract_method(
+        &mut self,
+        name: &str,
+        flags: MethodFlags,
+        params: Vec<Type>,
+        ret: Type,
+    ) -> &mut Self {
+        let name = self.pb.intern(name);
+        self.class.methods.push(Method {
+            name,
+            params,
+            ret,
+            flags: flags | MethodFlags::ABSTRACT,
+            body: None,
+        });
+        self
+    }
+
+    /// Starts a method with a body. Instance methods receive an implicit
+    /// `this` parameter typed as the enclosing class; pass
+    /// [`MethodFlags::STATIC`] to omit it.
+    pub fn method<'b>(&'b mut self, name: &str, flags: MethodFlags, ret: Type) -> MethodBuilder<'a, 'b> {
+        let name_sym = self.pb.intern(name);
+        let mut locals = Vec::new();
+        if !flags.contains(MethodFlags::STATIC) {
+            let this = self.pb.intern("this");
+            locals.push(LocalDecl { name: this, ty: Type::Ref(self.class.name) });
+        }
+        MethodBuilder {
+            cb: self,
+            name: name_sym,
+            flags,
+            ret,
+            params: Vec::new(),
+            locals,
+            stmts: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Commits the class to the program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProgramError`] for duplicate names or invalid bodies.
+    pub fn finish(self) -> Result<ClassId, ProgramError> {
+        self.pb.program.add_class(self.class)
+    }
+}
+
+/// A forward-referenceable branch label inside a [`MethodBuilder`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Label(usize);
+
+/// Builder for one method body. Created by [`ClassBuilder::method`].
+///
+/// Statements are appended in order; branch targets use [`Label`]s that may
+/// be bound before or after the branches that reference them. Labels are
+/// resolved to statement indices in [`MethodBuilder::finish`].
+#[derive(Debug)]
+pub struct MethodBuilder<'a, 'b> {
+    cb: &'b mut ClassBuilder<'a>,
+    name: Symbol,
+    flags: MethodFlags,
+    ret: Type,
+    params: Vec<Type>,
+    locals: Vec<LocalDecl>,
+    stmts: Vec<Stmt>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<(usize, Label)>,
+}
+
+impl<'a, 'b> MethodBuilder<'a, 'b> {
+    /// Interns a string.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.cb.pb.intern(s)
+    }
+
+    /// Shorthand for a class-reference type.
+    pub fn ref_ty(&mut self, class: &str) -> Type {
+        let s = self.intern(class);
+        Type::Ref(s)
+    }
+
+    /// Declares a parameter. Must be called before any statement is emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if statements have already been emitted or a non-parameter
+    /// local was already declared.
+    pub fn param(&mut self, name: &str, ty: Type) -> LocalId {
+        assert!(self.stmts.is_empty(), "params must be declared before statements");
+        let implicit = usize::from(!self.flags.contains(MethodFlags::STATIC));
+        assert_eq!(
+            self.locals.len(),
+            implicit + self.params.len(),
+            "params must be declared before locals"
+        );
+        let name = self.intern(name);
+        self.params.push(ty.clone());
+        self.locals.push(LocalDecl { name, ty });
+        LocalId((self.locals.len() - 1) as u32)
+    }
+
+    /// Declares a non-parameter local.
+    pub fn local(&mut self, name: &str, ty: Type) -> LocalId {
+        let name = self.intern(name);
+        self.locals.push(LocalDecl { name, ty });
+        LocalId((self.locals.len() - 1) as u32)
+    }
+
+    /// The implicit `this` local of an instance method.
+    ///
+    /// # Panics
+    ///
+    /// Panics for static methods.
+    pub fn this(&self) -> LocalId {
+        assert!(!self.flags.contains(MethodFlags::STATIC), "static methods have no `this`");
+        LocalId(0)
+    }
+
+    /// Creates an unbound label.
+    pub fn fresh_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next statement to be emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.stmts.len());
+    }
+
+    /// Appends a raw statement. Prefer the typed helpers below.
+    pub fn push(&mut self, stmt: Stmt) {
+        self.stmts.push(stmt);
+    }
+
+    /// `dst = expr`.
+    pub fn assign(&mut self, dst: LocalId, value: Expr) {
+        self.push(Stmt::Assign { dst, value });
+    }
+
+    /// `dst = const`.
+    pub fn assign_const(&mut self, dst: LocalId, c: Const) {
+        self.assign(dst, Expr::Operand(Operand::Const(c)));
+    }
+
+    /// `dst = src`.
+    pub fn copy(&mut self, dst: LocalId, src: LocalId) {
+        self.assign(dst, Expr::Operand(Operand::Local(src)));
+    }
+
+    /// `dst = new Class` (allocation only; call the constructor with
+    /// [`MethodBuilder::invoke_special`]).
+    pub fn new_object(&mut self, dst: LocalId, class: &str) {
+        let c = self.intern(class);
+        self.assign(dst, Expr::New(c));
+    }
+
+    /// `dst = recv.field`.
+    pub fn load_field(&mut self, dst: LocalId, recv: LocalId, class: &str, field: &str) {
+        let fr = self.field_ref(class, field);
+        self.assign(dst, Expr::FieldLoad(FieldTarget::Instance(recv, fr)));
+    }
+
+    /// `dst = Class.field` (static).
+    pub fn load_static(&mut self, dst: LocalId, class: &str, field: &str) {
+        let fr = self.field_ref(class, field);
+        self.assign(dst, Expr::FieldLoad(FieldTarget::Static(fr)));
+    }
+
+    /// `recv.field = value`.
+    pub fn store_field(&mut self, recv: LocalId, class: &str, field: &str, value: impl Into<Operand>) {
+        let fr = self.field_ref(class, field);
+        self.push(Stmt::FieldStore { target: FieldTarget::Instance(recv, fr), value: value.into() });
+    }
+
+    /// `Class.field = value` (static).
+    pub fn store_static(&mut self, class: &str, field: &str, value: impl Into<Operand>) {
+        let fr = self.field_ref(class, field);
+        self.push(Stmt::FieldStore { target: FieldTarget::Static(fr), value: value.into() });
+    }
+
+    fn field_ref(&mut self, class: &str, field: &str) -> FieldRef {
+        FieldRef { class: self.intern(class), name: self.intern(field) }
+    }
+
+    fn method_ref(&mut self, class: &str, name: &str, argc: usize) -> MethodRef {
+        MethodRef { class: self.intern(class), name: self.intern(name), argc: argc as u32 }
+    }
+
+    /// Virtual call `dst = recv.Class::name(args)`.
+    pub fn invoke_virtual(
+        &mut self,
+        dst: Option<LocalId>,
+        recv: LocalId,
+        class: &str,
+        name: &str,
+        args: Vec<Operand>,
+    ) {
+        let callee = self.method_ref(class, name, args.len());
+        self.push(Stmt::Invoke {
+            dst,
+            call: Call { kind: InvokeKind::Virtual, receiver: Some(recv), callee, args },
+        });
+    }
+
+    /// Interface call.
+    pub fn invoke_interface(
+        &mut self,
+        dst: Option<LocalId>,
+        recv: LocalId,
+        class: &str,
+        name: &str,
+        args: Vec<Operand>,
+    ) {
+        let callee = self.method_ref(class, name, args.len());
+        self.push(Stmt::Invoke {
+            dst,
+            call: Call { kind: InvokeKind::Interface, receiver: Some(recv), callee, args },
+        });
+    }
+
+    /// Direct (constructor/private/super) call.
+    pub fn invoke_special(
+        &mut self,
+        dst: Option<LocalId>,
+        recv: LocalId,
+        class: &str,
+        name: &str,
+        args: Vec<Operand>,
+    ) {
+        let callee = self.method_ref(class, name, args.len());
+        self.push(Stmt::Invoke {
+            dst,
+            call: Call { kind: InvokeKind::Special, receiver: Some(recv), callee, args },
+        });
+    }
+
+    /// Static call `dst = Class::name(args)`.
+    pub fn invoke_static(
+        &mut self,
+        dst: Option<LocalId>,
+        class: &str,
+        name: &str,
+        args: Vec<Operand>,
+    ) {
+        let callee = self.method_ref(class, name, args.len());
+        self.push(Stmt::Invoke {
+            dst,
+            call: Call { kind: InvokeKind::Static, receiver: None, callee, args },
+        });
+    }
+
+    /// `if cond goto label`.
+    pub fn if_cond(&mut self, cond: Cond, label: Label) {
+        self.fixups.push((self.stmts.len(), label));
+        self.push(Stmt::If { cond, target: usize::MAX });
+    }
+
+    /// `if op goto label` (branch when truthy).
+    pub fn if_truthy(&mut self, op: impl Into<Operand>, label: Label) {
+        self.if_cond(Cond::Truthy(op.into()), label);
+    }
+
+    /// `if !op goto label` (branch when falsy).
+    pub fn if_falsy(&mut self, op: impl Into<Operand>, label: Label) {
+        self.if_cond(Cond::Falsy(op.into()), label);
+    }
+
+    /// `if lhs <op> rhs goto label`.
+    pub fn if_cmp(
+        &mut self,
+        lhs: impl Into<Operand>,
+        op: CmpOp,
+        rhs: impl Into<Operand>,
+        label: Label,
+    ) {
+        self.if_cond(Cond::Cmp { op, lhs: lhs.into(), rhs: rhs.into() }, label);
+    }
+
+    /// `goto label`.
+    pub fn goto(&mut self, label: Label) {
+        self.fixups.push((self.stmts.len(), label));
+        self.push(Stmt::Goto { target: usize::MAX });
+    }
+
+    /// `return;`
+    pub fn ret(&mut self) {
+        self.push(Stmt::Return { value: None });
+    }
+
+    /// `return op;`
+    pub fn ret_val(&mut self, op: impl Into<Operand>) {
+        self.push(Stmt::Return { value: Some(op.into()) });
+    }
+
+    /// `throw op;`
+    pub fn throw(&mut self, op: impl Into<Operand>) {
+        self.push(Stmt::Throw { value: op.into() });
+    }
+
+    /// Emits a privileged region around the statements emitted by `f`
+    /// (models `AccessController.doPrivileged`; checks inside are no-ops).
+    pub fn privileged(&mut self, f: impl FnOnce(&mut Self)) {
+        self.push(Stmt::EnterPriv);
+        f(self);
+        self.push(Stmt::ExitPriv);
+    }
+
+    /// Convenience: the idiomatic `SecurityManager` prologue plus a check
+    /// call. Emits:
+    ///
+    /// ```text
+    /// sm = static java.lang.System.getSecurityManager();
+    /// if sm == null goto skip;
+    /// virtual sm.<check>(args);
+    /// skip: nop
+    /// ```
+    ///
+    /// The null test is elided from policies by the analysis exactly as the
+    /// paper elides it from its examples.
+    pub fn security_check(&mut self, check: &str, args: Vec<Operand>) {
+        let sm_ty = self.ref_ty("java.lang.SecurityManager");
+        let sm = self.local(&format!("sm{}", self.locals.len()), sm_ty);
+        self.invoke_static(Some(sm), "java.lang.System", "getSecurityManager", vec![]);
+        let skip = self.fresh_label();
+        self.if_cmp(sm, CmpOp::Eq, Const::Null, skip);
+        self.invoke_virtual(None, sm, "java.lang.SecurityManager", check, args);
+        self.bind(skip);
+        self.push(Stmt::Nop);
+    }
+
+    /// Resolves labels and commits the method to the class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never bound — that is a programming
+    /// error in the caller, caught deterministically here rather than
+    /// surfacing as a malformed body later.
+    pub fn finish(mut self) {
+        for (stmt_idx, label) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[label.0]
+                .unwrap_or_else(|| panic!("label {:?} referenced but never bound", label));
+            match &mut self.stmts[stmt_idx] {
+                Stmt::If { target: t, .. } | Stmt::Goto { target: t } => *t = target,
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+        }
+        // A label may be bound to one-past-the-end (e.g. `skip` before an
+        // implicit return); append a return so targets stay in range.
+        let needs_pad = self
+            .stmts
+            .iter()
+            .any(|s| matches!(s, Stmt::If { target, .. } | Stmt::Goto { target } if *target == self.stmts.len()));
+        if needs_pad || self.stmts.last().is_none_or(|s| !s.is_terminator()) {
+            self.stmts.push(Stmt::Return { value: None });
+        }
+        let body = Body {
+            locals: self.locals,
+            n_params: self.params.len()
+                + usize::from(!self.flags.contains(MethodFlags::STATIC)),
+            stmts: self.stmts,
+        };
+        self.cb.class.methods.push(Method {
+            name: self.name,
+            params: self.params,
+            ret: self.ret,
+            flags: self.flags,
+            body: Some(body),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_program() {
+        let mut pb = ProgramBuilder::new();
+        {
+            let mut cb = pb.root_class("java.lang.Object");
+            let mb = cb.method("hashCode", MethodFlags::PUBLIC, Type::Int);
+            let mut mb = mb;
+            let x = mb.local("x", Type::Int);
+            mb.assign_const(x, Const::Int(0));
+            mb.ret_val(x);
+            mb.finish();
+            cb.finish().unwrap();
+        }
+        let p = pb.finish();
+        let obj = p.class_by_str("java.lang.Object").unwrap();
+        assert!(p.class(obj).superclass.is_none());
+        let h = p.interner().get("hashCode").unwrap();
+        let m = p.find_method(obj, h, 0).unwrap();
+        let body = p.method(m).body.as_ref().unwrap();
+        assert_eq!(body.n_params, 1); // implicit this
+        assert!(body.validate().is_ok());
+    }
+
+    #[test]
+    fn labels_forward_and_backward() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let mut mb = cb.method("m", MethodFlags::PUBLIC | MethodFlags::STATIC, Type::Void);
+        let x = mb.local("x", Type::Bool);
+        mb.assign_const(x, Const::Bool(true));
+        let end = mb.fresh_label();
+        let top = mb.fresh_label();
+        mb.bind(top);
+        mb.if_falsy(x, end);
+        mb.goto(top);
+        mb.bind(end);
+        mb.ret();
+        mb.finish();
+        cb.finish().unwrap();
+        let p = pb.finish();
+        let c = p.class_by_str("t.C").unwrap();
+        let body = p.class(c).methods[0].body.as_ref().unwrap();
+        assert!(body.validate().is_ok());
+        // if at index 1 targets the return at index 3; goto at 2 targets 1.
+        assert!(matches!(body.stmts[1], Stmt::If { target: 3, .. }));
+        assert!(matches!(body.stmts[2], Stmt::Goto { target: 1 }));
+    }
+
+    #[test]
+    fn implicit_return_appended() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let mb = cb.method("m", MethodFlags::PUBLIC | MethodFlags::STATIC, Type::Void);
+        mb.finish(); // no statements at all
+        cb.finish().unwrap();
+        let p = pb.finish();
+        let c = p.class_by_str("t.C").unwrap();
+        let body = p.class(c).methods[0].body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 1);
+        assert!(matches!(body.stmts[0], Stmt::Return { value: None }));
+    }
+
+    #[test]
+    fn security_check_shape() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let mut mb = cb.method("m", MethodFlags::PUBLIC, Type::Void);
+        mb.security_check("checkExit", vec![Operand::Const(Const::Int(1))]);
+        mb.ret();
+        mb.finish();
+        cb.finish().unwrap();
+        let p = pb.finish();
+        let c = p.class_by_str("t.C").unwrap();
+        let body = p.class(c).methods[0].body.as_ref().unwrap();
+        assert!(body.validate().is_ok());
+        // getSecurityManager, if-null, check, nop, return
+        assert_eq!(body.stmts.len(), 5);
+        assert!(matches!(&body.stmts[2], Stmt::Invoke { call, .. }
+            if p.str(call.callee.name) == "checkExit"));
+    }
+
+    #[test]
+    fn privileged_region() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let mut mb = cb.method("m", MethodFlags::PUBLIC | MethodFlags::STATIC, Type::Void);
+        mb.privileged(|mb| {
+            mb.security_check("checkRead", vec![]);
+        });
+        mb.ret();
+        mb.finish();
+        cb.finish().unwrap();
+        let p = pb.finish();
+        let c = p.class_by_str("t.C").unwrap();
+        let body = p.class(c).methods[0].body.as_ref().unwrap();
+        assert!(matches!(body.stmts[0], Stmt::EnterPriv));
+        assert!(body.stmts.iter().any(|s| matches!(s, Stmt::ExitPriv)));
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let mut mb = cb.method("m", MethodFlags::STATIC, Type::Void);
+        let l = mb.fresh_label();
+        mb.goto(l);
+        mb.finish();
+    }
+
+    #[test]
+    fn params_then_locals() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let mut mb = cb.method("m", MethodFlags::PUBLIC, Type::Void);
+        let p0 = mb.param("a", Type::Int);
+        let p1 = mb.param("b", Type::Bool);
+        let l0 = mb.local("x", Type::Int);
+        assert_eq!(p0, LocalId(1)); // this is 0
+        assert_eq!(p1, LocalId(2));
+        assert_eq!(l0, LocalId(3));
+        assert_eq!(mb.this(), LocalId(0));
+        mb.ret();
+        mb.finish();
+        cb.finish().unwrap();
+    }
+}

@@ -1,0 +1,226 @@
+//! Dominator trees over statement-level CFGs.
+//!
+//! Complete-mediation verification (the prior work the oracle is compared
+//! against) is defined in terms of domination: a check mediates an event
+//! when every path from entry to the event passes the check. This module
+//! provides the classic Cooper–Harvey–Kennedy iterative dominator
+//! algorithm over [`Cfg`]s, used by clients that want statement-level
+//! mediation queries instead of the policy-set view.
+
+use crate::body::Cfg;
+
+/// Immediate-dominator table for one CFG, rooted at statement 0.
+///
+/// # Examples
+///
+/// ```
+/// use spo_jir::{parse_program, Dominators};
+///
+/// let p = parse_program(
+///     "class C { method public static void m(bool c) {
+///        if c goto a;
+///        nop;
+///        goto b;
+///      a:
+///        nop;
+///      b:
+///        return;
+///      } }",
+/// )?;
+/// let c = p.class_by_str("C").unwrap();
+/// let body = p.class(c).methods[0].body.as_ref().unwrap();
+/// let dom = Dominators::new(&body.cfg());
+/// // The join point is dominated by the branch, not by either arm.
+/// assert!(dom.dominates(0, 4));
+/// assert!(!dom.dominates(1, 4));
+/// # Ok::<(), spo_jir::ParseError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    /// `idom[i]` = immediate dominator of statement `i`; `usize::MAX` for
+    /// unreachable statements; `0` is its own idom.
+    idom: Vec<usize>,
+}
+
+impl Dominators {
+    /// Computes dominators for `cfg` (entry = statement 0).
+    pub fn new(cfg: &Cfg) -> Self {
+        let n = cfg.len();
+        let mut idom = vec![usize::MAX; n];
+        if n == 0 {
+            return Dominators { idom };
+        }
+        let rpo = cfg.reverse_post_order();
+        let mut rank = vec![usize::MAX; n];
+        for (r, &b) in rpo.iter().enumerate() {
+            rank[b] = r;
+        }
+        idom[0] = 0;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom = usize::MAX;
+                for &p in cfg.preds(b) {
+                    if idom[p] == usize::MAX {
+                        continue;
+                    }
+                    new_idom = if new_idom == usize::MAX {
+                        p
+                    } else {
+                        Self::intersect(&idom, &rank, p, new_idom)
+                    };
+                }
+                if new_idom != usize::MAX && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    fn intersect(idom: &[usize], rank: &[usize], mut a: usize, mut b: usize) -> usize {
+        while a != b {
+            while rank[a] > rank[b] {
+                a = idom[a];
+            }
+            while rank[b] > rank[a] {
+                b = idom[b];
+            }
+        }
+        a
+    }
+
+    /// The immediate dominator of statement `i` (`None` for the entry and
+    /// for unreachable statements).
+    pub fn idom(&self, i: usize) -> Option<usize> {
+        match self.idom.get(i) {
+            Some(&d) if d != usize::MAX && i != 0 => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if statement `i` is reachable from the entry.
+    pub fn is_reachable(&self, i: usize) -> bool {
+        self.idom.get(i).is_some_and(|&d| d != usize::MAX)
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexive: every statement
+    /// dominates itself). Unreachable statements dominate nothing and are
+    /// dominated by nothing.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == 0 {
+                return false;
+            }
+            cur = self.idom[cur];
+        }
+    }
+
+    /// All dominators of `i`, from `i` up to the entry.
+    pub fn dominators_of(&self, i: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        if !self.is_reachable(i) {
+            return out;
+        }
+        let mut cur = i;
+        loop {
+            out.push(cur);
+            if cur == 0 {
+                return out;
+            }
+            cur = self.idom[cur];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    fn dom_of(src: &str) -> (Dominators, usize) {
+        let p = parse_program(src).unwrap();
+        let c = p.class_by_str("C").unwrap();
+        let body = p.class(c).methods[0].body.as_ref().unwrap();
+        let cfg = body.cfg();
+        (Dominators::new(&cfg), body.stmts.len())
+    }
+
+    #[test]
+    fn straight_line_chain() {
+        let (dom, n) = dom_of("class C { method public static void m() { nop; nop; return; } }");
+        assert_eq!(n, 3);
+        assert_eq!(dom.idom(1), Some(0));
+        assert_eq!(dom.idom(2), Some(1));
+        assert!(dom.dominates(0, 2));
+        assert!(dom.dominates(1, 2));
+        assert!(!dom.dominates(2, 1));
+        assert!(dom.dominates(2, 2));
+    }
+
+    #[test]
+    fn diamond_join_dominated_by_branch_only() {
+        // 0: if c goto 3 / 1: nop / 2: goto 4 / 3: nop / 4: return
+        let (dom, _) = dom_of(
+            "class C { method public static void m(bool c) {
+               if c goto a;
+               nop;
+               goto b;
+             a:
+               nop;
+             b:
+               return;
+             } }",
+        );
+        assert_eq!(dom.idom(4), Some(0));
+        assert!(dom.dominates(0, 4));
+        assert!(!dom.dominates(1, 4));
+        assert!(!dom.dominates(3, 4));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        // 0: nop (header target) / 1: if c goto 0 / 2: return
+        let (dom, _) = dom_of(
+            "class C { method public static void m(bool c) {
+             top:
+               nop;
+               if c goto top;
+               return;
+             } }",
+        );
+        assert!(dom.dominates(0, 1));
+        assert!(dom.dominates(0, 2));
+        assert!(dom.dominates(1, 2));
+    }
+
+    #[test]
+    fn unreachable_code_is_outside_the_tree() {
+        let (dom, _) = dom_of(
+            "class C { method public static void m() {
+               return;
+               nop;
+             } }",
+        );
+        assert!(!dom.is_reachable(1));
+        assert!(!dom.dominates(0, 1));
+        assert!(!dom.dominates(1, 1));
+        assert_eq!(dom.dominators_of(1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn dominators_of_lists_chain() {
+        let (dom, _) = dom_of("class C { method public static void m() { nop; nop; return; } }");
+        assert_eq!(dom.dominators_of(2), vec![2, 1, 0]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Access and attribute flags for classes, methods, and fields.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+macro_rules! flag_type {
+    ($(#[$meta:meta])* $name:ident { $($(#[$fmeta:meta])* $flag:ident = $bit:expr => $word:literal),+ $(,)? }) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name(u16);
+
+        impl $name {
+            $( $(#[$fmeta])* pub const $flag: $name = $name($bit); )+
+
+            /// The empty flag set.
+            pub const fn empty() -> Self {
+                $name(0)
+            }
+
+            /// Returns `true` if all bits of `other` are set in `self`.
+            pub const fn contains(self, other: $name) -> bool {
+                self.0 & other.0 == other.0
+            }
+
+            /// Returns the union of the two flag sets.
+            pub const fn union(self, other: $name) -> Self {
+                $name(self.0 | other.0)
+            }
+
+            /// Iterates over `(flag, keyword)` pairs in declaration order.
+            pub fn words(self) -> impl Iterator<Item = &'static str> {
+                [$((Self::$flag, $word)),+]
+                    .into_iter()
+                    .filter(move |(f, _)| self.contains(*f))
+                    .map(|(_, w)| w)
+            }
+        }
+
+        impl BitOr for $name {
+            type Output = $name;
+            fn bitor(self, rhs: $name) -> $name {
+                self.union(rhs)
+            }
+        }
+
+        impl BitOrAssign for $name {
+            fn bitor_assign(&mut self, rhs: $name) {
+                self.0 |= rhs.0;
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "("))?;
+                let mut first = true;
+                for w in self.words() {
+                    if !first {
+                        f.write_str("|")?;
+                    }
+                    f.write_str(w)?;
+                    first = false;
+                }
+                if first {
+                    f.write_str("-")?;
+                }
+                f.write_str(")")
+            }
+        }
+    };
+}
+
+flag_type! {
+    /// Flags on a class or interface declaration.
+    ClassFlags {
+        /// `public` visibility.
+        PUBLIC = 1 => "public",
+        /// `final`: cannot be subclassed; aids devirtualization.
+        FINAL = 2 => "final",
+        /// `abstract`: cannot be instantiated.
+        ABSTRACT = 4 => "abstract",
+        /// Declared with `interface` rather than `class`.
+        INTERFACE = 8 => "interface",
+    }
+}
+
+flag_type! {
+    /// Flags on a method declaration.
+    MethodFlags {
+        /// `public`: an API entry point candidate.
+        PUBLIC = 1 => "public",
+        /// `protected`: also an entry point (callable via subclassing).
+        PROTECTED = 2 => "protected",
+        /// `private`: internal only.
+        PRIVATE = 4 => "private",
+        /// `static`: no `this` receiver.
+        STATIC = 8 => "static",
+        /// `final`: cannot be overridden; aids devirtualization.
+        FINAL = 16 => "final",
+        /// `native`: a JNI method — a security-sensitive event when called.
+        NATIVE = 32 => "native",
+        /// `abstract`: no body; resolved via subclasses.
+        ABSTRACT = 64 => "abstract",
+        /// `synchronized`: no analysis impact, kept for fidelity.
+        SYNCHRONIZED = 128 => "synchronized",
+    }
+}
+
+flag_type! {
+    /// Flags on a field declaration.
+    FieldFlags {
+        /// `public` visibility.
+        PUBLIC = 1 => "public",
+        /// `protected` visibility.
+        PROTECTED = 2 => "protected",
+        /// `private`: reads/writes are broad security-sensitive events.
+        PRIVATE = 4 => "private",
+        /// `static`: class-level storage.
+        STATIC = 8 => "static",
+        /// `final`: single assignment.
+        FINAL = 16 => "final",
+    }
+}
+
+impl MethodFlags {
+    /// Returns `true` if the method is an API entry point per the paper:
+    /// public or protected (clients can reach protected methods by
+    /// subclassing).
+    pub fn is_entry_visible(self) -> bool {
+        self.contains(MethodFlags::PUBLIC) || self.contains(MethodFlags::PROTECTED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_contains() {
+        let f = MethodFlags::PUBLIC | MethodFlags::NATIVE;
+        assert!(f.contains(MethodFlags::PUBLIC));
+        assert!(f.contains(MethodFlags::NATIVE));
+        assert!(!f.contains(MethodFlags::STATIC));
+        assert!(f.contains(MethodFlags::empty()));
+    }
+
+    #[test]
+    fn entry_visibility() {
+        assert!(MethodFlags::PUBLIC.is_entry_visible());
+        assert!(MethodFlags::PROTECTED.is_entry_visible());
+        assert!(!MethodFlags::PRIVATE.is_entry_visible());
+        assert!(!MethodFlags::empty().is_entry_visible());
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let f = ClassFlags::PUBLIC | ClassFlags::FINAL;
+        let words: Vec<_> = f.words().collect();
+        assert_eq!(words, vec!["public", "final"]);
+    }
+
+    #[test]
+    fn debug_nonempty_even_when_empty() {
+        let s = format!("{:?}", FieldFlags::empty());
+        assert!(!s.is_empty());
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn bitor_assign() {
+        let mut f = MethodFlags::empty();
+        f |= MethodFlags::FINAL;
+        assert!(f.contains(MethodFlags::FINAL));
+    }
+}

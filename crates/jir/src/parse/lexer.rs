@@ -1,0 +1,433 @@
+//! Lexer for the `.jir` textual format.
+
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (unescaped).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(i) => write!(f, "`{i}`"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::LBrace => f.write_str("`{`"),
+            Tok::RBrace => f.write_str("`}`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::LBracket => f.write_str("`[`"),
+            Tok::RBracket => f.write_str("`]`"),
+            Tok::Semi => f.write_str("`;`"),
+            Tok::Colon => f.write_str("`:`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Dot => f.write_str("`.`"),
+            Tok::Assign => f.write_str("`=`"),
+            Tok::EqEq => f.write_str("`==`"),
+            Tok::NotEq => f.write_str("`!=`"),
+            Tok::Lt => f.write_str("`<`"),
+            Tok::Le => f.write_str("`<=`"),
+            Tok::Gt => f.write_str("`>`"),
+            Tok::Ge => f.write_str("`>=`"),
+            Tok::Plus => f.write_str("`+`"),
+            Tok::Minus => f.write_str("`-`"),
+            Tok::Star => f.write_str("`*`"),
+            Tok::Slash => f.write_str("`/`"),
+            Tok::Percent => f.write_str("`%`"),
+            Tok::Amp => f.write_str("`&`"),
+            Tok::Pipe => f.write_str("`|`"),
+            Tok::Caret => f.write_str("`^`"),
+            Tok::Bang => f.write_str("`!`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token plus its source position.
+#[derive(Clone, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A lexical error with position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a `.jir` source string.
+///
+/// Supports `//` line comments and `/* ... */` block comments. The output
+/// always ends with a [`Tok::Eof`] token.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated strings/comments, malformed escape
+/// sequences, integer overflow, or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! err {
+        ($l:expr, $c:expr, $($arg:tt)*) => {
+            return Err(LexError { message: format!($($arg)*), line: $l, col: $c })
+        };
+    }
+    while i < bytes.len() {
+        let (tl, tc) = (line, col);
+        let b = bytes[i];
+        let advance = |i: &mut usize, line: &mut u32, col: &mut u32| {
+            if bytes[*i] == b'\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        };
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => advance(&mut i, &mut line, &mut col),
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    advance(&mut i, &mut line, &mut col);
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                advance(&mut i, &mut line, &mut col);
+                advance(&mut i, &mut line, &mut col);
+                let mut closed = false;
+                while i + 1 < bytes.len() {
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        advance(&mut i, &mut line, &mut col);
+                        advance(&mut i, &mut line, &mut col);
+                        closed = true;
+                        break;
+                    }
+                    advance(&mut i, &mut line, &mut col);
+                }
+                if !closed {
+                    err!(tl, tc, "unterminated block comment");
+                }
+            }
+            b'"' => {
+                advance(&mut i, &mut line, &mut col);
+                let mut s = String::new();
+                let mut closed = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'"' => {
+                            advance(&mut i, &mut line, &mut col);
+                            closed = true;
+                            break;
+                        }
+                        b'\\' => {
+                            advance(&mut i, &mut line, &mut col);
+                            if i >= bytes.len() {
+                                break;
+                            }
+                            match bytes[i] {
+                                b'n' => s.push('\n'),
+                                b't' => s.push('\t'),
+                                b'\\' => s.push('\\'),
+                                b'"' => s.push('"'),
+                                other => err!(line, col, "bad escape `\\{}`", other as char),
+                            }
+                            advance(&mut i, &mut line, &mut col);
+                        }
+                        b'\n' => err!(tl, tc, "unterminated string literal"),
+                        _ => {
+                            // Copy a full UTF-8 scalar.
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(
+                                std::str::from_utf8(&bytes[i..i + ch_len])
+                                    .map_err(|_| LexError {
+                                        message: "invalid UTF-8 in string".into(),
+                                        line,
+                                        col,
+                                    })?,
+                            );
+                            for _ in 0..ch_len {
+                                advance(&mut i, &mut line, &mut col);
+                            }
+                        }
+                    }
+                }
+                if !closed {
+                    err!(tl, tc, "unterminated string literal");
+                }
+                out.push(Spanned { tok: Tok::Str(s), line: tl, col: tc });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    advance(&mut i, &mut line, &mut col);
+                }
+                let text = &src[start..i];
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| LexError { message: format!("integer `{text}` out of range"), line: tl, col: tc })?;
+                out.push(Spanned { tok: Tok::Int(v), line: tl, col: tc });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' | b'$' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
+                    advance(&mut i, &mut line, &mut col);
+                }
+                out.push(Spanned { tok: Tok::Ident(src[start..i].to_owned()), line: tl, col: tc });
+            }
+            _ => {
+                let two = |a: u8, b2: u8| i + 1 < bytes.len() && a == b && bytes[i + 1] == b2;
+                let (tok, len) = if two(b'=', b'=') {
+                    (Tok::EqEq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::NotEq, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else {
+                    let t = match b {
+                        b'{' => Tok::LBrace,
+                        b'}' => Tok::RBrace,
+                        b'(' => Tok::LParen,
+                        b')' => Tok::RParen,
+                        b'[' => Tok::LBracket,
+                        b']' => Tok::RBracket,
+                        b';' => Tok::Semi,
+                        b':' => Tok::Colon,
+                        b',' => Tok::Comma,
+                        b'.' => Tok::Dot,
+                        b'=' => Tok::Assign,
+                        b'<' => Tok::Lt,
+                        b'>' => Tok::Gt,
+                        b'+' => Tok::Plus,
+                        b'-' => Tok::Minus,
+                        b'*' => Tok::Star,
+                        b'/' => Tok::Slash,
+                        b'%' => Tok::Percent,
+                        b'&' => Tok::Amp,
+                        b'|' => Tok::Pipe,
+                        b'^' => Tok::Caret,
+                        b'!' => Tok::Bang,
+                        other => err!(tl, tc, "unexpected character `{}`", other as char),
+                    };
+                    (t, 1)
+                };
+                for _ in 0..len {
+                    advance(&mut i, &mut line, &mut col);
+                }
+                out.push(Spanned { tok, line: tl, col: tc });
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line, col });
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("class Foo { }"),
+            vec![
+                Tok::Ident("class".into()),
+                Tok::Ident("Foo".into()),
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("== != <= >= < > = ! + - * / % & | ^"),
+            vec![
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Assign,
+                Tok::Bang,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Percent,
+                Tok::Amp,
+                Tok::Pipe,
+                Tok::Caret,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a // line\n b /* block\n spanning */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            toks(r#""a\nb\"c\\""#),
+            vec![Tok::Str("a\nb\"c\\".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers_and_idents_with_dollar() {
+        assert_eq!(
+            toks("x1 $tmp 42"),
+            vec![
+                Tok::Ident("x1".into()),
+                Tok::Ident("$tmp".into()),
+                Tok::Int(42),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"abc\ndef\"").is_err());
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex("/* abc").is_err());
+    }
+
+    #[test]
+    fn bad_escape_errors() {
+        assert!(lex(r#""\q""#).is_err());
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        assert!(lex("#").is_err());
+    }
+
+    #[test]
+    fn huge_integer_errors() {
+        assert!(lex("999999999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,7 @@
+//! The `.jir` textual frontend: lexer and parser.
+
+mod lexer;
+mod parser;
+
+pub use lexer::{lex, LexError, Spanned, Tok};
+pub use parser::{parse_into, parse_program, ParseError};

@@ -1,0 +1,298 @@
+//! Pretty-printer emitting the `.jir` textual format.
+//!
+//! The printer's output parses back with
+//! [`parse_program`](crate::parse_program); this round-trip is exercised by
+//! property tests. Instance field and invoke targets print against the
+//! receiver's *declared* type (the textual format names callees through the
+//! receiver), so a program whose refs name superclasses re-parses with the
+//! subclass named instead — resolution treats both identically.
+
+use crate::body::Body;
+use crate::program::{Class, Method, Program};
+use crate::stmt::{
+    BinOp, CmpOp, Cond, Const, Expr, FieldTarget, InvokeKind, LocalId, Operand, Stmt, UnOp,
+};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Renders a whole program as `.jir` source text.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for (_, class) in program.classes() {
+        print_class(program, class, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a single class.
+pub fn print_class(program: &Program, class: &Class, out: &mut String) {
+    let kw = if class.is_interface() { "interface" } else { "class" };
+    write!(out, "{kw} {}", program.str(class.name)).unwrap();
+    if class.is_interface() {
+        if !class.interfaces.is_empty() {
+            let names: Vec<_> = class.interfaces.iter().map(|s| program.str(*s)).collect();
+            write!(out, " extends {}", names.join(", ")).unwrap();
+        }
+    } else {
+        if let Some(sup) = class.superclass {
+            if program.str(sup) != "java.lang.Object" {
+                write!(out, " extends {}", program.str(sup)).unwrap();
+            }
+        }
+        if !class.interfaces.is_empty() {
+            let names: Vec<_> = class.interfaces.iter().map(|s| program.str(*s)).collect();
+            write!(out, " implements {}", names.join(", ")).unwrap();
+        }
+    }
+    out.push_str(" {\n");
+    for field in &class.fields {
+        let mods: Vec<_> = field.flags.words().collect();
+        let mods = if mods.is_empty() { String::new() } else { format!("{} ", mods.join(" ")) };
+        writeln!(
+            out,
+            "  field {mods}{} {};",
+            field.ty.display(program.interner()),
+            program.str(field.name)
+        )
+        .unwrap();
+    }
+    for method in &class.methods {
+        print_method(program, method, out);
+    }
+    out.push_str("}\n");
+}
+
+fn print_method(program: &Program, method: &Method, out: &mut String) {
+    let mods: Vec<_> = method.flags.words().collect();
+    let mods = if mods.is_empty() { String::new() } else { format!("{} ", mods.join(" ")) };
+    write!(
+        out,
+        "  method {mods}{} {}(",
+        method.ret.display(program.interner()),
+        program.str(method.name)
+    )
+    .unwrap();
+    if let Some(body) = &method.body {
+        let implicit = body.n_params - method.params.len();
+        let params: Vec<String> = body.locals[implicit..body.n_params]
+            .iter()
+            .map(|l| format!("{} {}", l.ty.display(program.interner()), program.str(l.name)))
+            .collect();
+        write!(out, "{}", params.join(", ")).unwrap();
+        out.push_str(") {\n");
+        print_body(program, body, out);
+        out.push_str("  }\n");
+    } else {
+        let params: Vec<String> = method
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("{} p{i}", t.display(program.interner())))
+            .collect();
+        write!(out, "{}", params.join(", ")).unwrap();
+        out.push_str(");\n");
+    }
+}
+
+fn print_body(program: &Program, body: &Body, out: &mut String) {
+    // Group non-parameter locals by type for compact declarations.
+    let mut by_type: Vec<(String, Vec<&str>)> = Vec::new();
+    for l in &body.locals[body.n_params..] {
+        let ty = l.ty.display(program.interner()).to_string();
+        let name = program.str(l.name);
+        match by_type.iter_mut().find(|(t, _)| *t == ty) {
+            Some((_, names)) => names.push(name),
+            None => by_type.push((ty, vec![name])),
+        }
+    }
+    for (ty, names) in &by_type {
+        writeln!(out, "    local {ty} {};", names.join(", ")).unwrap();
+    }
+    // Assign label names to branch targets.
+    let mut labels: HashMap<usize, String> = HashMap::new();
+    for s in &body.stmts {
+        if let Stmt::If { target, .. } | Stmt::Goto { target } = s {
+            let n = labels.len();
+            labels.entry(*target).or_insert_with(|| format!("L{n}"));
+        }
+    }
+    let local_name = |l: LocalId| program.str(body.locals[l.index()].name).to_owned();
+    let operand = |o: &Operand| match o {
+        Operand::Local(l) => local_name(*l),
+        Operand::Const(c) => print_const(program, c),
+    };
+    for (i, s) in body.stmts.iter().enumerate() {
+        if let Some(label) = labels.get(&i) {
+            writeln!(out, "  {label}:").unwrap();
+        }
+        let line = match s {
+            Stmt::Assign { dst, value } => {
+                format!("{} = {}", local_name(*dst), print_expr(program, body, value))
+            }
+            Stmt::FieldStore { target, value } => {
+                format!("{} = {}", print_field_target(program, body, target), operand(value))
+            }
+            Stmt::ArrayStore { array, index, value } => {
+                format!("{}[{}] = {}", local_name(*array), operand(index), operand(value))
+            }
+            Stmt::Invoke { dst, call } => {
+                let call_str = print_call(program, body, call);
+                match dst {
+                    Some(d) => format!("{} = {call_str}", local_name(*d)),
+                    None => call_str,
+                }
+            }
+            Stmt::If { cond, target } => {
+                let c = match cond {
+                    Cond::Truthy(o) => operand(o),
+                    Cond::Falsy(o) => format!("!{}", operand(o)),
+                    Cond::Cmp { op, lhs, rhs } => {
+                        format!("{} {} {}", operand(lhs), cmp_str(*op), operand(rhs))
+                    }
+                };
+                format!("if {c} goto {}", labels[target])
+            }
+            Stmt::Goto { target } => format!("goto {}", labels[target]),
+            Stmt::Return { value: None } => "return".to_owned(),
+            Stmt::Return { value: Some(v) } => format!("return {}", operand(v)),
+            Stmt::Throw { value } => format!("throw {}", operand(value)),
+            Stmt::EnterPriv => "enterpriv".to_owned(),
+            Stmt::ExitPriv => "exitpriv".to_owned(),
+            Stmt::Nop => "nop".to_owned(),
+        };
+        writeln!(out, "    {line};").unwrap();
+    }
+}
+
+fn print_const(program: &Program, c: &Const) -> String {
+    match c {
+        Const::Int(v) => v.to_string(),
+        Const::Bool(b) => b.to_string(),
+        Const::Str(s) => format!("\"{}\"", escape(program.str(*s))),
+        Const::Null => "null".to_owned(),
+        Const::Class(s) => format!("{}.class", program.str(*s)),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            '\t' => vec!['\\', 't'],
+            other => vec![other],
+        })
+        .collect()
+}
+
+fn print_field_target(program: &Program, body: &Body, t: &FieldTarget) -> String {
+    match t {
+        FieldTarget::Instance(recv, f) => {
+            format!(
+                "{}.{}",
+                program.str(body.locals[recv.index()].name),
+                program.str(f.name)
+            )
+        }
+        FieldTarget::Static(f) => {
+            format!("{}.{}", program.str(f.class), program.str(f.name))
+        }
+    }
+}
+
+fn print_call(program: &Program, body: &Body, call: &crate::stmt::Call) -> String {
+    let args: Vec<String> = call
+        .args
+        .iter()
+        .map(|o| match o {
+            Operand::Local(l) => program.str(body.locals[l.index()].name).to_owned(),
+            Operand::Const(c) => print_const(program, c),
+        })
+        .collect();
+    let args = args.join(", ");
+    match call.kind {
+        InvokeKind::Static => format!(
+            "staticinvoke {}.{}({args})",
+            program.str(call.callee.class),
+            program.str(call.callee.name)
+        ),
+        kind => {
+            let kw = match kind {
+                InvokeKind::Virtual => "virtualinvoke",
+                InvokeKind::Special => "specialinvoke",
+                InvokeKind::Interface => "interfaceinvoke",
+                InvokeKind::Static => unreachable!(),
+            };
+            let recv = call.receiver.expect("instance call without receiver");
+            format!(
+                "{kw} {}.{}({args})",
+                program.str(body.locals[recv.index()].name),
+                program.str(call.callee.name)
+            )
+        }
+    }
+}
+
+fn print_expr(program: &Program, body: &Body, e: &Expr) -> String {
+    let operand = |o: &Operand| match o {
+        Operand::Local(l) => program.str(body.locals[l.index()].name).to_owned(),
+        Operand::Const(c) => print_const(program, c),
+    };
+    match e {
+        Expr::Operand(o) => operand(o),
+        Expr::Unary { op, operand: o } => {
+            let sym = match op {
+                UnOp::Not => "!",
+                UnOp::Neg => "-",
+            };
+            format!("{sym}{}", operand(o))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            format!("{} {} {}", operand(lhs), bin_str(*op), operand(rhs))
+        }
+        Expr::FieldLoad(t) => print_field_target(program, body, t),
+        Expr::New(c) => format!("new {}", program.str(*c)),
+        Expr::NewArray { elem, len } => {
+            format!("newarray {} [{}]", elem.display(program.interner()), operand(len))
+        }
+        Expr::ArrayLoad { array, index } => {
+            format!(
+                "{}[{}]",
+                program.str(body.locals[array.index()].name),
+                operand(index)
+            )
+        }
+        Expr::Cast { ty, operand: o } => {
+            format!("({}) {}", ty.display(program.interner()), operand(o))
+        }
+        Expr::InstanceOf { ty, operand: o } => {
+            format!("{} instanceof {}", operand(o), ty.display(program.interner()))
+        }
+    }
+}
+
+fn cmp_str(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "==",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+fn bin_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+    }
+}

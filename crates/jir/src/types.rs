@@ -1,0 +1,127 @@
+//! The JIR type system: Java-like primitive, reference, and array types.
+
+use crate::intern::{Interner, Symbol};
+use std::fmt;
+
+/// A JIR type.
+///
+/// JIR mirrors the JVM type system at the granularity the security analysis
+/// needs: primitives, class references (interned names), and arrays.
+///
+/// # Examples
+///
+/// ```
+/// use spo_jir::{Interner, Type};
+///
+/// let mut i = Interner::new();
+/// let obj = Type::Ref(i.intern("java.lang.Object"));
+/// assert!(obj.is_ref());
+/// assert_eq!(Type::Int.display(&i).to_string(), "int");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Type {
+    /// The `void` return type.
+    Void,
+    /// The `boolean` primitive.
+    Bool,
+    /// 32-bit (and smaller) integers; JIR folds `byte`/`short`/`char`/`int`.
+    Int,
+    /// The `long` primitive.
+    Long,
+    /// The `float` primitive.
+    Float,
+    /// The `double` primitive.
+    Double,
+    /// A class or interface reference, by interned fully-qualified name.
+    Ref(Symbol),
+    /// An array of an element type.
+    Array(Box<Type>),
+}
+
+impl Type {
+    /// Returns `true` for class/interface references and arrays.
+    pub fn is_ref(&self) -> bool {
+        matches!(self, Type::Ref(_) | Type::Array(_))
+    }
+
+    /// Returns `true` for primitive value types (not `void`).
+    pub fn is_primitive(&self) -> bool {
+        matches!(
+            self,
+            Type::Bool | Type::Int | Type::Long | Type::Float | Type::Double
+        )
+    }
+
+    /// The class name if this is a direct class reference.
+    pub fn class_name(&self) -> Option<Symbol> {
+        match self {
+            Type::Ref(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// For arrays, the ultimate element type; otherwise `self`.
+    pub fn base_element(&self) -> &Type {
+        match self {
+            Type::Array(inner) => inner.base_element(),
+            other => other,
+        }
+    }
+
+    /// Renders the type against an interner (needed to print `Ref` names).
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> TypeDisplay<'a> {
+        TypeDisplay { ty: self, interner }
+    }
+}
+
+/// Helper returned by [`Type::display`]; implements [`fmt::Display`].
+pub struct TypeDisplay<'a> {
+    ty: &'a Type,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for TypeDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ty {
+            Type::Void => f.write_str("void"),
+            Type::Bool => f.write_str("bool"),
+            Type::Int => f.write_str("int"),
+            Type::Long => f.write_str("long"),
+            Type::Float => f.write_str("float"),
+            Type::Double => f.write_str("double"),
+            Type::Ref(s) => f.write_str(self.interner.resolve(*s)),
+            Type::Array(inner) => write!(f, "{}[]", inner.display(self.interner)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_predicates() {
+        assert!(Type::Int.is_primitive());
+        assert!(!Type::Void.is_primitive());
+        assert!(!Type::Int.is_ref());
+    }
+
+    #[test]
+    fn array_display_and_base() {
+        let mut i = Interner::new();
+        let s = i.intern("java.lang.String");
+        let arr = Type::Array(Box::new(Type::Array(Box::new(Type::Ref(s)))));
+        assert_eq!(arr.display(&i).to_string(), "java.lang.String[][]");
+        assert_eq!(arr.base_element(), &Type::Ref(s));
+        assert!(arr.is_ref());
+    }
+
+    #[test]
+    fn class_name_only_for_refs() {
+        let mut i = Interner::new();
+        let s = i.intern("C");
+        assert_eq!(Type::Ref(s).class_name(), Some(s));
+        assert_eq!(Type::Int.class_name(), None);
+        assert_eq!(Type::Array(Box::new(Type::Ref(s))).class_name(), None);
+    }
+}

@@ -1,0 +1,346 @@
+//! Integration tests for the `.jir` parser against realistic sources.
+
+use spo_jir::{
+    parse_program, Cond, Const, Expr, FieldTarget, InvokeKind, MethodFlags, Operand, Stmt, Type,
+};
+
+const DATAGRAM_SOCKET: &str = r#"
+// Transliteration of the paper's Figure 1(a): JDK DatagramSocket.connect.
+class java.net.DatagramSocket {
+  field private java.net.InetAddress connectedAddress;
+  field private int connectedPort;
+  field private java.net.DatagramSocketImpl impl;
+
+  method public synchronized void connect(java.net.InetAddress address, int port) {
+    local bool multicast;
+    local java.lang.SecurityManager sm;
+    local java.net.DatagramSocketImpl i;
+    local java.lang.String host;
+    multicast = virtualinvoke address.isMulticastAddress();
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto connectit;
+    if multicast goto mcast;
+    host = virtualinvoke address.getHostAddress();
+    virtualinvoke sm.checkConnect(host, port);
+    virtualinvoke sm.checkAccept(host, port);
+    goto connectit;
+  mcast:
+    virtualinvoke sm.checkMulticast(address);
+  connectit:
+    i = this.impl;
+    virtualinvoke i.connect(address, port);
+    this.connectedAddress = address;
+    this.connectedPort = port;
+    return;
+  }
+}
+"#;
+
+#[test]
+fn parses_datagram_socket_connect() {
+    let p = parse_program(DATAGRAM_SOCKET).unwrap();
+    let c = p.class_by_str("java.net.DatagramSocket").unwrap();
+    let class = p.class(c);
+    assert_eq!(class.fields.len(), 3);
+    assert_eq!(class.methods.len(), 1);
+    let m = &class.methods[0];
+    assert!(m.flags.contains(MethodFlags::PUBLIC));
+    assert!(m.flags.contains(MethodFlags::SYNCHRONIZED));
+    assert_eq!(m.params, vec![Type::Ref(p.interner().get("java.net.InetAddress").unwrap()), Type::Int]);
+    let body = m.body.as_ref().unwrap();
+    assert!(body.validate().is_ok());
+    // `this` + 2 params.
+    assert_eq!(body.n_params, 3);
+    // The two checkConnect/checkAccept calls exist on the non-multicast arm.
+    let check_calls: Vec<_> = body
+        .stmts
+        .iter()
+        .filter_map(|s| s.as_call())
+        .filter(|call| p.str(call.callee.class) == "java.lang.SecurityManager")
+        .map(|call| p.str(call.callee.name).to_owned())
+        .collect();
+    assert_eq!(check_calls, vec!["checkConnect", "checkAccept", "checkMulticast"]);
+}
+
+#[test]
+fn parses_native_and_abstract_methods() {
+    let src = r#"
+class java.lang.Runtime {
+  method private native void halt0(int status);
+  method public abstract int size();
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let c = p.class_by_str("java.lang.Runtime").unwrap();
+    let methods = &p.class(c).methods;
+    assert!(methods[0].is_native());
+    assert!(methods[0].body.is_none());
+    assert!(methods[1].flags.contains(MethodFlags::ABSTRACT));
+}
+
+#[test]
+fn rejects_bodyless_non_native() {
+    let src = "class C { method public void m(); }";
+    assert!(parse_program(src).is_err());
+}
+
+#[test]
+fn parses_interface() {
+    let src = r#"
+interface java.util.List extends java.util.Collection {
+  method public abstract int size();
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let c = p.class_by_str("java.util.List").unwrap();
+    let class = p.class(c);
+    assert!(class.is_interface());
+    assert!(class.superclass.is_none());
+    assert_eq!(class.interfaces.len(), 1);
+}
+
+#[test]
+fn parses_static_field_access() {
+    let src = r#"
+class C {
+  method public static void m() {
+    local java.lang.SecurityManager sm;
+    sm = java.lang.System.security;
+    java.lang.System.security = sm;
+    return;
+  }
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let c = p.class_by_str("C").unwrap();
+    let body = p.class(c).methods[0].body.as_ref().unwrap();
+    assert!(matches!(
+        &body.stmts[0],
+        Stmt::Assign { value: Expr::FieldLoad(FieldTarget::Static(f)), .. }
+            if p.str(f.class) == "java.lang.System" && p.str(f.name) == "security"
+    ));
+    assert!(matches!(
+        &body.stmts[1],
+        Stmt::FieldStore { target: FieldTarget::Static(_), .. }
+    ));
+}
+
+#[test]
+fn parses_privileged_block() {
+    let src = r#"
+class C {
+  method public void m() {
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    privileged {
+      virtualinvoke sm.checkRead("f");
+    }
+    return;
+  }
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let c = p.class_by_str("C").unwrap();
+    let body = p.class(c).methods[0].body.as_ref().unwrap();
+    assert!(matches!(body.stmts[1], Stmt::EnterPriv));
+    assert!(matches!(body.stmts[3], Stmt::ExitPriv));
+}
+
+#[test]
+fn parses_operand_forms() {
+    let src = r#"
+class C {
+  method public static int m(int a) {
+    local int x;
+    local bool b;
+    local java.lang.String s;
+    x = -5;
+    x = a + 3;
+    x = a % 2;
+    b = !b;
+    s = "hello\nworld";
+    x = (int) a;
+    b = s instanceof java.lang.String;
+    if a >= 10 goto big;
+    return x;
+  big:
+    return a;
+  }
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let c = p.class_by_str("C").unwrap();
+    let body = p.class(c).methods[0].body.as_ref().unwrap();
+    assert!(matches!(
+        body.stmts[0],
+        Stmt::Assign { value: Expr::Operand(Operand::Const(Const::Int(-5))), .. }
+    ));
+    assert!(matches!(body.stmts[7], Stmt::If { cond: Cond::Cmp { .. }, .. }));
+}
+
+#[test]
+fn parses_arrays() {
+    let src = r#"
+class C {
+  method public static int m() {
+    local int[] arr;
+    local int x;
+    arr = newarray int [10];
+    arr[0] = 42;
+    x = arr[0];
+    return x;
+  }
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let c = p.class_by_str("C").unwrap();
+    let body = p.class(c).methods[0].body.as_ref().unwrap();
+    assert!(matches!(body.stmts[0], Stmt::Assign { value: Expr::NewArray { .. }, .. }));
+    assert!(matches!(body.stmts[1], Stmt::ArrayStore { .. }));
+    assert!(matches!(body.stmts[2], Stmt::Assign { value: Expr::ArrayLoad { .. }, .. }));
+}
+
+#[test]
+fn parses_new_and_special_invoke() {
+    let src = r#"
+class C {
+  method public static C make() {
+    local C c;
+    c = new C;
+    specialinvoke c.init();
+    return c;
+  }
+  method public void init() {
+    return;
+  }
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let c = p.class_by_str("C").unwrap();
+    let body = p.class(c).methods[0].body.as_ref().unwrap();
+    assert!(matches!(&body.stmts[0], Stmt::Assign { value: Expr::New(_), .. }));
+    assert!(matches!(
+        &body.stmts[1],
+        Stmt::Invoke { call, .. } if call.kind == InvokeKind::Special
+    ));
+}
+
+#[test]
+fn error_on_unknown_local() {
+    let src = "class C { method public static void m() { x = 1; return; } }";
+    let err = parse_program(src).unwrap_err();
+    assert!(err.message.contains("unknown local"), "{}", err.message);
+}
+
+#[test]
+fn error_on_undefined_label() {
+    let src = "class C { method public static void m() { goto nowhere; } }";
+    let err = parse_program(src).unwrap_err();
+    assert!(err.message.contains("undefined label"), "{}", err.message);
+}
+
+#[test]
+fn error_on_duplicate_label() {
+    let src = r#"
+class C {
+  method public static void m() {
+  a:
+    nop;
+  a:
+    return;
+  }
+}
+"#;
+    let err = parse_program(src).unwrap_err();
+    assert!(err.message.contains("bound twice"), "{}", err.message);
+}
+
+#[test]
+fn error_on_duplicate_local() {
+    let src = r#"
+class C {
+  method public static void m() {
+    local int x;
+    local bool x;
+    return;
+  }
+}
+"#;
+    assert!(parse_program(src).is_err());
+}
+
+#[test]
+fn error_on_duplicate_class() {
+    let src = "class C { } class C { }";
+    let err = parse_program(src).unwrap_err();
+    assert!(err.message.contains("duplicate class"), "{}", err.message);
+}
+
+#[test]
+fn error_positions_are_useful() {
+    let src = "class C {\n  method public static void m() {\n    ??\n  }\n}";
+    let err = parse_program(src).unwrap_err();
+    assert_eq!(err.line, 3);
+}
+
+#[test]
+fn implicit_void_return_added() {
+    let src = r#"
+class C {
+  method public static void m() {
+    nop;
+  }
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let c = p.class_by_str("C").unwrap();
+    let body = p.class(c).methods[0].body.as_ref().unwrap();
+    assert!(matches!(body.stmts.last(), Some(Stmt::Return { value: None })));
+}
+
+#[test]
+fn label_at_end_of_body() {
+    let src = r#"
+class C {
+  method public static void m(bool b) {
+    if b goto end;
+    nop;
+  end:
+  }
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let c = p.class_by_str("C").unwrap();
+    let body = p.class(c).methods[0].body.as_ref().unwrap();
+    assert!(body.validate().is_ok());
+}
+
+#[test]
+fn class_literal_operand() {
+    let src = r#"
+class C {
+  method public static void m() {
+    local java.lang.Class k;
+    k = java.lang.String.class;
+    return;
+  }
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let c = p.class_by_str("C").unwrap();
+    let body = p.class(c).methods[0].body.as_ref().unwrap();
+    assert!(matches!(
+        body.stmts[0],
+        Stmt::Assign { value: Expr::Operand(Operand::Const(Const::Class(_))), .. }
+    ));
+}
+
+#[test]
+fn parse_into_layers_classes() {
+    let mut p = parse_program("class A { }").unwrap();
+    spo_jir::parse_into("class B extends A { }", &mut p).unwrap();
+    assert_eq!(p.class_count(), 2);
+    let b = p.class_by_str("B").unwrap();
+    let sup = p.class(b).superclass.unwrap();
+    assert_eq!(p.str(sup), "A");
+}

@@ -1,0 +1,173 @@
+//! Direct assertions on the printer's concrete output, complementing the
+//! round-trip property tests.
+
+use spo_jir::{parse_program, print_program};
+
+fn reprint(src: &str) -> String {
+    print_program(&parse_program(src).unwrap())
+}
+
+#[test]
+fn prints_class_header_with_extends_and_implements() {
+    let out = reprint(
+        "interface I { } class Base { } class C extends Base implements I { }",
+    );
+    assert!(out.contains("interface I {"));
+    assert!(out.contains("class C extends Base implements I {"));
+    // Default superclass is elided.
+    assert!(out.contains("class Base {\n"));
+}
+
+#[test]
+fn prints_fields_with_modifiers() {
+    let out = reprint("class C { field private static final int counter; }");
+    assert!(out.contains("field private static final int counter;"), "{out}");
+}
+
+#[test]
+fn prints_native_method_signature() {
+    let out = reprint("class C { method public native int read0(java.lang.String f, int n); }");
+    assert!(
+        out.contains("method public native int read0(java.lang.String p0, int p1);"),
+        "{out}"
+    );
+}
+
+#[test]
+fn prints_labels_only_at_branch_targets() {
+    let out = reprint(
+        "class C { method public static void m(bool c) {
+           if c goto end;
+           nop;
+         end:
+           return;
+         } }",
+    );
+    assert!(out.contains("if c goto L0;"), "{out}");
+    assert!(out.contains("L0:"), "{out}");
+    // Exactly one label emitted.
+    assert_eq!(out.matches("L0:").count(), 1);
+    assert!(!out.contains("L1"));
+}
+
+#[test]
+fn prints_all_invoke_kinds() {
+    let out = reprint(
+        "interface I { method public abstract void run(); }
+         class C implements I {
+           method public void run() { return; }
+           method public static void m(C c, I i) {
+             local int r;
+             virtualinvoke c.run();
+             interfaceinvoke i.run();
+             specialinvoke c.run();
+             staticinvoke C.m(c, i);
+             return;
+           }
+         }",
+    );
+    assert!(out.contains("virtualinvoke c.run();"));
+    assert!(out.contains("interfaceinvoke i.run();"));
+    assert!(out.contains("specialinvoke c.run();"));
+    assert!(out.contains("staticinvoke C.m(c, i);"));
+}
+
+#[test]
+fn prints_operand_and_expr_forms() {
+    let out = reprint(
+        r#"class C {
+           field static int g;
+           method public static int m(int a, C o) {
+             local int x;
+             local int[] arr;
+             local bool b;
+             local java.lang.String s;
+             x = -7;
+             x = a + 3;
+             x = a % 2;
+             b = !b;
+             s = "hi\n";
+             x = (int) a;
+             b = s instanceof java.lang.String;
+             C.g = x;
+             x = C.g;
+             arr = newarray int [4];
+             arr[0] = x;
+             x = arr[0];
+             return x;
+           }
+         }"#,
+    );
+    for needle in [
+        "x = -7;",
+        "x = a + 3;",
+        "x = a % 2;",
+        "b = !b;",
+        "s = \"hi\\n\";",
+        "x = (int) a;",
+        "b = s instanceof java.lang.String;",
+        "C.g = x;",
+        "x = C.g;",
+        "arr = newarray int [4];",
+        "arr[0] = x;",
+        "x = arr[0];",
+        "return x;",
+    ] {
+        assert!(out.contains(needle), "missing `{needle}` in:\n{out}");
+    }
+}
+
+#[test]
+fn prints_privileged_as_flat_markers() {
+    let out = reprint(
+        "class C { method public static void m() {
+           privileged {
+             nop;
+           }
+           return;
+         } }",
+    );
+    assert!(out.contains("enterpriv;"), "{out}");
+    assert!(out.contains("exitpriv;"), "{out}");
+}
+
+#[test]
+fn groups_locals_by_type() {
+    let out = reprint(
+        "class C { method public static void m() {
+           local int a;
+           local int b;
+           local bool c;
+           return;
+         } }",
+    );
+    assert!(out.contains("local int a, b;"), "{out}");
+    assert!(out.contains("local bool c;"), "{out}");
+}
+
+#[test]
+fn string_escapes_survive_printing() {
+    let out = reprint(r#"class C { method public static void m(java.lang.String s) {
+        local java.lang.String t;
+        t = "a\"b\\c\td";
+        return;
+    } }"#);
+    assert!(out.contains(r#"t = "a\"b\\c\td";"#), "{out}");
+}
+
+#[test]
+fn this_receiver_prints_by_name() {
+    let out = reprint(
+        "class C {
+           field private int f;
+           method public int m() {
+             local int v;
+             v = this.f;
+             this.f = v;
+             return v;
+           }
+         }",
+    );
+    assert!(out.contains("v = this.f;"));
+    assert!(out.contains("this.f = v;"));
+}

@@ -1,0 +1,43 @@
+//! Robustness: the lexer and parser must never panic, on any input.
+
+use proptest::prelude::*;
+use spo_jir::{lex, parse_program};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary unicode strings: lexing and parsing return Ok or Err,
+    /// never panic.
+    #[test]
+    fn parser_total_on_arbitrary_strings(s in "\\PC{0,200}") {
+        let _ = lex(&s);
+        let _ = parse_program(&s);
+    }
+
+    /// Near-miss inputs: plausible token soup assembled from the grammar's
+    /// own vocabulary stresses deeper parser paths than pure noise.
+    #[test]
+    fn parser_total_on_token_soup(words in proptest::collection::vec(
+        prop_oneof![
+            Just("class"), Just("interface"), Just("method"), Just("field"),
+            Just("local"), Just("if"), Just("goto"), Just("return"),
+            Just("throw"), Just("new"), Just("privileged"), Just("public"),
+            Just("static"), Just("native"), Just("virtualinvoke"),
+            Just("staticinvoke"), Just("int"), Just("bool"), Just("void"),
+            Just("{"), Just("}"), Just("("), Just(")"), Just(";"), Just(":"),
+            Just(","), Just("."), Just("="), Just("=="), Just("x"), Just("C"),
+            Just("a.b.C"), Just("42"), Just("null"), Just("true"),
+        ],
+        0..60,
+    )) {
+        let src = words.join(" ");
+        let _ = parse_program(&src);
+    }
+
+    /// Valid programs with trailing garbage fail cleanly.
+    #[test]
+    fn trailing_garbage_is_an_error_not_a_panic(tail in "\\PC{0,40}") {
+        let src = format!("class C {{ }} {tail}");
+        let _ = parse_program(&src);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests: printer output re-parses, and print∘parse is a fixpoint.
+
+use proptest::prelude::*;
+use spo_jir::{
+    parse_program, print_program, Const, MethodFlags, Operand, ProgramBuilder, Type,
+};
+
+/// A miniature statement language used to drive the builder randomly while
+/// guaranteeing structurally valid bodies.
+#[derive(Clone, Debug)]
+enum GenStmt {
+    AssignInt(u8, i64),
+    AssignBool(u8, bool),
+    AssignStr(u8, String),
+    Add(u8, u8, i64),
+    Copy(u8, u8),
+    Nop,
+    CallStatic { class: u8, method: u8, args: Vec<i64>, capture: Option<u8> },
+    Diamond { cond_local: u8, then_len: u8, else_len: u8 },
+    Privileged(u8),
+    SecurityCheck(u8),
+    StoreStaticField { class: u8, field: u8, src: u8 },
+}
+
+const CHECKS: &[&str] = &["checkRead", "checkWrite", "checkConnect", "checkExit"];
+
+fn gen_stmt() -> impl Strategy<Value = GenStmt> {
+    prop_oneof![
+        (0..4u8, any::<i64>()).prop_map(|(l, v)| GenStmt::AssignInt(l, v)),
+        (0..4u8, any::<bool>()).prop_map(|(l, v)| GenStmt::AssignBool(l, v)),
+        (0..4u8, "[a-z 0-9\\\\\"\n\t]{0,12}").prop_map(|(l, s)| GenStmt::AssignStr(l, s)),
+        (0..4u8, 0..4u8, -100..100i64).prop_map(|(d, s, v)| GenStmt::Add(d, s, v)),
+        (0..4u8, 0..4u8).prop_map(|(d, s)| GenStmt::Copy(d, s)),
+        Just(GenStmt::Nop),
+        (0..3u8, 0..3u8, proptest::collection::vec(-5..5i64, 0..3), proptest::option::of(0..4u8))
+            .prop_map(|(class, method, args, capture)| GenStmt::CallStatic {
+                class,
+                method,
+                args,
+                capture
+            }),
+        (0..4u8, 1..3u8, 1..3u8).prop_map(|(c, t, e)| GenStmt::Diamond {
+            cond_local: c,
+            then_len: t,
+            else_len: e
+        }),
+        (0..4u8).prop_map(GenStmt::Privileged),
+        (0..4u8).prop_map(|i| GenStmt::SecurityCheck(i % CHECKS.len() as u8)),
+        (0..3u8, 0..3u8, 0..4u8)
+            .prop_map(|(class, field, src)| GenStmt::StoreStaticField { class, field, src }),
+    ]
+}
+
+fn gen_method() -> impl Strategy<Value = Vec<GenStmt>> {
+    proptest::collection::vec(gen_stmt(), 0..12)
+}
+
+fn gen_program() -> impl Strategy<Value = Vec<Vec<Vec<GenStmt>>>> {
+    // classes -> methods -> stmts
+    proptest::collection::vec(proptest::collection::vec(gen_method(), 1..3), 1..4)
+}
+
+fn build(spec: &[Vec<Vec<GenStmt>>]) -> String {
+    let mut pb = ProgramBuilder::new();
+    for (ci, methods) in spec.iter().enumerate() {
+        let mut cb = pb.class(&format!("gen.C{ci}"));
+        // Static int fields f0..f2 so StoreStaticField always refers to
+        // something printable.
+        for f in 0..3 {
+            cb.field(&format!("f{f}"), Type::Int, spo_jir::FieldFlags::STATIC);
+        }
+        for (mi, stmts) in methods.iter().enumerate() {
+            let mut mb = cb.method(
+                &format!("m{mi}"),
+                MethodFlags::PUBLIC | MethodFlags::STATIC,
+                Type::Void,
+            );
+            let ints: Vec<_> = (0..4).map(|i| mb.local(&format!("x{i}"), Type::Int)).collect();
+            let bools: Vec<_> = (0..4).map(|i| mb.local(&format!("b{i}"), Type::Bool)).collect();
+            let strs: Vec<_> = {
+                let string_ty = mb.ref_ty("java.lang.String");
+                (0..4).map(|i| mb.local(&format!("s{i}"), string_ty.clone())).collect()
+            };
+            for s in stmts {
+                match s {
+                    GenStmt::AssignInt(l, v) => {
+                        mb.assign_const(ints[*l as usize], Const::Int(*v));
+                    }
+                    GenStmt::AssignBool(l, v) => {
+                        mb.assign_const(bools[*l as usize], Const::Bool(*v));
+                    }
+                    GenStmt::AssignStr(l, v) => {
+                        let sym = mb.intern(v);
+                        mb.assign_const(strs[*l as usize], Const::Str(sym));
+                    }
+                    GenStmt::Add(d, s2, v) => {
+                        mb.assign(
+                            ints[*d as usize],
+                            spo_jir::Expr::Binary {
+                                op: spo_jir::BinOp::Add,
+                                lhs: ints[*s2 as usize].into(),
+                                rhs: Const::Int(*v).into(),
+                            },
+                        );
+                    }
+                    GenStmt::Copy(d, s2) => mb.copy(ints[*d as usize], ints[*s2 as usize]),
+                    GenStmt::Nop => mb.push(spo_jir::Stmt::Nop),
+                    GenStmt::CallStatic { class, method, args, capture } => {
+                        let argv: Vec<Operand> =
+                            args.iter().map(|v| Const::Int(*v).into()).collect();
+                        mb.invoke_static(
+                            capture.map(|c| ints[c as usize]),
+                            &format!("gen.C{}", *class as usize % spec.len()),
+                            &format!("m{method}"),
+                            argv,
+                        );
+                    }
+                    GenStmt::Diamond { cond_local, then_len, else_len } => {
+                        let then_l = mb.fresh_label();
+                        let join = mb.fresh_label();
+                        mb.if_truthy(bools[*cond_local as usize], then_l);
+                        for _ in 0..*else_len {
+                            mb.assign_const(ints[0], Const::Int(0));
+                        }
+                        mb.goto(join);
+                        mb.bind(then_l);
+                        for _ in 0..*then_len {
+                            mb.assign_const(ints[1], Const::Int(1));
+                        }
+                        mb.bind(join);
+                        mb.push(spo_jir::Stmt::Nop);
+                    }
+                    GenStmt::Privileged(l) => {
+                        let dst = ints[*l as usize];
+                        mb.privileged(|mb| {
+                            mb.assign_const(dst, Const::Int(7));
+                        });
+                    }
+                    GenStmt::SecurityCheck(i) => {
+                        mb.security_check(CHECKS[*i as usize], vec![Const::Int(0).into()]);
+                    }
+                    GenStmt::StoreStaticField { class, field, src } => {
+                        mb.store_static(
+                            &format!("gen.C{}", *class as usize % spec.len()),
+                            &format!("f{field}"),
+                            ints[*src as usize],
+                        );
+                    }
+                }
+            }
+            mb.ret();
+            mb.finish();
+        }
+        cb.finish().unwrap();
+    }
+    print_program(&pb.finish())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Printed programs must re-parse, and printing the re-parsed program
+    /// must reproduce the exact same text (print∘parse fixpoint).
+    #[test]
+    fn print_parse_print_fixpoint(spec in gen_program()) {
+        let text1 = build(&spec);
+        let program2 = parse_program(&text1)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- source ---\n{text1}"));
+        let text2 = print_program(&program2);
+        prop_assert_eq!(&text1, &text2, "print-parse-print not a fixpoint");
+    }
+
+    /// Reparsed bodies keep the same statement counts and validate.
+    #[test]
+    fn reparsed_bodies_validate(spec in gen_program()) {
+        let text = build(&spec);
+        let program = parse_program(&text).unwrap();
+        for (_, m) in program.all_methods() {
+            if let Some(body) = &m.body {
+                prop_assert!(body.validate().is_ok());
+                // Every body's CFG must have a reachable exit.
+                let cfg = body.cfg();
+                prop_assert!(cfg.reverse_post_order().contains(&0));
+            }
+        }
+    }
+}

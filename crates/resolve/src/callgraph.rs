@@ -1,0 +1,217 @@
+//! API entry-point enumeration and on-the-fly call graph construction.
+
+use crate::hierarchy::Hierarchy;
+use crate::resolver::{Resolution, ResolutionStats, Resolver};
+use spo_jir::{MethodFlags, MethodId, Program, Stmt};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Enumerates the API entry points of a program: all `public` and
+/// `protected` non-abstract methods. The paper analyzes protected methods
+/// too because clients can reach them by subclassing, making them
+/// "unintended paths into the API".
+pub fn entry_points(program: &Program) -> Vec<MethodId> {
+    program
+        .all_methods()
+        .filter(|(_, m)| {
+            m.flags.is_entry_visible() && !m.flags.contains(MethodFlags::ABSTRACT)
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// A call graph rooted at a set of entry points.
+///
+/// Built on the fly, as the paper does (Soot's whole-program call graph
+/// assumes a single `main`; APIs have thousands of roots). Edges exist only
+/// for call sites that resolve to a unique target.
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    roots: Vec<MethodId>,
+    /// Unique-target callees per reachable method.
+    edges: BTreeMap<MethodId, Vec<MethodId>>,
+    stats: ResolutionStats,
+}
+
+impl CallGraph {
+    /// Builds the call graph reachable from `roots`.
+    pub fn build(hierarchy: &Hierarchy<'_>, roots: Vec<MethodId>) -> Self {
+        let program = hierarchy.program();
+        let resolver = Resolver::new(hierarchy);
+        let mut stats = ResolutionStats::default();
+        let mut edges: BTreeMap<MethodId, Vec<MethodId>> = BTreeMap::new();
+        let mut queue: VecDeque<MethodId> = roots.iter().copied().collect();
+        let mut seen: BTreeSet<MethodId> = queue.iter().copied().collect();
+        while let Some(m) = queue.pop_front() {
+            let mut callees = Vec::new();
+            if let Some(body) = &program.method(m).body {
+                for stmt in &body.stmts {
+                    if let Stmt::Invoke { call, .. } = stmt {
+                        let r = resolver.resolve(call);
+                        stats.record(&r);
+                        if let Resolution::Unique(target) = r {
+                            callees.push(target);
+                            if seen.insert(target) {
+                                queue.push_back(target);
+                            }
+                        }
+                    }
+                }
+            }
+            edges.insert(m, callees);
+        }
+        CallGraph { roots, edges, stats }
+    }
+
+    /// Builds the call graph rooted at all API entry points of the program.
+    pub fn from_entry_points(hierarchy: &Hierarchy<'_>) -> Self {
+        let roots = entry_points(hierarchy.program());
+        Self::build(hierarchy, roots)
+    }
+
+    /// The root methods.
+    pub fn roots(&self) -> &[MethodId] {
+        &self.roots
+    }
+
+    /// Unique-target callees of `m` (empty if `m` is unreachable or leaf).
+    pub fn callees(&self, m: MethodId) -> &[MethodId] {
+        self.edges.get(&m).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All methods reachable from the roots (including the roots).
+    pub fn reachable(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.edges.keys().copied()
+    }
+
+    /// Number of reachable methods.
+    pub fn reachable_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Resolution precision counters accumulated during construction.
+    pub fn stats(&self) -> ResolutionStats {
+        self.stats
+    }
+
+    /// Methods transitively reachable from a single root, including itself —
+    /// the per-entry-point subgraph the security analysis walks.
+    pub fn reachable_from(&self, root: MethodId) -> Vec<MethodId> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![root];
+        while let Some(m) = stack.pop() {
+            if seen.insert(m) {
+                stack.extend(self.callees(m).iter().copied());
+            }
+        }
+        seen.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spo_jir::parse_program;
+
+    fn prog() -> Program {
+        parse_program(
+            r#"
+class A {
+  method public void entry() {
+    local A a;
+    a = this;
+    virtualinvoke a.helper();
+    return;
+  }
+  method private void helper() {
+    staticinvoke B.leaf();
+    return;
+  }
+  method protected void prot() { return; }
+  method private void unreachable_private() { return; }
+  method public abstract int absent();
+}
+class B {
+  method public static void leaf() {
+    staticinvoke external.Sys.call();
+    return;
+  }
+}
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn entry_points_are_public_and_protected_non_abstract() {
+        let p = prog();
+        let eps = entry_points(&p);
+        let names: Vec<String> = eps.iter().map(|&m| p.method_name(m)).collect();
+        assert!(names.contains(&"A.entry".to_owned()));
+        assert!(names.contains(&"A.prot".to_owned()));
+        assert!(names.contains(&"B.leaf".to_owned()));
+        assert!(!names.contains(&"A.helper".to_owned()));
+        assert!(!names.contains(&"A.absent".to_owned()));
+        assert!(!names.contains(&"A.unreachable_private".to_owned()));
+    }
+
+    #[test]
+    fn call_graph_reaches_through_private_helpers() {
+        let p = prog();
+        let h = Hierarchy::new(&p);
+        let cg = CallGraph::from_entry_points(&h);
+        let helper_reached = cg
+            .reachable()
+            .any(|m| p.method_name(m) == "A.helper");
+        assert!(helper_reached);
+        // The external call resolves to Unknown but doesn't break anything.
+        assert_eq!(cg.stats().unknown, 1);
+        assert!(cg.stats().unique >= 2);
+    }
+
+    #[test]
+    fn reachable_from_single_root() {
+        let p = prog();
+        let h = Hierarchy::new(&p);
+        let cg = CallGraph::from_entry_points(&h);
+        let entry = cg
+            .roots()
+            .iter()
+            .copied()
+            .find(|&m| p.method_name(m) == "A.entry")
+            .unwrap();
+        let sub = cg.reachable_from(entry);
+        let names: Vec<String> = sub.iter().map(|&m| p.method_name(m)).collect();
+        assert!(names.contains(&"A.entry".to_owned()));
+        assert!(names.contains(&"A.helper".to_owned()));
+        assert!(names.contains(&"B.leaf".to_owned()));
+        assert!(!names.contains(&"A.prot".to_owned()));
+    }
+
+    #[test]
+    fn recursive_graph_terminates() {
+        let p = parse_program(
+            r#"
+class R {
+  method public void ping() {
+    local R r;
+    r = this;
+    virtualinvoke r.pong();
+    return;
+  }
+  method public void pong() {
+    local R r;
+    r = this;
+    virtualinvoke r.ping();
+    return;
+  }
+}
+"#,
+        )
+        .unwrap();
+        let h = Hierarchy::new(&p);
+        let cg = CallGraph::from_entry_points(&h);
+        assert_eq!(cg.reachable_count(), 2);
+        let ping = cg.roots()[0];
+        assert_eq!(cg.reachable_from(ping).len(), 2);
+    }
+}

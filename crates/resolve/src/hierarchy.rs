@@ -1,0 +1,257 @@
+//! Class hierarchy construction and subtype queries.
+
+use spo_jir::{ClassFlags, ClassId, MethodId, Program, Symbol};
+
+/// The class/interface hierarchy of a [`Program`].
+///
+/// Superclass and interface names that do not resolve to a declared class
+/// are treated as *external*: they contribute no members and no subtypes.
+/// This mirrors the paper's setting where the analyzed library is
+/// closed-world but may name classes outside the analyzed packages.
+#[derive(Debug)]
+pub struct Hierarchy<'p> {
+    program: &'p Program,
+    /// Direct subclasses (for classes) / direct sub-interfaces and
+    /// implementing classes (for interfaces), indexed by `ClassId`.
+    children: Vec<Vec<ClassId>>,
+    /// Resolved superclass id per class, if declared and present.
+    superclass: Vec<Option<ClassId>>,
+    /// Resolved interface ids per class.
+    interfaces: Vec<Vec<ClassId>>,
+}
+
+impl<'p> Hierarchy<'p> {
+    /// Builds the hierarchy for `program`.
+    pub fn new(program: &'p Program) -> Self {
+        let n = program.class_count();
+        let mut children = vec![Vec::new(); n];
+        let mut superclass = vec![None; n];
+        let mut interfaces = vec![Vec::new(); n];
+        let lookup = |name: Symbol| program.class_by_name(name);
+        for (id, class) in program.classes() {
+            if let Some(sup) = class.superclass.and_then(lookup) {
+                superclass[id.index()] = Some(sup);
+                children[sup.index()].push(id);
+            }
+            for &iface in &class.interfaces {
+                if let Some(i) = lookup(iface) {
+                    interfaces[id.index()].push(i);
+                    children[i.index()].push(id);
+                }
+            }
+        }
+        Hierarchy { program, children, superclass, interfaces }
+    }
+
+    /// The program this hierarchy describes.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Resolved direct superclass.
+    pub fn superclass(&self, class: ClassId) -> Option<ClassId> {
+        self.superclass[class.index()]
+    }
+
+    /// Direct subtypes: subclasses, sub-interfaces, and implementers.
+    pub fn children(&self, class: ClassId) -> &[ClassId] {
+        &self.children[class.index()]
+    }
+
+    /// Returns `true` if `sub` equals `sup` or is a (transitive) subclass or
+    /// implementer of it.
+    pub fn is_subtype(&self, sub: ClassId, sup: ClassId) -> bool {
+        if sub == sup {
+            return true;
+        }
+        // Walk superclass chain and interfaces.
+        let mut stack = vec![sub];
+        let mut seen = vec![false; self.program.class_count()];
+        while let Some(c) = stack.pop() {
+            if c == sup {
+                return true;
+            }
+            if std::mem::replace(&mut seen[c.index()], true) {
+                continue;
+            }
+            if let Some(s) = self.superclass[c.index()] {
+                stack.push(s);
+            }
+            stack.extend(self.interfaces[c.index()].iter().copied());
+        }
+        false
+    }
+
+    /// All transitive subtypes of `class`, including itself.
+    pub fn subtypes(&self, class: ClassId) -> Vec<ClassId> {
+        let mut out = Vec::new();
+        let mut seen = vec![false; self.program.class_count()];
+        let mut stack = vec![class];
+        while let Some(c) = stack.pop() {
+            if std::mem::replace(&mut seen[c.index()], true) {
+                continue;
+            }
+            out.push(c);
+            stack.extend(self.children[c.index()].iter().copied());
+        }
+        out
+    }
+
+    /// All *concrete* (instantiable: non-abstract, non-interface) transitive
+    /// subtypes of `class`, including itself if concrete.
+    pub fn concrete_subtypes(&self, class: ClassId) -> Vec<ClassId> {
+        self.subtypes(class)
+            .into_iter()
+            .filter(|&c| {
+                let f = self.program.class(c).flags;
+                !f.contains(ClassFlags::ABSTRACT) && !f.contains(ClassFlags::INTERFACE)
+            })
+            .collect()
+    }
+
+    /// Looks up the method implementation `name/argc` visible on `class`:
+    /// searches the class itself, then the superclass chain, then declared
+    /// interfaces (for abstract interface members).
+    pub fn lookup_method(&self, class: ClassId, name: Symbol, argc: u32) -> Option<MethodId> {
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            if let Some(m) = self.program.find_method(c, name, argc) {
+                return Some(m);
+            }
+            cur = self.superclass[c.index()];
+        }
+        // Interface declarations (abstract members) as a fallback.
+        let mut stack: Vec<ClassId> = self.collect_interfaces(class);
+        let mut seen = vec![false; self.program.class_count()];
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut seen[i.index()], true) {
+                continue;
+            }
+            if let Some(m) = self.program.find_method(i, name, argc) {
+                return Some(m);
+            }
+            stack.extend(self.interfaces[i.index()].iter().copied());
+        }
+        None
+    }
+
+    fn collect_interfaces(&self, class: ClassId) -> Vec<ClassId> {
+        let mut out = Vec::new();
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            out.extend(self.interfaces[c.index()].iter().copied());
+            cur = self.superclass[c.index()];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spo_jir::parse_program;
+
+    fn prog() -> Program {
+        parse_program(
+            r#"
+class java.lang.Object {
+  method public int hashCode() { local int x; x = 0; return x; }
+}
+interface I {
+  method public abstract void run();
+}
+class A extends java.lang.Object implements I {
+  method public void run() { return; }
+}
+class B extends A {
+  method public void run() { return; }
+}
+class abstract C extends A { }
+class D extends C { }
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn subtype_relations() {
+        let p = prog();
+        let h = Hierarchy::new(&p);
+        let get = |n: &str| p.class_by_str(n).unwrap();
+        assert!(h.is_subtype(get("B"), get("A")));
+        assert!(h.is_subtype(get("B"), get("java.lang.Object")));
+        assert!(h.is_subtype(get("A"), get("I")));
+        assert!(h.is_subtype(get("B"), get("I")));
+        assert!(!h.is_subtype(get("A"), get("B")));
+        assert!(h.is_subtype(get("A"), get("A")));
+    }
+
+    #[test]
+    fn concrete_subtypes_exclude_abstract() {
+        let p = prog();
+        let h = Hierarchy::new(&p);
+        let get = |n: &str| p.class_by_str(n).unwrap();
+        let subs = h.concrete_subtypes(get("A"));
+        assert!(subs.contains(&get("A")));
+        assert!(subs.contains(&get("B")));
+        assert!(subs.contains(&get("D")));
+        assert!(!subs.contains(&get("C")));
+        // Interface I: implementers only.
+        let isubs = h.concrete_subtypes(get("I"));
+        assert_eq!(isubs.len(), 3); // A, B, D
+    }
+
+    #[test]
+    fn method_lookup_walks_superclasses() {
+        let p = prog();
+        let h = Hierarchy::new(&p);
+        let get = |n: &str| p.class_by_str(n).unwrap();
+        let hash = p.interner().get("hashCode").unwrap();
+        let m = h.lookup_method(get("B"), hash, 0).unwrap();
+        assert_eq!(m.class, get("java.lang.Object"));
+        let run = p.interner().get("run").unwrap();
+        // D inherits run from A (C doesn't override).
+        let m = h.lookup_method(get("D"), run, 0).unwrap();
+        assert_eq!(m.class, get("A"));
+        // B overrides.
+        let m = h.lookup_method(get("B"), run, 0).unwrap();
+        assert_eq!(m.class, get("B"));
+    }
+
+    #[test]
+    fn interface_lookup_finds_abstract_decl() {
+        let p = prog();
+        let h = Hierarchy::new(&p);
+        let get = |n: &str| p.class_by_str(n).unwrap();
+        let run = p.interner().get("run").unwrap();
+        let m = h.lookup_method(get("I"), run, 0).unwrap();
+        assert_eq!(m.class, get("I"));
+    }
+
+    #[test]
+    fn external_superclass_tolerated() {
+        let p = parse_program("class X extends external.Unknown { }").unwrap();
+        let h = Hierarchy::new(&p);
+        let x = p.class_by_str("X").unwrap();
+        assert_eq!(h.superclass(x), None);
+        assert_eq!(h.subtypes(x), vec![x]);
+    }
+
+    #[test]
+    fn diamond_interface_no_infinite_loop() {
+        let p = parse_program(
+            r#"
+interface P { }
+interface Q extends P { }
+interface R extends P { }
+class Z implements Q, R { }
+"#,
+        )
+        .unwrap();
+        let h = Hierarchy::new(&p);
+        let z = p.class_by_str("Z").unwrap();
+        let pp = p.class_by_str("P").unwrap();
+        assert!(h.is_subtype(z, pp));
+        assert_eq!(h.concrete_subtypes(pp), vec![z]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Cross-reference linting for JIR programs.
+//!
+//! The parser checks syntax and per-body structure; this pass checks
+//! *references*: calls naming classes or methods that are not declared,
+//! field accesses naming unknown fields, and interface calls on
+//! non-interfaces. The paper's analysis silently skips unresolved call
+//! sites (as Soot does); the linter makes those sites visible so corpus
+//! authors can tell intentional external references from typos.
+
+use crate::hierarchy::Hierarchy;
+use spo_jir::{Expr, FieldTarget, InvokeKind, MethodId, Program, Stmt};
+use std::fmt;
+
+/// One lint finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Lint {
+    /// `Class.method` where the reference occurs.
+    pub location: String,
+    /// Statement index within the body.
+    pub stmt: usize,
+    /// What is wrong.
+    pub kind: LintKind,
+}
+
+/// Kinds of reference problems.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LintKind {
+    /// A call names a class not declared in the program.
+    UnknownClass(String),
+    /// A call names a declared class but no matching method exists on it
+    /// or its supertypes.
+    UnknownMethod {
+        /// The named class.
+        class: String,
+        /// The missing `name/argc`.
+        method: String,
+    },
+    /// A field access names a field not found on the class or its
+    /// superclasses.
+    UnknownField {
+        /// The named class.
+        class: String,
+        /// The missing field name.
+        field: String,
+    },
+    /// `interfaceinvoke` on a class that is not an interface.
+    InterfaceCallOnClass(String),
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintKind::UnknownClass(c) => write!(f, "reference to undeclared class `{c}`"),
+            LintKind::UnknownMethod { class, method } => {
+                write!(f, "no method `{method}` on `{class}` or its supertypes")
+            }
+            LintKind::UnknownField { class, field } => {
+                write!(f, "no field `{field}` on `{class}` or its superclasses")
+            }
+            LintKind::InterfaceCallOnClass(c) => {
+                write!(f, "interfaceinvoke on non-interface `{c}`")
+            }
+        }
+    }
+}
+
+/// Lints every method body in the program.
+pub fn lint_program(program: &Program) -> Vec<Lint> {
+    let hierarchy = Hierarchy::new(program);
+    let mut out = Vec::new();
+    for (class_id, _) in program.classes() {
+        for (mid, method) in program.methods_of(class_id) {
+            let Some(body) = method.body.as_ref() else { continue };
+            for (i, stmt) in body.stmts.iter().enumerate() {
+                lint_stmt(program, &hierarchy, mid, i, stmt, &mut out);
+            }
+        }
+    }
+    out
+}
+
+fn lint_stmt(
+    program: &Program,
+    hierarchy: &Hierarchy<'_>,
+    mid: MethodId,
+    idx: usize,
+    stmt: &Stmt,
+    out: &mut Vec<Lint>,
+) {
+    let location = || program.method_name(mid);
+    let lint_field = |target: &FieldTarget, out: &mut Vec<Lint>| {
+        let fr = target.field();
+        let Some(class) = program.class_by_name(fr.class) else {
+            out.push(Lint {
+                location: location(),
+                stmt: idx,
+                kind: LintKind::UnknownClass(program.str(fr.class).to_owned()),
+            });
+            return;
+        };
+        // Search the superclass chain.
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            if program.find_field(c, fr.name).is_some() {
+                return;
+            }
+            cur = hierarchy.superclass(c);
+        }
+        out.push(Lint {
+            location: location(),
+            stmt: idx,
+            kind: LintKind::UnknownField {
+                class: program.str(fr.class).to_owned(),
+                field: program.str(fr.name).to_owned(),
+            },
+        });
+    };
+    match stmt {
+        Stmt::Invoke { call, .. } => {
+            let Some(class) = program.class_by_name(call.callee.class) else {
+                out.push(Lint {
+                    location: location(),
+                    stmt: idx,
+                    kind: LintKind::UnknownClass(program.str(call.callee.class).to_owned()),
+                });
+                return;
+            };
+            if call.kind == InvokeKind::Interface && !program.class(class).is_interface() {
+                out.push(Lint {
+                    location: location(),
+                    stmt: idx,
+                    kind: LintKind::InterfaceCallOnClass(
+                        program.str(call.callee.class).to_owned(),
+                    ),
+                });
+            }
+            if hierarchy.lookup_method(class, call.callee.name, call.callee.argc).is_none() {
+                out.push(Lint {
+                    location: location(),
+                    stmt: idx,
+                    kind: LintKind::UnknownMethod {
+                        class: program.str(call.callee.class).to_owned(),
+                        method: format!(
+                            "{}/{}",
+                            program.str(call.callee.name),
+                            call.callee.argc
+                        ),
+                    },
+                });
+            }
+        }
+        Stmt::FieldStore { target, .. } => lint_field(target, out),
+        Stmt::Assign { value: Expr::FieldLoad(target), .. } => lint_field(target, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spo_jir::parse_program;
+
+    #[test]
+    fn clean_program_has_no_lints() {
+        let p = parse_program(
+            r#"
+class A {
+  field private int f;
+  method public void m() {
+    local int x;
+    x = this.f;
+    staticinvoke A.helper(x);
+    return;
+  }
+  method private static void helper(int x) { return; }
+}
+"#,
+        )
+        .unwrap();
+        assert!(lint_program(&p).is_empty());
+    }
+
+    #[test]
+    fn unknown_class_reported() {
+        let p = parse_program(
+            "class A { method public void m() { staticinvoke ext.Gone.f(); return; } }",
+        )
+        .unwrap();
+        let lints = lint_program(&p);
+        assert_eq!(lints.len(), 1);
+        assert!(matches!(&lints[0].kind, LintKind::UnknownClass(c) if c == "ext.Gone"));
+        assert_eq!(lints[0].location, "A.m");
+    }
+
+    #[test]
+    fn unknown_method_reported_with_arity() {
+        let p = parse_program(
+            r#"
+class B { method public static void f(int x) { return; } }
+class A { method public void m() { staticinvoke B.f(); return; } }
+"#,
+        )
+        .unwrap();
+        let lints = lint_program(&p);
+        assert_eq!(lints.len(), 1);
+        assert!(matches!(
+            &lints[0].kind,
+            LintKind::UnknownMethod { method, .. } if method == "f/0"
+        ));
+    }
+
+    #[test]
+    fn inherited_members_are_not_lints() {
+        let p = parse_program(
+            r#"
+class Base {
+  field private int f;
+  method public void inheritable() { return; }
+}
+class Sub extends Base {
+  method public void m(Sub s) {
+    local int x;
+    x = s.f;
+    virtualinvoke s.inheritable();
+    return;
+  }
+}
+"#,
+        )
+        .unwrap();
+        assert!(lint_program(&p).is_empty());
+    }
+
+    #[test]
+    fn unknown_field_reported() {
+        let p = parse_program(
+            "class A { method public void m() { this.ghost = 1; return; } }",
+        )
+        .unwrap();
+        let lints = lint_program(&p);
+        assert_eq!(lints.len(), 1);
+        assert!(matches!(&lints[0].kind, LintKind::UnknownField { field, .. } if field == "ghost"));
+    }
+
+    #[test]
+    fn interface_call_on_class_reported() {
+        let p = parse_program(
+            r#"
+class NotIface { method public void run() { return; } }
+class A {
+  method public void m(NotIface t) {
+    interfaceinvoke t.run();
+    return;
+  }
+}
+"#,
+        )
+        .unwrap();
+        let lints = lint_program(&p);
+        assert_eq!(lints.len(), 1);
+        assert!(matches!(&lints[0].kind, LintKind::InterfaceCallOnClass(_)));
+    }
+
+    #[test]
+    fn lint_display_is_readable() {
+        let k = LintKind::UnknownMethod { class: "A".into(), method: "f/2".into() };
+        assert!(k.to_string().contains("f/2"));
+    }
+}

@@ -1,0 +1,351 @@
+//! Call-site resolution: CHA devirtualization with unique-target filtering.
+//!
+//! The paper uses Soot's method resolution, which resolves 97% of call sites
+//! in the Java Class Library to a unique target; unresolved sites are simply
+//! not analyzed. [`Resolver`] reproduces that contract: a call site resolves
+//! when class-hierarchy analysis finds exactly one possible concrete target
+//! (helped by `final` methods/classes, the paper's observation about JCL
+//! coding conventions), and reports [`Resolution::Ambiguous`] or
+//! [`Resolution::Unknown`] otherwise.
+
+use crate::hierarchy::Hierarchy;
+use spo_jir::{Call, ClassFlags, InvokeKind, MethodFlags, MethodId};
+#[cfg(test)]
+use spo_jir::Program;
+use std::collections::BTreeSet;
+
+/// Outcome of resolving one call site.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Resolution {
+    /// Exactly one possible target.
+    Unique(MethodId),
+    /// Multiple possible targets (listed, deduplicated, in hierarchy order).
+    /// The security analysis skips these, as the paper's does.
+    Ambiguous(Vec<MethodId>),
+    /// The static callee class or method is not declared in the program
+    /// (external code).
+    Unknown,
+}
+
+impl Resolution {
+    /// The unique target, if resolution succeeded.
+    pub fn unique(&self) -> Option<MethodId> {
+        match self {
+            Resolution::Unique(m) => Some(*m),
+            _ => None,
+        }
+    }
+}
+
+/// Running counters for resolution precision — the paper's "97% of method
+/// calls resolved" statistic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ResolutionStats {
+    /// Call sites resolved to a unique target.
+    pub unique: usize,
+    /// Call sites with multiple CHA targets.
+    pub ambiguous: usize,
+    /// Call sites naming external classes/methods.
+    pub unknown: usize,
+}
+
+impl ResolutionStats {
+    /// Total observed call sites.
+    pub fn total(&self) -> usize {
+        self.unique + self.ambiguous + self.unknown
+    }
+
+    /// Fraction of call sites resolved to a unique target (0 when empty).
+    pub fn resolved_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.unique as f64 / self.total() as f64
+        }
+    }
+
+    /// Accumulates one resolution outcome.
+    pub fn record(&mut self, r: &Resolution) {
+        match r {
+            Resolution::Unique(_) => self.unique += 1,
+            Resolution::Ambiguous(_) => self.ambiguous += 1,
+            Resolution::Unknown => self.unknown += 1,
+        }
+    }
+}
+
+/// Resolves call sites against a [`Hierarchy`].
+#[derive(Debug)]
+pub struct Resolver<'p> {
+    hierarchy: &'p Hierarchy<'p>,
+}
+
+impl<'p> Resolver<'p> {
+    /// Creates a resolver over `hierarchy`.
+    pub fn new(hierarchy: &'p Hierarchy<'p>) -> Self {
+        Resolver { hierarchy }
+    }
+
+    /// The underlying hierarchy.
+    pub fn hierarchy(&self) -> &'p Hierarchy<'p> {
+        self.hierarchy
+    }
+
+    /// Resolves a call site.
+    ///
+    /// * `Static`/`Special` calls dispatch directly: the target is the
+    ///   method found on the named class or its superclass chain.
+    /// * `Virtual`/`Interface` calls collect every concrete subtype's
+    ///   implementation; the call resolves only if that set is a singleton.
+    pub fn resolve(&self, call: &Call) -> Resolution {
+        let program = self.hierarchy.program();
+        let Some(static_class) = program.class_by_name(call.callee.class) else {
+            return Resolution::Unknown;
+        };
+        match call.kind {
+            InvokeKind::Static | InvokeKind::Special => {
+                match self.hierarchy.lookup_method(static_class, call.callee.name, call.callee.argc)
+                {
+                    Some(m) => Resolution::Unique(m),
+                    None => Resolution::Unknown,
+                }
+            }
+            InvokeKind::Virtual | InvokeKind::Interface => {
+                let Some(decl) =
+                    self.hierarchy.lookup_method(static_class, call.callee.name, call.callee.argc)
+                else {
+                    return Resolution::Unknown;
+                };
+                // Fast path: final methods and final classes cannot be
+                // overridden.
+                let decl_method = program.method(decl);
+                if decl_method.flags.contains(MethodFlags::FINAL)
+                    || program.class(static_class).flags.contains(ClassFlags::FINAL)
+                {
+                    return Resolution::Unique(decl);
+                }
+                let mut targets: BTreeSet<MethodId> = BTreeSet::new();
+                for sub in self.hierarchy.concrete_subtypes(static_class) {
+                    if let Some(m) =
+                        self.hierarchy.lookup_method(sub, call.callee.name, call.callee.argc)
+                    {
+                        // Skip abstract declarations reached through
+                        // interface fallback; they are not callable targets.
+                        if !program.method(m).flags.contains(MethodFlags::ABSTRACT) {
+                            targets.insert(m);
+                        }
+                    }
+                }
+                if targets.is_empty() {
+                    // No concrete subtype: the declared implementation (if
+                    // non-abstract) is the only candidate.
+                    if decl_method.flags.contains(MethodFlags::ABSTRACT) {
+                        Resolution::Unknown
+                    } else {
+                        Resolution::Unique(decl)
+                    }
+                } else if targets.len() == 1 {
+                    Resolution::Unique(targets.into_iter().next().unwrap())
+                } else {
+                    Resolution::Ambiguous(targets.into_iter().collect())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spo_jir::{parse_program, Stmt};
+
+    fn first_call(program: &Program, class: &str, midx: usize) -> Call {
+        let c = program.class_by_str(class).unwrap();
+        let body = program.class(c).methods[midx].body.as_ref().unwrap();
+        body.stmts
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Invoke { call, .. } => Some(call.clone()),
+                _ => None,
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn static_call_resolves_directly() {
+        let p = parse_program(
+            r#"
+class Util {
+  method public static void helper() { return; }
+}
+class Caller {
+  method public static void m() {
+    staticinvoke Util.helper();
+    return;
+  }
+}
+"#,
+        )
+        .unwrap();
+        let h = Hierarchy::new(&p);
+        let r = Resolver::new(&h);
+        let call = first_call(&p, "Caller", 0);
+        let m = r.resolve(&call).unique().unwrap();
+        assert_eq!(m.class, p.class_by_str("Util").unwrap());
+    }
+
+    #[test]
+    fn virtual_call_with_single_impl_resolves() {
+        let p = parse_program(
+            r#"
+class A {
+  method public void run() { return; }
+}
+class Caller {
+  method public void m(A a) {
+    virtualinvoke a.run();
+    return;
+  }
+}
+"#,
+        )
+        .unwrap();
+        let h = Hierarchy::new(&p);
+        let r = Resolver::new(&h);
+        let call = first_call(&p, "Caller", 0);
+        assert!(r.resolve(&call).unique().is_some());
+    }
+
+    #[test]
+    fn virtual_call_with_override_is_ambiguous() {
+        let p = parse_program(
+            r#"
+class A {
+  method public void run() { return; }
+}
+class B extends A {
+  method public void run() { return; }
+}
+class Caller {
+  method public void m(A a) {
+    virtualinvoke a.run();
+    return;
+  }
+}
+"#,
+        )
+        .unwrap();
+        let h = Hierarchy::new(&p);
+        let r = Resolver::new(&h);
+        let call = first_call(&p, "Caller", 0);
+        match r.resolve(&call) {
+            Resolution::Ambiguous(targets) => assert_eq!(targets.len(), 2),
+            other => panic!("expected ambiguous, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn final_method_devirtualizes_despite_subclasses() {
+        let p = parse_program(
+            r#"
+class A {
+  method public final void run() { return; }
+  method public void other() { return; }
+}
+class B extends A {
+  method public void other() { return; }
+}
+class Caller {
+  method public void m(A a) {
+    virtualinvoke a.run();
+    return;
+  }
+}
+"#,
+        )
+        .unwrap();
+        let h = Hierarchy::new(&p);
+        let r = Resolver::new(&h);
+        let call = first_call(&p, "Caller", 0);
+        let m = r.resolve(&call).unique().unwrap();
+        assert_eq!(m.class, p.class_by_str("A").unwrap());
+    }
+
+    #[test]
+    fn interface_call_resolves_via_single_implementer() {
+        let p = parse_program(
+            r#"
+interface Task {
+  method public abstract void run();
+}
+class Worker implements Task {
+  method public void run() { return; }
+}
+class Caller {
+  method public void m(Task t) {
+    interfaceinvoke t.run();
+    return;
+  }
+}
+"#,
+        )
+        .unwrap();
+        let h = Hierarchy::new(&p);
+        let r = Resolver::new(&h);
+        let call = first_call(&p, "Caller", 0);
+        let m = r.resolve(&call).unique().unwrap();
+        assert_eq!(m.class, p.class_by_str("Worker").unwrap());
+    }
+
+    #[test]
+    fn unknown_class_is_unknown() {
+        let p = parse_program(
+            r#"
+class Caller {
+  method public static void m() {
+    staticinvoke external.Lib.boom();
+    return;
+  }
+}
+"#,
+        )
+        .unwrap();
+        let h = Hierarchy::new(&p);
+        let r = Resolver::new(&h);
+        let call = first_call(&p, "Caller", 0);
+        assert_eq!(r.resolve(&call), Resolution::Unknown);
+    }
+
+    #[test]
+    fn abstract_method_without_impl_is_unknown() {
+        let p = parse_program(
+            r#"
+class abstract A {
+  method public abstract void run();
+}
+class Caller {
+  method public void m(A a) {
+    virtualinvoke a.run();
+    return;
+  }
+}
+"#,
+        )
+        .unwrap();
+        let h = Hierarchy::new(&p);
+        let r = Resolver::new(&h);
+        let call = first_call(&p, "Caller", 0);
+        assert_eq!(r.resolve(&call), Resolution::Unknown);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut stats = ResolutionStats::default();
+        stats.record(&Resolution::Unknown);
+        stats.record(&Resolution::Ambiguous(vec![]));
+        stats.record(&Resolution::Unique(MethodId { class: spo_jir::ClassId(0), index: 0 }));
+        stats.record(&Resolution::Unique(MethodId { class: spo_jir::ClassId(0), index: 0 }));
+        assert_eq!(stats.total(), 4);
+        assert!((stats.resolved_fraction() - 0.5).abs() < 1e-9);
+    }
+}

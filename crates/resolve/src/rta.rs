@@ -1,0 +1,351 @@
+//! Rapid Type Analysis: allocation-aware call resolution.
+//!
+//! The paper notes that "type-resolving events, such as allocation, make
+//! simple type hierarchy analysis very effective at resolving method
+//! invocations" (§4, citing Diwan et al. and Sundaresan et al.). RTA
+//! refines CHA by dispatching virtual calls only to classes the program
+//! actually instantiates along reachable code: a `new` of a subclass is
+//! what makes its overrides possible targets.
+//!
+//! [`Rta::build`] runs the classic fixpoint — reachable methods contribute
+//! allocations, allocations widen dispatch, dispatch widens reachability —
+//! and then resolves call sites against the instantiated-subtype set.
+
+use crate::hierarchy::Hierarchy;
+use crate::resolver::{Resolution, ResolutionStats, Resolver};
+use spo_jir::{Call, ClassId, Expr, InvokeKind, MethodFlags, MethodId, Stmt};
+use std::collections::{BTreeSet, VecDeque};
+
+/// The result of an RTA fixpoint over a set of entry points.
+#[derive(Debug)]
+pub struct Rta<'p> {
+    hierarchy: &'p Hierarchy<'p>,
+    instantiated: BTreeSet<ClassId>,
+    reachable: BTreeSet<MethodId>,
+}
+
+impl<'p> Rta<'p> {
+    /// Runs the RTA fixpoint from `roots`.
+    pub fn build(hierarchy: &'p Hierarchy<'p>, roots: &[MethodId]) -> Self {
+        let program = hierarchy.program();
+        let mut instantiated: BTreeSet<ClassId> = BTreeSet::new();
+        // Receivers of entry points are externally instantiable: clients
+        // construct them. Seed with every entry's declaring class.
+        for &r in roots {
+            instantiated.extend(hierarchy.concrete_subtypes(r.class));
+        }
+        let mut reachable: BTreeSet<MethodId> = BTreeSet::new();
+        let mut queue: VecDeque<MethodId> = roots.iter().copied().collect();
+        // Deferred virtual calls re-examined when instantiation grows.
+        let mut pending_calls: Vec<Call> = Vec::new();
+        while let Some(m) = queue.pop_front() {
+            if !reachable.insert(m) {
+                continue;
+            }
+            let Some(body) = program.method(m).body.as_ref() else { continue };
+            for stmt in &body.stmts {
+                match stmt {
+                    Stmt::Assign { value: Expr::New(class), .. } => {
+                        if let Some(cid) = program.class_by_name(*class) {
+                            if instantiated.insert(cid) {
+                                // New class: previously deferred calls may
+                                // gain targets.
+                                let drained: Vec<Call> = std::mem::take(&mut pending_calls);
+                                for call in drained {
+                                    Self::dispatch(
+                                        hierarchy,
+                                        &instantiated,
+                                        &call,
+                                        &mut queue,
+                                        &mut pending_calls,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    Stmt::Invoke { call, .. } => {
+                        Self::dispatch(
+                            hierarchy,
+                            &instantiated,
+                            call,
+                            &mut queue,
+                            &mut pending_calls,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Rta { hierarchy, instantiated, reachable }
+    }
+
+    fn dispatch(
+        hierarchy: &Hierarchy<'_>,
+        instantiated: &BTreeSet<ClassId>,
+        call: &Call,
+        queue: &mut VecDeque<MethodId>,
+        pending: &mut Vec<Call>,
+    ) {
+        let program = hierarchy.program();
+        match call.kind {
+            InvokeKind::Static | InvokeKind::Special => {
+                if let Some(class) = program.class_by_name(call.callee.class) {
+                    if let Some(t) =
+                        hierarchy.lookup_method(class, call.callee.name, call.callee.argc)
+                    {
+                        queue.push_back(t);
+                    }
+                }
+            }
+            InvokeKind::Virtual | InvokeKind::Interface => {
+                let Some(class) = program.class_by_name(call.callee.class) else { return };
+                let mut any = false;
+                for sub in hierarchy.concrete_subtypes(class) {
+                    if !instantiated.contains(&sub) {
+                        continue;
+                    }
+                    if let Some(t) =
+                        hierarchy.lookup_method(sub, call.callee.name, call.callee.argc)
+                    {
+                        if !program.method(t).flags.contains(MethodFlags::ABSTRACT) {
+                            queue.push_back(t);
+                            any = true;
+                        }
+                    }
+                }
+                if !any {
+                    // No instantiated target yet; revisit if instantiation
+                    // grows.
+                    pending.push(call.clone());
+                }
+            }
+        }
+    }
+
+    /// Classes observed as instantiated (or externally instantiable entry
+    /// receivers).
+    pub fn instantiated(&self) -> &BTreeSet<ClassId> {
+        &self.instantiated
+    }
+
+    /// Methods reachable during the fixpoint.
+    pub fn reachable(&self) -> &BTreeSet<MethodId> {
+        &self.reachable
+    }
+
+    /// Resolves a call site against the instantiated-type set: like CHA,
+    /// but virtual/interface dispatch only considers instantiated concrete
+    /// subtypes. Falls back to CHA behaviour for static/special calls.
+    pub fn resolve(&self, call: &Call) -> Resolution {
+        let program = self.hierarchy.program();
+        match call.kind {
+            InvokeKind::Static | InvokeKind::Special => {
+                Resolver::new(self.hierarchy).resolve(call)
+            }
+            InvokeKind::Virtual | InvokeKind::Interface => {
+                let Some(class) = program.class_by_name(call.callee.class) else {
+                    return Resolution::Unknown;
+                };
+                let mut targets: BTreeSet<MethodId> = BTreeSet::new();
+                for sub in self.hierarchy.concrete_subtypes(class) {
+                    if !self.instantiated.contains(&sub) {
+                        continue;
+                    }
+                    if let Some(m) =
+                        self.hierarchy.lookup_method(sub, call.callee.name, call.callee.argc)
+                    {
+                        if !program.method(m).flags.contains(MethodFlags::ABSTRACT) {
+                            targets.insert(m);
+                        }
+                    }
+                }
+                match targets.len() {
+                    0 => Resolution::Unknown,
+                    1 => Resolution::Unique(targets.into_iter().next().expect("len checked")),
+                    _ => Resolution::Ambiguous(targets.into_iter().collect()),
+                }
+            }
+        }
+    }
+
+    /// Resolution-precision comparison against plain CHA over every call
+    /// site in reachable methods: `(cha, rta)` stats.
+    pub fn compare_with_cha(&self) -> (ResolutionStats, ResolutionStats) {
+        let program = self.hierarchy.program();
+        let cha = Resolver::new(self.hierarchy);
+        let mut cha_stats = ResolutionStats::default();
+        let mut rta_stats = ResolutionStats::default();
+        for &m in &self.reachable {
+            let Some(body) = program.method(m).body.as_ref() else { continue };
+            for stmt in &body.stmts {
+                if let Stmt::Invoke { call, .. } = stmt {
+                    cha_stats.record(&cha.resolve(call));
+                    rta_stats.record(&self.resolve(call));
+                }
+            }
+        }
+        (cha_stats, rta_stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::entry_points;
+    use spo_jir::parse_program;
+
+    /// Two subclasses override `run`, but only one is ever instantiated:
+    /// CHA is ambiguous, RTA resolves uniquely.
+    const DEVIRT: &str = r#"
+class A {
+  method public void run() { return; }
+}
+class B extends A {
+  method public void run() { return; }
+}
+class CC extends A {
+  method public void run() { return; }
+}
+class Caller {
+  method public static void m() {
+    local A a;
+    a = new B;
+    virtualinvoke a.run();
+    return;
+  }
+}
+"#;
+
+    #[test]
+    fn rta_devirtualizes_where_cha_cannot() {
+        let p = parse_program(DEVIRT).unwrap();
+        let h = Hierarchy::new(&p);
+        // The API under audit is Caller.m alone; A/B/CC are internal types
+        // (were they entry receivers, clients could instantiate any of
+        // them and RTA would rightly stay ambiguous).
+        let caller = p.class_by_str("Caller").unwrap();
+        let root = p.find_method(caller, p.interner().get("m").unwrap(), 0).unwrap();
+        let rta = Rta::build(&h, &[root]);
+        let body = p.class(caller).methods[0].body.as_ref().unwrap();
+        let call = body
+            .stmts
+            .iter()
+            .find_map(|s| s.as_call())
+            .expect("has a call");
+        // CHA: A, B, CC all possible -> ambiguous.
+        let cha = Resolver::new(&h).resolve(call);
+        assert!(matches!(cha, Resolution::Ambiguous(_)));
+        // RTA: only B is instantiated -> unique.
+        let resolved = rta.resolve(call);
+        let m = resolved.unique().expect("RTA resolves uniquely");
+        assert_eq!(m.class, p.class_by_str("B").unwrap());
+    }
+
+    #[test]
+    fn rta_precision_never_below_cha() {
+        let p = parse_program(DEVIRT).unwrap();
+        let h = Hierarchy::new(&p);
+        let roots = entry_points(&p);
+        let rta = Rta::build(&h, &roots);
+        let (cha, rtas) = rta.compare_with_cha();
+        assert!(rtas.unique >= cha.unique, "rta {rtas:?} vs cha {cha:?}");
+        assert_eq!(rtas.total(), cha.total());
+    }
+
+    #[test]
+    fn uninstantiated_call_is_unknown() {
+        let p = parse_program(
+            r#"
+class A {
+  method public void run() { return; }
+}
+class Caller {
+  method public static void m(A a) {
+    virtualinvoke a.run();
+    return;
+  }
+}
+"#,
+        )
+        .unwrap();
+        let h = Hierarchy::new(&p);
+        // Build with only Caller.m as root: A never instantiated...
+        let caller = p.class_by_str("Caller").unwrap();
+        let m = p.find_method(caller, p.interner().get("m").unwrap(), 1).unwrap();
+        let rta = Rta::build(&h, &[m]);
+        let body = p.class(caller).methods[0].body.as_ref().unwrap();
+        let call = body.stmts.iter().find_map(|s| s.as_call()).unwrap();
+        // ...except entry receivers are seeded: Caller is instantiable, A
+        // is not (not an entry receiver). The call has no target.
+        assert_eq!(rta.resolve(call), Resolution::Unknown);
+    }
+
+    #[test]
+    fn entry_receivers_are_externally_instantiable() {
+        let p = parse_program(
+            r#"
+class A {
+  method public void api() {
+    local A self;
+    self = this;
+    virtualinvoke self.run();
+    return;
+  }
+  method public void run() { return; }
+}
+"#,
+        )
+        .unwrap();
+        let h = Hierarchy::new(&p);
+        let roots = entry_points(&p);
+        let rta = Rta::build(&h, &roots);
+        let a = p.class_by_str("A").unwrap();
+        assert!(rta.instantiated().contains(&a));
+        let body = p.class(a).methods[0].body.as_ref().unwrap();
+        let call = body.stmts.iter().find_map(|s| s.as_call()).unwrap();
+        assert!(rta.resolve(call).unique().is_some());
+    }
+
+    #[test]
+    fn deferred_calls_resolve_after_later_allocation() {
+        // The virtual call is seen before any allocation of a target; the
+        // allocation happens in a method reached afterwards. The fixpoint
+        // must still mark `B.run` reachable.
+        let p = parse_program(
+            r#"
+class A {
+  method public void run() { return; }
+}
+class B extends A {
+  method public void run() {
+    staticinvoke Marker.hit();
+    return;
+  }
+}
+class Marker {
+  method public static void hit() { return; }
+}
+class Caller {
+  method public static void m(A a) {
+    virtualinvoke a.run();
+    staticinvoke Caller.makeB();
+    return;
+  }
+  method public static void makeB() {
+    local B b;
+    b = new B;
+    return;
+  }
+}
+"#,
+        )
+        .unwrap();
+        let h = Hierarchy::new(&p);
+        let caller = p.class_by_str("Caller").unwrap();
+        let m = p.find_method(caller, p.interner().get("m").unwrap(), 1).unwrap();
+        let rta = Rta::build(&h, &[m]);
+        let marker = p.class_by_str("Marker").unwrap();
+        let hit = p.find_method(marker, p.interner().get("hit").unwrap(), 0).unwrap();
+        assert!(rta.reachable().contains(&hit), "B.run must become reachable");
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 3: the hypothetical bug that only the *broad* definition of
+//! security-sensitive events can see. Under the narrow definition (JNI
+//! calls and API returns) both implementations have the identical
+//! `{checkRead}` may policy; treating private-variable reads as events
+//! exposes that one implementation guards the read of `data1` and the
+//! other does not.
+//!
+//! ```text
+//! cargo run --example broad_events
+//! ```
+
+use security_policy_oracle::compare_implementations;
+use spo_core::{AnalysisOptions, EventDef};
+use spo_corpus::{figures::FIGURE3, Lib};
+
+fn main() {
+    let impl1 = FIGURE3.program(Lib::Jdk);
+    let impl2 = FIGURE3.program(Lib::Harmony);
+
+    let narrow = compare_implementations(
+        &impl1,
+        "impl1",
+        &impl2,
+        "impl2",
+        AnalysisOptions::default(),
+    );
+    println!(
+        "narrow events (JNI + API returns): {} difference(s) reported",
+        narrow.groups.len()
+    );
+    assert!(narrow.groups.is_empty());
+
+    let broad = compare_implementations(
+        &impl1,
+        "impl1",
+        &impl2,
+        "impl2",
+        AnalysisOptions { events: EventDef::Broad, ..Default::default() },
+    );
+    println!(
+        "broad events (+ private variables, parameters): {} difference(s)\n",
+        broad.groups.len()
+    );
+    println!("{}", broad.render());
+    assert!(!broad.groups.is_empty());
+    println!(
+        "The paper found the broad definition unnecessary on the Java Class\n\
+         Library (no additional bugs, >5x the policies) but essential for\n\
+         this class of inconsistency."
+    );
+}

@@ -1,0 +1,48 @@
+//! The §8 generalization: differencing *exception behaviour* across
+//! implementations. Figure 8's `String.getBytes` is the motivating case —
+//! JDK terminates the VM (needing `checkExit` permission) where Harmony
+//! throws an exception.
+//!
+//! ```text
+//! cargo run --example exception_diff
+//! ```
+
+use spo_core::{diff_throws, ThrowsAnalyzer};
+use spo_corpus::{figures::FIGURE8, Lib};
+
+fn main() {
+    let jdk = FIGURE8.program(Lib::Jdk);
+    let harmony = FIGURE8.program(Lib::Harmony);
+
+    let jdk_throws = ThrowsAnalyzer::new(&jdk).analyze_library("jdk");
+    let harmony_throws = ThrowsAnalyzer::new(&harmony).analyze_library("harmony");
+
+    println!("may-throw sets for String.getBytes:");
+    for lib in [&jdk_throws, &harmony_throws] {
+        for (sig, set) in &lib.entries {
+            if sig.contains("getBytes") {
+                println!("  {:<10} {sig}: {set:?}", lib.name);
+            }
+        }
+    }
+
+    let diffs = diff_throws(&jdk_throws, &harmony_throws);
+    println!("\n{} exception-behaviour difference(s):", diffs.len());
+    for d in &diffs {
+        println!("  {}", d.signature);
+        if !d.only_left.is_empty() {
+            println!("    only jdk may throw:     {:?}", d.only_left);
+        }
+        if !d.only_right.is_empty() {
+            println!("    only harmony may throw: {:?}", d.only_right);
+        }
+    }
+    assert!(diffs
+        .iter()
+        .any(|d| d.only_right.contains("java.lang.UnsupportedOperationException")));
+    println!(
+        "\nJDK exits the VM on a missing charset (the checkExit policy\n\
+         difference of Figure 8); Harmony raises an exception instead —\n\
+         the same interoperability bug seen through the exception lens."
+    );
+}

@@ -1,0 +1,74 @@
+//! The full paper experience in miniature: generate the synthetic
+//! three-implementation corpus, run the oracle over every pairing, and
+//! triage the grouped reports against the ground-truth catalog — the
+//! workflow behind Table 3.
+//!
+//! ```text
+//! cargo run --release --example library_audit
+//! SPO_SCALE=1.0 cargo run --release --example library_audit   # paper-sized
+//! ```
+
+use security_policy_oracle::compare_implementations;
+use spo_core::AnalysisOptions;
+use spo_corpus::{generate, BugCategory, CorpusConfig, Lib};
+
+fn main() {
+    let scale: f64 = std::env::var("SPO_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let corpus = generate(&CorpusConfig { scale, ..Default::default() });
+    println!("generated corpus at scale {scale}:");
+    for lib in Lib::ALL {
+        println!(
+            "  {lib:<10} {:>6} classes  {:>6} entry points  {:>7} LoC",
+            corpus.program(lib).class_count(),
+            spo_resolve::entry_points(corpus.program(lib)).len(),
+            corpus.loc(lib),
+        );
+    }
+
+    for (a, b) in [
+        (Lib::Classpath, Lib::Harmony),
+        (Lib::Jdk, Lib::Harmony),
+        (Lib::Jdk, Lib::Classpath),
+    ] {
+        let t = std::time::Instant::now();
+        let report = compare_implementations(
+            corpus.program(a),
+            a.name(),
+            corpus.program(b),
+            b.name(),
+            AnalysisOptions::default(),
+        );
+        println!(
+            "\n=== {a} vs {b}: {} matching APIs, {} distinct differences ({:?}) ===",
+            report.diff.matching_apis,
+            report.groups.len(),
+            t.elapsed(),
+        );
+        let mut by_cat: Vec<(String, usize)> = Vec::new();
+        for g in &report.groups {
+            let label = match corpus.catalog.classify(g) {
+                Some(bug) => match bug.category {
+                    BugCategory::Vulnerability => {
+                        format!("VULNERABILITY in {}", bug.buggy_lib)
+                    }
+                    BugCategory::Interop => format!("interop bug ({})", bug.buggy_lib),
+                    BugCategory::FalsePositive => "false positive (benign)".to_owned(),
+                    BugCategory::IcpOnly => "UNEXPECTED: icp-only".to_owned(),
+                },
+                None => "UNEXPECTED: unplanned report".to_owned(),
+            };
+            by_cat.push((label, g.manifestation_count()));
+        }
+        by_cat.sort();
+        for (label, manifests) in by_cat {
+            println!("  {label:<36} manifests in {manifests} entry point(s)");
+        }
+    }
+    println!(
+        "\nEvery report above traces to an injected inconsistency: policy\n\
+         differencing has no intrinsic false positives (§1)."
+    );
+}

@@ -1,0 +1,76 @@
+//! Quickstart: write two tiny implementations of the same API in the
+//! `.jir` textual format, run the security policy oracle, and read the
+//! report.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use security_policy_oracle::{compare_implementations, core::AnalysisOptions};
+use spo_jir::parse_program;
+
+/// A minimal runtime: the security manager with one check, and the
+/// standard way code obtains it.
+const RUNTIME: &str = r#"
+class java.lang.SecurityManager {
+  method public native void checkWrite(java.lang.Object file);
+}
+class java.lang.System {
+  field static java.lang.SecurityManager security;
+  method public static java.lang.SecurityManager getSecurityManager() {
+    local java.lang.SecurityManager sm;
+    sm = java.lang.System.security;
+    return sm;
+  }
+}
+"#;
+
+/// Vendor A checks `checkWrite` before the native write.
+const VENDOR_A: &str = r#"
+class api.FileWriter {
+  method public void write(java.lang.String path) {
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto go;
+    virtualinvoke sm.checkWrite(path);
+  go:
+    staticinvoke api.FileWriter.write0(path);
+    return;
+  }
+  method private static native void write0(java.lang.String path);
+}
+"#;
+
+/// Vendor B forgot the check — the oracle flags the difference without
+/// anyone having to specify the intended policy.
+const VENDOR_B: &str = r#"
+class api.FileWriter {
+  method public void write(java.lang.String path) {
+    staticinvoke api.FileWriter.write0(path);
+    return;
+  }
+  method private static native void write0(java.lang.String path);
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let vendor_a = parse_program(&format!("{RUNTIME}{VENDOR_A}"))?;
+    let vendor_b = parse_program(&format!("{RUNTIME}{VENDOR_B}"))?;
+
+    let report = compare_implementations(
+        &vendor_a,
+        "vendor-a",
+        &vendor_b,
+        "vendor-b",
+        AnalysisOptions::default(),
+    );
+
+    println!("{}", report.render());
+    println!(
+        "The oracle needs no manual policy: two implementations of the same\n\
+         API must enforce the same checks, so any difference is a bug in at\n\
+         least one of them."
+    );
+    assert_eq!(report.groups.len(), 1, "expected exactly one difference");
+    Ok(())
+}

@@ -1,0 +1,240 @@
+//! `spo` — the security policy oracle command-line interface.
+//!
+//! ```text
+//! spo check <file.jir>...                        parse & validate, print stats
+//! spo analyze <file.jir>... [--broad]            print per-entry security policies
+//! spo export <file.jir>... [--name N]            emit the policy exchange format
+//! spo diff <left.jir>... --vs <right.jir>...     run the oracle over two implementations
+//!          [--no-icp] [--broad] [--intra-only]
+//! spo diff-policies <left.txt> <right.txt>       diff two exported policy files
+//! ```
+//!
+//! Multiple `.jir` files per side are layered into one program (e.g. a
+//! shared runtime prelude plus the implementation).
+
+use security_policy_oracle::compare_implementations;
+use spo_core::{
+    diff_libraries, export_policies, group_differences, import_policies, render_reports,
+    AnalysisOptions, Analyzer, EventDef,
+};
+use spo_jir::Program;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("diff-policies") => cmd_diff_policies(&args[1..]),
+        Some("throws") => cmd_throws(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+spo — security policy oracle (PLDI 2011 reproduction)
+
+USAGE:
+  spo check <file.jir>... [--lint]
+  spo analyze <file.jir>... [--broad]
+  spo export <file.jir>... [--name NAME]
+  spo diff <left.jir>... --vs <right.jir>... [--no-icp] [--broad] [--intra-only] [--html]
+  spo diff-policies <left-policies.txt> <right-policies.txt>
+  spo throws <left.jir>... --vs <right.jir>...
+";
+
+/// Parses a flag set out of an argument list, returning remaining
+/// positional arguments.
+fn split_flags<'a>(args: &'a [String], flags: &mut Vec<&'a str>) -> Vec<&'a String> {
+    let mut positional = Vec::new();
+    for a in args {
+        if a.starts_with("--") {
+            flags.push(a.as_str());
+        } else {
+            positional.push(a);
+        }
+    }
+    positional
+}
+
+fn load_program(paths: &[&String]) -> Result<Program, String> {
+    if paths.is_empty() {
+        return Err("no input files".to_owned());
+    }
+    let mut program = Program::new();
+    for path in paths {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        spo_jir::parse_into(&src, &mut program).map_err(|e| format!("{path}:{e}"))?;
+    }
+    Ok(program)
+}
+
+fn options_from(flags: &[&str]) -> Result<AnalysisOptions, String> {
+    let mut options = AnalysisOptions::default();
+    for f in flags {
+        match *f {
+            "--no-icp" => options.icp = false,
+            "--broad" => options.events = EventDef::Broad,
+            "--intra-only" => options.interprocedural = false,
+            other if other.starts_with("--name") => {}
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let mut flags = Vec::new();
+    let paths = split_flags(args, &mut flags);
+    let lint = flags.contains(&"--lint");
+    let program = load_program(&paths)?;
+    let entries = spo_resolve::entry_points(&program);
+    let hierarchy = spo_resolve::Hierarchy::new(&program);
+    let cg = spo_resolve::CallGraph::from_entry_points(&hierarchy);
+    let stats = cg.stats();
+    println!(
+        "{} classes, {} statements, {} entry points, {} reachable methods",
+        program.class_count(),
+        program.stmt_count(),
+        entries.len(),
+        cg.reachable_count(),
+    );
+    println!(
+        "call sites: {} unique, {} ambiguous, {} unknown ({:.1}% resolved)",
+        stats.unique,
+        stats.ambiguous,
+        stats.unknown,
+        stats.resolved_fraction() * 100.0,
+    );
+    if lint {
+        let lints = spo_resolve::lint_program(&program);
+        for l in &lints {
+            println!("lint: {} (stmt {}): {}", l.location, l.stmt, l.kind);
+        }
+        println!("{} lint finding(s)", lints.len());
+        if !lints.is_empty() {
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
+    let mut flags = Vec::new();
+    let paths = split_flags(args, &mut flags);
+    let options = options_from(&flags)?;
+    let program = load_program(&paths)?;
+    let lib = Analyzer::new(&program, options).analyze_library("input");
+    for (sig, entry) in &lib.entries {
+        if entry.has_no_checks() {
+            continue;
+        }
+        println!("entry {sig}");
+        for (event, policy) in &entry.events {
+            println!("  {}", policy.render(event).replace('\n', "\n  "));
+        }
+    }
+    println!(
+        "# {} entry points, {} with checks, {} may / {} must policies",
+        lib.stats.entry_points,
+        lib.entries_with_checks(),
+        lib.may_policy_count(),
+        lib.must_policy_count(),
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_export(args: &[String]) -> Result<ExitCode, String> {
+    let mut flags = Vec::new();
+    let mut name = "library".to_owned();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(a) = iter.next() {
+        if a == "--name" {
+            name = iter.next().ok_or("--name needs a value")?.clone();
+        } else if a.starts_with("--") {
+            flags.push(a.as_str());
+        } else {
+            positional.push(a);
+        }
+    }
+    let options = options_from(&flags)?;
+    let program = load_program(&positional)?;
+    let lib = Analyzer::new(&program, options).analyze_library(&name);
+    print!("{}", export_policies(&lib));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let vs = args
+        .iter()
+        .position(|a| a == "--vs")
+        .ok_or("diff needs `--vs` separating the two implementations")?;
+    let mut flags = Vec::new();
+    let left_paths = split_flags(&args[..vs], &mut flags);
+    let right_paths = split_flags(&args[vs + 1..], &mut flags);
+    let html = flags.contains(&"--html");
+    let flags: Vec<&str> = flags.into_iter().filter(|f| *f != "--html").collect();
+    let options = options_from(&flags)?;
+    let left = load_program(&left_paths)?;
+    let right = load_program(&right_paths)?;
+    let report = compare_implementations(&left, "left", &right, "right", options);
+    if html {
+        print!("{}", spo_core::render_html(&report.diff, &report.groups));
+    } else {
+        print!("{}", report.render());
+    }
+    Ok(if report.groups.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn cmd_throws(args: &[String]) -> Result<ExitCode, String> {
+    let vs = args
+        .iter()
+        .position(|a| a == "--vs")
+        .ok_or("throws needs `--vs` separating the two implementations")?;
+    let mut flags = Vec::new();
+    let left_paths = split_flags(&args[..vs], &mut flags);
+    let right_paths = split_flags(&args[vs + 1..], &mut flags);
+    let left = load_program(&left_paths)?;
+    let right = load_program(&right_paths)?;
+    let lt = spo_core::ThrowsAnalyzer::new(&left).analyze_library("left");
+    let rt = spo_core::ThrowsAnalyzer::new(&right).analyze_library("right");
+    let diffs = spo_core::diff_throws(&lt, &rt);
+    for d in &diffs {
+        println!("entry {}", d.signature);
+        if !d.only_left.is_empty() {
+            println!("  only left throws:  {:?}", d.only_left);
+        }
+        if !d.only_right.is_empty() {
+            println!("  only right throws: {:?}", d.only_right);
+        }
+    }
+    println!("# {} exception-behaviour difference(s)", diffs.len());
+    Ok(if diffs.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn cmd_diff_policies(args: &[String]) -> Result<ExitCode, String> {
+    let [left_path, right_path] = args else {
+        return Err("diff-policies needs exactly two policy files".to_owned());
+    };
+    let read = |p: &String| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let left = import_policies(&read(left_path)?).map_err(|e| format!("{left_path}: {e}"))?;
+    let right = import_policies(&read(right_path)?).map_err(|e| format!("{right_path}: {e}"))?;
+    let diff = diff_libraries(&left, &right);
+    let groups = group_differences(&diff, &Default::default());
+    print!("{}", render_reports(&diff, &groups));
+    Ok(if groups.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}

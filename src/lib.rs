@@ -1,0 +1,167 @@
+//! # security-policy-oracle
+//!
+//! A reproduction of *"A Security Policy Oracle: Detecting Security Holes
+//! Using Multiple API Implementations"* (Srivastava, Bond, McKinley,
+//! Shmatikov; PLDI 2011) as a Rust library suite.
+//!
+//! The oracle's idea: many APIs have multiple, independent implementations
+//! that must enforce the same security policy. Extract each
+//! implementation's policy — which `SecurityManager` checks *may* and
+//! *must* precede each security-sensitive event — with a flow- and
+//! context-sensitive interprocedural analysis, then **difference** the
+//! policies. Any difference is at least an interoperability bug, and
+//! possibly an exploitable vulnerability.
+//!
+//! This facade re-exports the constituent crates and offers the one-call
+//! [`compare_implementations`] pipeline.
+//!
+//! * [`jir`] — the Jimple-like IR, builder, and `.jir` textual frontend;
+//! * [`resolve`] — class hierarchy, devirtualization, call graphs;
+//! * [`dataflow`] — the worklist engine, lattices, constant propagation;
+//! * [`core`] — SPDA/ISPA policy extraction and policy differencing;
+//! * [`corpus`] — the paper-figure scenarios and the synthetic
+//!   three-implementation corpus.
+//!
+//! # Examples
+//!
+//! Run the oracle on the paper's Figure 1 (Harmony's `DatagramSocket.
+//! connect` missing `checkAccept`):
+//!
+//! ```
+//! use security_policy_oracle::{compare_implementations, corpus, core};
+//!
+//! let fig = corpus::figures::FIGURE1;
+//! let jdk = fig.program(corpus::Lib::Jdk);
+//! let harmony = fig.program(corpus::Lib::Harmony);
+//! let report = compare_implementations(
+//!     &jdk,
+//!     "jdk",
+//!     &harmony,
+//!     "harmony",
+//!     core::AnalysisOptions::default(),
+//! );
+//! assert_eq!(report.groups.len(), 1);
+//! assert!(report.groups[0]
+//!     .representative
+//!     .delta
+//!     .contains(core::Check::Accept));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use spo_core as core;
+pub use spo_corpus as corpus;
+pub use spo_dataflow as dataflow;
+pub use spo_jir as jir;
+pub use spo_resolve as resolve;
+
+use spo_core::{
+    diff_libraries, group_differences, root_keys, AnalysisOptions, Analyzer, DiffResult,
+    LibraryPolicies, ReportGroup,
+};
+use spo_jir::Program;
+
+/// The complete output of one pairwise comparison.
+#[derive(Debug)]
+pub struct PairingReport {
+    /// Policies of the first implementation.
+    pub left: LibraryPolicies,
+    /// Policies of the second implementation.
+    pub right: LibraryPolicies,
+    /// Raw differencing output.
+    pub diff: DiffResult,
+    /// Differences grouped by root cause and classified
+    /// (intraprocedural / interprocedural / MUST-MAY).
+    pub groups: Vec<ReportGroup>,
+}
+
+impl PairingReport {
+    /// Renders the report as the human-readable listing.
+    pub fn render(&self) -> String {
+        spo_core::render_reports(&self.diff, &self.groups)
+    }
+}
+
+/// One pairing of a multi-implementation comparison.
+#[derive(Debug)]
+pub struct PairingEntry {
+    /// Names of the two implementations compared.
+    pub pair: (String, String),
+    /// The pairing's report.
+    pub report: PairingReport,
+}
+
+/// Compares every pair of implementations, as the paper does for its three
+/// Java Class Library subjects ("We compare each implementation to the
+/// other two"), returning one report per unordered pairing.
+///
+/// # Examples
+///
+/// ```
+/// use security_policy_oracle::{compare_all, corpus, core::AnalysisOptions};
+///
+/// let fig = corpus::figures::FIGURE1;
+/// let programs = [
+///     ("jdk", fig.program(corpus::Lib::Jdk)),
+///     ("harmony", fig.program(corpus::Lib::Harmony)),
+///     ("classpath", fig.program(corpus::Lib::Classpath)),
+/// ];
+/// let refs: Vec<(&str, &spo_jir::Program)> =
+///     programs.iter().map(|(n, p)| (*n, p)).collect();
+/// let pairings = compare_all(&refs, AnalysisOptions::default());
+/// assert_eq!(pairings.len(), 3);
+/// // Harmony's missing checkAccept shows up against both correct sides.
+/// let buggy = pairings
+///     .iter()
+///     .filter(|p| !p.report.groups.is_empty())
+///     .count();
+/// assert_eq!(buggy, 2);
+/// ```
+pub fn compare_all(
+    implementations: &[(&str, &Program)],
+    options: AnalysisOptions,
+) -> Vec<PairingEntry> {
+    let mut out = Vec::new();
+    for i in 0..implementations.len() {
+        for j in i + 1..implementations.len() {
+            let (ln, lp) = implementations[i];
+            let (rn, rp) = implementations[j];
+            out.push(PairingEntry {
+                pair: (ln.to_owned(), rn.to_owned()),
+                report: compare_implementations(lp, ln, rp, rn, options),
+            });
+        }
+    }
+    out
+}
+
+/// Runs the full oracle pipeline over two implementations of the same API:
+/// policy extraction on each, policy differencing, an
+/// intraprocedural-only ablation for root-cause classification, and
+/// root-cause grouping.
+///
+/// # Examples
+///
+/// See the crate-level example.
+pub fn compare_implementations(
+    left: &Program,
+    left_name: &str,
+    right: &Program,
+    right_name: &str,
+    options: AnalysisOptions,
+) -> PairingReport {
+    let left_lib = Analyzer::new(left, options).analyze_library(left_name);
+    let right_lib = Analyzer::new(right, options).analyze_library(right_name);
+    let diff = diff_libraries(&left_lib, &right_lib);
+
+    // Intraprocedural ablation: which differences would a local-only
+    // analysis still see?
+    let intra_options = AnalysisOptions { interprocedural: false, ..options };
+    let left_intra = Analyzer::new(left, intra_options).analyze_library(left_name);
+    let right_intra = Analyzer::new(right, intra_options).analyze_library(right_name);
+    let intra_keys = root_keys(&diff_libraries(&left_intra, &right_intra));
+
+    let groups = group_differences(&diff, &intra_keys);
+    PairingReport { left: left_lib, right: right_lib, diff, groups }
+}

@@ -1,0 +1,246 @@
+//! End-to-end tests of the `spo` command-line interface, exercising the
+//! "share policies without sharing code" workflow of §8.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn spo(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_spo"))
+        .args(args)
+        .output()
+        .expect("spo binary runs")
+}
+
+fn write_temp(name: &str, content: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("spo-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+const RUNTIME: &str = r#"
+class java.lang.SecurityManager {
+  method public native void checkWrite(java.lang.Object file);
+}
+class java.lang.System {
+  field static java.lang.SecurityManager security;
+  method public static java.lang.SecurityManager getSecurityManager() {
+    local java.lang.SecurityManager sm;
+    sm = java.lang.System.security;
+    return sm;
+  }
+}
+"#;
+
+const CHECKED: &str = r#"
+class api.W {
+  method public void write(java.lang.String p) {
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto go;
+    virtualinvoke sm.checkWrite(p);
+  go:
+    staticinvoke api.W.write0(p);
+    return;
+  }
+  method private static native void write0(java.lang.String p);
+}
+"#;
+
+const UNCHECKED: &str = r#"
+class api.W {
+  method public void write(java.lang.String p) {
+    staticinvoke api.W.write0(p);
+    return;
+  }
+  method private static native void write0(java.lang.String p);
+}
+"#;
+
+#[test]
+fn help_prints_usage() {
+    let out = spo(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = spo(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn check_reports_stats() {
+    let rt = write_temp("rt.jir", RUNTIME);
+    let a = write_temp("a.jir", CHECKED);
+    let out = spo(&["check", rt.to_str().unwrap(), a.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("entry points"), "{stdout}");
+    assert!(stdout.contains("% resolved"), "{stdout}");
+}
+
+#[test]
+fn analyze_prints_policies() {
+    let rt = write_temp("rt2.jir", RUNTIME);
+    let a = write_temp("a2.jir", CHECKED);
+    let out = spo(&["analyze", rt.to_str().unwrap(), a.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("api.W.write"), "{stdout}");
+    assert!(stdout.contains("checkWrite"), "{stdout}");
+}
+
+#[test]
+fn diff_detects_missing_check_and_sets_exit_code() {
+    let rt = write_temp("rt3.jir", RUNTIME);
+    let a = write_temp("a3.jir", CHECKED);
+    let b = write_temp("b3.jir", UNCHECKED);
+    let out = spo(&[
+        "diff",
+        rt.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "--vs",
+        rt.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    // Differences found => exit code 1.
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("checkWrite"), "{stdout}");
+    assert!(stdout.contains("1 distinct difference"), "{stdout}");
+}
+
+#[test]
+fn diff_of_identical_implementations_is_clean() {
+    let rt = write_temp("rt4.jir", RUNTIME);
+    let a = write_temp("a4.jir", CHECKED);
+    let out = spo(&[
+        "diff",
+        rt.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "--vs",
+        rt.to_str().unwrap(),
+        a.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn export_then_diff_policies_matches_direct_diff() {
+    // The §8 workflow: each vendor exports policies; anyone can difference
+    // the policy files without any source code.
+    let rt = write_temp("rt5.jir", RUNTIME);
+    let a = write_temp("a5.jir", CHECKED);
+    let b = write_temp("b5.jir", UNCHECKED);
+    let export = |name: &str, file: &PathBuf| {
+        let out = spo(&[
+            "export",
+            rt.to_str().unwrap(),
+            file.to_str().unwrap(),
+            "--name",
+            name,
+        ]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        write_temp(&format!("{name}.policies"), &String::from_utf8_lossy(&out.stdout))
+    };
+    let pa = export("vendor-a", &a);
+    let pb = export("vendor-b", &b);
+    let out = spo(&["diff-policies", pa.to_str().unwrap(), pb.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("checkWrite"), "{stdout}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = spo(&["analyze", "/nonexistent/zzz.jir"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn check_lint_flags_dangling_references() {
+    let bad = write_temp(
+        "bad.jir",
+        "class A { method public void m() { staticinvoke gone.Class.f(); return; } }",
+    );
+    let out = spo(&["check", bad.to_str().unwrap(), "--lint"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("undeclared class"), "{stdout}");
+
+    let good = write_temp("good.jir", "class A { method public void m() { return; } }");
+    let out = spo(&["check", good.to_str().unwrap(), "--lint"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 lint finding(s)"));
+}
+
+#[test]
+fn throws_subcommand_reports_exception_differences() {
+    let thrower = write_temp(
+        "thrower.jir",
+        r#"
+class err.Boom { }
+class api.S {
+  method public void act(bool ok) {
+    local err.Boom e;
+    if ok goto done;
+    e = new err.Boom;
+    throw e;
+  done:
+    return;
+  }
+}
+"#,
+    );
+    let silent = write_temp(
+        "silent.jir",
+        r#"
+class api.S {
+  method public void act(bool ok) {
+    return;
+  }
+}
+"#,
+    );
+    let out = spo(&[
+        "throws",
+        thrower.to_str().unwrap(),
+        "--vs",
+        silent.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("err.Boom"), "{stdout}");
+    // Identical sides: clean.
+    let out = spo(&[
+        "throws",
+        thrower.to_str().unwrap(),
+        "--vs",
+        thrower.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn diff_html_emits_escaped_document() {
+    let rt = write_temp("rt6.jir", RUNTIME);
+    let a = write_temp("a6.jir", CHECKED);
+    let b = write_temp("b6.jir", UNCHECKED);
+    let out = spo(&[
+        "diff",
+        rt.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "--vs",
+        rt.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--html",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("<!DOCTYPE html>"), "{stdout}");
+    assert!(stdout.contains("checkWrite"));
+}

@@ -1,0 +1,181 @@
+//! Full-pipeline integration test: generate the three-implementation
+//! corpus, run the oracle over every pairing, classify the grouped reports
+//! against the ground-truth catalog, and check the Table 3 counts.
+
+use security_policy_oracle::{compare_implementations, PairingReport};
+use spo_core::{AnalysisOptions, ReportGroup};
+use spo_corpus::{generate, BugCategory, Corpus, CorpusConfig, Lib};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// `(distinct, manifestations)` per ground-truth category and buggy lib.
+type CategoryCounts = BTreeMap<(BugCategory, Lib), (usize, usize)>;
+
+fn corpus() -> Corpus {
+    generate(&CorpusConfig::test_sized())
+}
+
+fn run_pairing(corpus: &Corpus, a: Lib, b: Lib, options: AnalysisOptions) -> PairingReport {
+    compare_implementations(
+        corpus.program(a),
+        a.name(),
+        corpus.program(b),
+        b.name(),
+        options,
+    )
+}
+
+/// Tallies grouped reports by ground-truth category.
+fn tally(corpus: &Corpus, groups: &[ReportGroup]) -> (CategoryCounts, Vec<String>) {
+    let mut counts: CategoryCounts = BTreeMap::new();
+    let mut unmatched = Vec::new();
+    for g in groups {
+        match corpus.catalog.classify(g) {
+            Some(bug) => {
+                let slot = counts.entry((bug.category, bug.buggy_lib)).or_default();
+                slot.0 += 1;
+                slot.1 += g.manifestation_count();
+            }
+            None => unmatched.push(format!(
+                "UNMATCHED {} ({} manifests): {:?}",
+                g.root_key,
+                g.manifestation_count(),
+                g.manifestations.iter().take(3).collect::<Vec<_>>()
+            )),
+        }
+    }
+    (counts, unmatched)
+}
+
+fn check_pairing(corpus: &Corpus, a: Lib, b: Lib) {
+    let report = run_pairing(corpus, a, b, AnalysisOptions::default());
+    let (counts, unmatched) = tally(corpus, &report.groups);
+    assert!(
+        unmatched.is_empty(),
+        "{a} vs {b}: every reported difference must be an injected bug \
+         (no intrinsic false positives):\n{}",
+        unmatched.join("\n")
+    );
+    let expected = corpus.catalog.expected(a, b);
+    for (lib, want) in &expected.vulns {
+        let got = counts
+            .get(&(BugCategory::Vulnerability, *lib))
+            .copied()
+            .unwrap_or_default();
+        assert_eq!(
+            got, *want,
+            "{a} vs {b}: vulnerabilities in {lib} (distinct, manifestations)"
+        );
+    }
+    let interop: (usize, usize) = Lib::ALL
+        .iter()
+        .filter_map(|l| counts.get(&(BugCategory::Interop, *l)))
+        .fold((0, 0), |acc, c| (acc.0 + c.0, acc.1 + c.1));
+    assert_eq!(interop, expected.interop, "{a} vs {b}: interop bugs");
+    let fps: (usize, usize) = Lib::ALL
+        .iter()
+        .filter_map(|l| counts.get(&(BugCategory::FalsePositive, *l)))
+        .fold((0, 0), |acc, c| (acc.0 + c.0, acc.1 + c.1));
+    assert_eq!(fps, expected.false_positives, "{a} vs {b}: false positives");
+    // With ICP on, no ICP-only bug may be reported.
+    for l in Lib::ALL {
+        assert!(
+            !counts.contains_key(&(BugCategory::IcpOnly, l)),
+            "{a} vs {b}: ICP-only difference reported despite ICP"
+        );
+    }
+}
+
+#[test]
+fn classpath_vs_harmony_matches_table_3() {
+    let c = corpus();
+    check_pairing(&c, Lib::Classpath, Lib::Harmony);
+}
+
+#[test]
+fn jdk_vs_harmony_matches_table_3() {
+    let c = corpus();
+    check_pairing(&c, Lib::Jdk, Lib::Harmony);
+}
+
+#[test]
+fn jdk_vs_classpath_matches_table_3() {
+    let c = corpus();
+    check_pairing(&c, Lib::Jdk, Lib::Classpath);
+}
+
+#[test]
+fn icp_ablation_eliminates_exactly_the_planned_false_positives() {
+    let c = corpus();
+    for (a, b) in [
+        (Lib::Classpath, Lib::Harmony),
+        (Lib::Jdk, Lib::Harmony),
+        (Lib::Jdk, Lib::Classpath),
+    ] {
+        let with_icp = run_pairing(&c, a, b, AnalysisOptions::default());
+        let without = run_pairing(&c, a, b, AnalysisOptions { icp: false, ..Default::default() });
+        let on_keys: BTreeSet<&str> =
+            with_icp.groups.iter().map(|g| g.root_key.as_str()).collect();
+        let eliminated: Vec<&ReportGroup> = without
+            .groups
+            .iter()
+            .filter(|g| !on_keys.contains(g.root_key.as_str()))
+            .collect();
+        let expected = c.catalog.expected(a, b).icp_eliminated;
+        let distinct = eliminated.len();
+        let manifests: usize = eliminated.iter().map(|g| g.manifestation_count()).sum();
+        assert_eq!(
+            (distinct, manifests),
+            expected,
+            "{a} vs {b}: ICP-eliminated differences"
+        );
+        // Every eliminated difference is a planned IcpOnly bug.
+        for g in eliminated {
+            let bug = c
+                .catalog
+                .classify(g)
+                .unwrap_or_else(|| panic!("{a} vs {b}: unplanned ICP-off diff {}", g.root_key));
+            assert_eq!(bug.category, BugCategory::IcpOnly, "{}", bug.id);
+        }
+    }
+}
+
+#[test]
+fn matching_api_counts_scale_with_groups() {
+    let c = corpus();
+    let jh = run_pairing(&c, Lib::Jdk, Lib::Harmony, AnalysisOptions::default());
+    let jc = run_pairing(&c, Lib::Jdk, Lib::Classpath, AnalysisOptions::default());
+    let ch = run_pairing(&c, Lib::Classpath, Lib::Harmony, AnalysisOptions::default());
+    // The prelude and All-group entries are shared by every pairing, so
+    // matching counts are substantial; JC shares an extra background group
+    // plus the large JC-only bug wrappers.
+    assert!(jc.diff.matching_apis > ch.diff.matching_apis);
+    assert!(jh.diff.matching_apis > 0);
+}
+
+#[test]
+fn total_vulnerabilities_match_paper_totals() {
+    let c = corpus();
+    assert_eq!(c.catalog.total_vulnerabilities(Lib::Jdk), 6);
+    assert_eq!(c.catalog.total_vulnerabilities(Lib::Harmony), 6);
+    assert_eq!(c.catalog.total_vulnerabilities(Lib::Classpath), 8);
+}
+
+#[test]
+fn broad_events_find_no_new_bugs_on_the_corpus() {
+    // §3: the broad definition did not find additional bugs on the JCL.
+    // On the synthetic corpus it may add *manifestations* of already-known
+    // root causes but must not surface unplanned differences.
+    let c = corpus();
+    let broad = run_pairing(
+        &c,
+        Lib::Jdk,
+        Lib::Harmony,
+        AnalysisOptions { events: spo_core::EventDef::Broad, ..Default::default() },
+    );
+    let (_, unmatched) = tally(&c, &broad.groups);
+    assert!(
+        unmatched.is_empty(),
+        "broad events surfaced unplanned differences:\n{}",
+        unmatched.join("\n")
+    );
+}

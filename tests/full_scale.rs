@@ -1,0 +1,103 @@
+//! Full-scale (paper-sized) validation, ignored by default because it
+//! takes seconds rather than milliseconds. Run with:
+//!
+//! ```text
+//! cargo test --release --test full_scale -- --ignored
+//! ```
+
+use security_policy_oracle::compare_implementations;
+use spo_core::AnalysisOptions;
+use spo_corpus::{generate, BugCategory, CorpusConfig, Lib};
+
+#[test]
+#[ignore = "paper-sized corpus; run explicitly with --ignored"]
+fn table_3_exact_cells_at_scale_one() {
+    let corpus = generate(&CorpusConfig::default());
+    for (a, b) in [
+        (Lib::Classpath, Lib::Harmony),
+        (Lib::Jdk, Lib::Harmony),
+        (Lib::Jdk, Lib::Classpath),
+    ] {
+        let report = compare_implementations(
+            corpus.program(a),
+            a.name(),
+            corpus.program(b),
+            b.name(),
+            AnalysisOptions::default(),
+        );
+        let expected = corpus.catalog.expected(a, b);
+        let mut vulns_a = (0, 0);
+        let mut vulns_b = (0, 0);
+        let mut interop = (0, 0);
+        let mut fps = (0, 0);
+        for g in &report.groups {
+            let bug = corpus
+                .catalog
+                .classify(g)
+                .unwrap_or_else(|| panic!("{a} vs {b}: unplanned report {}", g.root_key));
+            let m = g.manifestation_count();
+            let slot = match bug.category {
+                BugCategory::Vulnerability if bug.buggy_lib == a => &mut vulns_a,
+                BugCategory::Vulnerability => &mut vulns_b,
+                BugCategory::Interop => &mut interop,
+                BugCategory::FalsePositive => &mut fps,
+                BugCategory::IcpOnly => panic!("ICP-only bug reported with ICP on"),
+            };
+            slot.0 += 1;
+            slot.1 += m;
+        }
+        if let Some(want) = expected.vulns.get(&a) {
+            assert_eq!(vulns_a, *want, "{a} vs {b}: vulns in {a}");
+        }
+        if let Some(want) = expected.vulns.get(&b) {
+            assert_eq!(vulns_b, *want, "{a} vs {b}: vulns in {b}");
+        }
+        assert_eq!(interop, expected.interop, "{a} vs {b}: interop");
+        assert_eq!(fps, expected.false_positives, "{a} vs {b}: FPs");
+    }
+}
+
+#[test]
+#[ignore = "paper-sized corpus; run explicitly with --ignored"]
+fn library_shapes_at_scale_one() {
+    let corpus = generate(&CorpusConfig::default());
+    let mut entry_counts = Vec::new();
+    for lib in Lib::ALL {
+        let analyzer =
+            spo_core::Analyzer::new(corpus.program(lib), AnalysisOptions::default());
+        let policies = analyzer.analyze_library(lib.name());
+        entry_counts.push((lib, policies.stats.entry_points));
+        // may > must counting shape, as in Table 1.
+        assert!(
+            policies.may_policy_count() >= policies.must_policy_count(),
+            "{lib}"
+        );
+        // A small fraction of entries carries checks.
+        let frac =
+            policies.entries_with_checks() as f64 / policies.stats.entry_points as f64;
+        assert!(frac < 0.25, "{lib}: {frac}");
+    }
+    // jdk > harmony > classpath ordering of entry points.
+    assert!(entry_counts[0].1 > entry_counts[1].1);
+    assert!(entry_counts[1].1 > entry_counts[2].1);
+}
+
+#[test]
+#[ignore = "paper-sized corpus; run explicitly with --ignored"]
+fn memoization_speedup_shape_at_scale_one() {
+    use spo_core::{Analyzer, MemoScope};
+    let corpus = generate(&CorpusConfig::default());
+    let p = corpus.program(Lib::Jdk);
+    let time = |memo| {
+        let lib = Analyzer::new(p, AnalysisOptions { memo, ..Default::default() })
+            .analyze_library("jdk");
+        (lib.stats.may_nanos + lib.stats.must_nanos, lib.stats.frames_analyzed)
+    };
+    let (none_t, none_f) = time(MemoScope::None);
+    let (per_t, per_f) = time(MemoScope::PerEntry);
+    let (global_t, global_f) = time(MemoScope::Global);
+    // Frame counts are deterministic; times should follow on any sane box.
+    assert!(none_f > per_f && per_f > global_f, "{none_f} / {per_f} / {global_f}");
+    assert!(none_t > global_t, "{none_t} vs {global_t}");
+    assert!(none_t > per_t, "{none_t} vs {per_t}");
+}

@@ -1,0 +1,37 @@
+//! Golden-file stability tests: the exchange format and the analyzer's
+//! output for the Figure 1 JDK implementation are pinned by a committed
+//! fixture. A diff here means either the exchange format changed (bump the
+//! format header and regenerate) or the analysis results changed
+//! (investigate before regenerating!).
+//!
+//! Regenerate with:
+//! ```text
+//! cargo run -p spo-bench --release --bin gencorpus  # (or the snippet in this file's history)
+//! ```
+
+use spo_core::{export_policies, import_policies, AnalysisOptions, Analyzer};
+use spo_corpus::{figures::FIGURE1, Lib};
+
+const FIXTURE: &str = include_str!("fixtures/figure1_jdk.policies");
+
+#[test]
+fn figure1_jdk_policies_match_the_committed_fixture() {
+    let p = FIGURE1.program(Lib::Jdk);
+    let lib = Analyzer::new(&p, AnalysisOptions::default()).analyze_library("jdk-figure1");
+    let exported = export_policies(&lib);
+    assert_eq!(
+        exported, FIXTURE,
+        "analyzer output or exchange format drifted from the golden fixture"
+    );
+}
+
+#[test]
+fn committed_fixture_still_imports() {
+    let lib = import_policies(FIXTURE).expect("fixture parses");
+    assert_eq!(lib.name, "jdk-figure1");
+    let entry = &lib.entries["java.net.DatagramSocket.connect(java.net.InetAddress,int)"];
+    // The Figure 2 policy survives the round trip through the file.
+    let ret = &entry.events[&spo_core::EventKey::ApiReturn];
+    assert_eq!(ret.may_paths.disjuncts().len(), 3);
+    assert!(ret.must.is_empty());
+}
