@@ -25,8 +25,8 @@ fn main() {
     let corpus = corpus_from_env();
     let harmony = Analyzer::new(corpus.program(Lib::Harmony), AnalysisOptions::default())
         .analyze_library("harmony");
-    let jdk = Analyzer::new(corpus.program(Lib::Jdk), AnalysisOptions::default())
-        .analyze_library("jdk");
+    let jdk =
+        Analyzer::new(corpus.program(Lib::Jdk), AnalysisOptions::default()).analyze_library("jdk");
 
     // --- The oracle.
     let report = compare_implementations(
@@ -66,15 +66,16 @@ fn main() {
             .groups
             .iter()
             .filter(|g| {
-                corpus
-                    .catalog
-                    .classify(g)
-                    .is_some_and(|b| b.buggy_lib == Lib::Harmony
-                        && b.category == BugCategory::Vulnerability)
+                corpus.catalog.classify(g).is_some_and(|b| {
+                    b.buggy_lib == Lib::Harmony && b.category == BugCategory::Vulnerability
+                })
             })
             .flat_map(|g| g.manifestations.iter().map(String::as_str))
             .collect();
-        let real = deviations.iter().filter(|d| vuln_sigs.contains(&d.signature.as_str())).count();
+        let real = deviations
+            .iter()
+            .filter(|d| vuln_sigs.contains(&d.signature.as_str()))
+            .count();
         table.row(vec![
             format!("miner (sup>={sup}, conf>={conf})"),
             "1 implementation".to_owned(),

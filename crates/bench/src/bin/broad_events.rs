@@ -23,10 +23,19 @@ fn main() {
     let narrow = analyze_all(&corpus, AnalysisOptions::default());
     let broad = analyze_all(
         &corpus,
-        AnalysisOptions { events: EventDef::Broad, ..Default::default() },
+        AnalysisOptions {
+            events: EventDef::Broad,
+            ..Default::default()
+        },
     );
 
-    let mut table = Table::new(vec!["library", "narrow policies", "broad policies", "ratio", "(paper)"]);
+    let mut table = Table::new(vec![
+        "library",
+        "narrow policies",
+        "broad policies",
+        "ratio",
+        "(paper)",
+    ]);
     for ((lib, n), (_, b)) in narrow.iter().zip(&broad) {
         let np = n.may_policy_count() + n.must_policy_count();
         let bp = b.may_policy_count() + b.must_policy_count();
@@ -50,7 +59,10 @@ fn main() {
             a.name(),
             corpus.program(b),
             b.name(),
-            AnalysisOptions { events, ..Default::default() },
+            AnalysisOptions {
+                events,
+                ..Default::default()
+            },
         )
     };
     let narrow_run = run(EventDef::Narrow);
@@ -75,19 +87,17 @@ fn main() {
     // Figure 3: the hypothetical bug ONLY broad events detect.
     let impl1 = FIGURE3.program(Lib::Jdk);
     let impl2 = FIGURE3.program(Lib::Harmony);
-    let fig3_narrow = compare_implementations(
-        &impl1,
-        "impl1",
-        &impl2,
-        "impl2",
-        AnalysisOptions::default(),
-    );
+    let fig3_narrow =
+        compare_implementations(&impl1, "impl1", &impl2, "impl2", AnalysisOptions::default());
     let fig3_broad = compare_implementations(
         &impl1,
         "impl1",
         &impl2,
         "impl2",
-        AnalysisOptions { events: EventDef::Broad, ..Default::default() },
+        AnalysisOptions {
+            events: EventDef::Broad,
+            ..Default::default()
+        },
     );
     println!(
         "\nFigure 3 scenario: narrow reports {} difference(s), broad reports {}",

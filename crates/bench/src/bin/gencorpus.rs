@@ -24,10 +24,16 @@ fn main() {
         match a.as_str() {
             "--out" => out_dir = PathBuf::from(args.next().expect("--out needs a path")),
             "--scale" => {
-                scale = args.next().and_then(|v| v.parse().ok()).expect("--scale needs a number")
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number")
             }
             "--seed" => {
-                seed = args.next().and_then(|v| v.parse().ok()).expect("--seed needs a number")
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number")
             }
             other => {
                 eprintln!("unknown flag `{other}`");

@@ -54,13 +54,21 @@ fn main() {
             .map(|(_, p)| p)
             .expect("all libs analyzed")
     };
-    metric(&mut table, "Non-comment lines of code", 0, &|l| corpus.loc(l));
-    metric(&mut table, "Entry points", 1, &|l| get(l).stats.entry_points);
+    metric(&mut table, "Non-comment lines of code", 0, &|l| {
+        corpus.loc(l)
+    });
+    metric(&mut table, "Entry points", 1, &|l| {
+        get(l).stats.entry_points
+    });
     metric(&mut table, "Entry points w/ security checks", 2, &|l| {
         get(l).entries_with_checks()
     });
-    metric(&mut table, "may security policies", 3, &|l| get(l).may_policy_count());
-    metric(&mut table, "must security policies", 4, &|l| get(l).must_policy_count());
+    metric(&mut table, "may security policies", 3, &|l| {
+        get(l).may_policy_count()
+    });
+    metric(&mut table, "must security policies", 4, &|l| {
+        get(l).must_policy_count()
+    });
 
     println!("\nTable 1: Library characteristics (measured vs paper)\n");
     println!("{}", table.render());

@@ -1,19 +1,26 @@
 //! Regenerates **Table 2 — Analysis time** for the MAY and MUST passes
 //! under the three memoization configurations: no summaries, per-entry
-//! summaries, and global summaries.
+//! summaries, and global summaries — plus the engine's parallel
+//! global-memo configuration, which the paper's serial analysis had no
+//! counterpart for.
 //!
 //! The paper reports minutes on 2011 hardware for 600 KLoC subjects; the
 //! reproduction target is the *shape* — per-entry memoization beats no
 //! memoization, and global memoization beats both by a further large
 //! factor (the paper's overall 15–65×).
 //!
+//! Besides the console tables, the binary writes `BENCH_table2.json`
+//! (wall-clock and memo hit rates per configuration, machine-readable)
+//! into the current directory.
+//!
 //! ```text
 //! cargo run -p spo-bench --release --bin table2
 //! ```
 
-use spo_bench::{corpus_from_env, Table};
-use spo_core::{AnalysisOptions, Analyzer, MemoScope};
+use spo_bench::{corpus_from_env, scale_from_env, Table};
+use spo_core::{AnalysisOptions, MemoScope};
 use spo_corpus::Lib;
+use spo_engine::{AnalysisEngine, EngineStats};
 
 /// Paper values in minutes: rows (no-memo, per-entry, global) × (may, must)
 /// per library.
@@ -28,36 +35,148 @@ const PAPER_MUST: [(Lib, [usize; 3]); 3] = [
     (Lib::Classpath, [650, 50, 10]),
 ];
 
-fn main() {
-    let corpus = corpus_from_env();
-    let scopes = [
-        ("No summaries", MemoScope::None),
-        ("Summaries (per entry point)", MemoScope::PerEntry),
-        ("Summaries (global)", MemoScope::Global),
-    ];
+/// One measured configuration of one library.
+struct Measurement {
+    config: &'static str,
+    jobs: usize,
+    lib: Lib,
+    stats: EngineStats,
+}
 
-    // measurements[scope][lib] = (may_ms, must_ms)
-    let mut measured = vec![vec![(0.0f64, 0.0f64); 3]; 3];
-    for (si, (name, scope)) in scopes.iter().enumerate() {
-        for (li, lib) in Lib::ALL.iter().enumerate() {
-            let options = AnalysisOptions { memo: *scope, ..Default::default() };
-            let analyzer = Analyzer::new(corpus.program(*lib), options);
-            let policies = analyzer.analyze_library(lib.name());
-            let may_ms = policies.stats.may_nanos as f64 / 1e6;
-            let must_ms = policies.stats.must_nanos as f64 / 1e6;
-            measured[si][li] = (may_ms, must_ms);
-            eprintln!(
-                "{name:<28} {lib:<10} may {may_ms:>9.1} ms  must {must_ms:>9.1} ms  \
-                 ({} frames, {} memo hits)",
-                policies.stats.frames_analyzed, policies.stats.memo_hits
-            );
+impl Measurement {
+    fn may_ms(&self) -> f64 {
+        self.stats.analysis.may_nanos as f64 / 1e6
+    }
+    fn must_ms(&self) -> f64 {
+        self.stats.analysis.must_nanos as f64 / 1e6
+    }
+    fn wall_ms(&self) -> f64 {
+        self.stats.wall_nanos as f64 / 1e6
+    }
+    fn hit_rate(&self) -> f64 {
+        let a = &self.stats.analysis;
+        if a.memo_hits + a.memo_misses == 0 {
+            0.0
+        } else {
+            a.memo_hits as f64 / (a.memo_hits + a.memo_misses) as f64
         }
     }
+}
 
-    for (pass, paper, pick) in [
-        ("MAY", &PAPER_MAY, 0usize),
-        ("MUST", &PAPER_MUST, 1usize),
-    ] {
+fn measure(
+    corpus: &spo_corpus::Corpus,
+    config: &'static str,
+    jobs: usize,
+    scope: MemoScope,
+) -> Vec<Measurement> {
+    let engine = AnalysisEngine::new(jobs);
+    Lib::ALL
+        .iter()
+        .map(|&lib| {
+            let options = AnalysisOptions {
+                memo: scope,
+                ..Default::default()
+            };
+            let (_, stats) = engine.analyze_library(corpus.program(lib), lib.name(), options);
+            let m = Measurement {
+                config,
+                jobs: stats.workers,
+                lib,
+                stats,
+            };
+            eprintln!(
+                "{config:<28} {lib:<10} may {:>9.1} ms  must {:>9.1} ms  wall {:>9.1} ms  \
+                 ({} frames, {} memo hits, {} workers)",
+                m.may_ms(),
+                m.must_ms(),
+                m.wall_ms(),
+                m.stats.analysis.frames_analyzed,
+                m.stats.analysis.memo_hits,
+                m.stats.workers,
+            );
+            m
+        })
+        .collect()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, scale: f64, runs: &[Vec<Measurement>]) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"scale\": {scale},");
+    out.push_str("  \"configurations\": [\n");
+    for (ci, ms) in runs.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"config\": \"{}\",", json_escape(ms[0].config));
+        let _ = writeln!(out, "      \"jobs\": {},", ms[0].jobs);
+        out.push_str("      \"libraries\": [\n");
+        for (li, m) in ms.iter().enumerate() {
+            let a = &m.stats.analysis;
+            let _ = writeln!(
+                out,
+                "        {{ \"library\": \"{}\", \"may_ms\": {:.3}, \"must_ms\": {:.3}, \
+                 \"wall_ms\": {:.3}, \"frames\": {}, \"memo_hits\": {}, \"memo_misses\": {}, \
+                 \"memo_hit_rate\": {:.4}, \"steals\": {}, \"contended\": {} }}{}",
+                m.lib.name(),
+                m.may_ms(),
+                m.must_ms(),
+                m.wall_ms(),
+                a.frames_analyzed,
+                a.memo_hits,
+                a.memo_misses,
+                m.hit_rate(),
+                m.stats.steals,
+                m.stats.contended(),
+                if li + 1 < ms.len() { "," } else { "" },
+            );
+        }
+        out.push_str("      ]\n");
+        let _ = writeln!(out, "    }}{}", if ci + 1 < runs.len() { "," } else { "" });
+    }
+    out.push_str("  ],\n");
+    // Headline: parallel global vs serial global, total wall clock.
+    let total_wall = |ms: &[Measurement]| ms.iter().map(Measurement::wall_ms).sum::<f64>();
+    let serial_global = total_wall(&runs[2]);
+    let parallel_global = total_wall(&runs[3]);
+    let _ = writeln!(out, "  \"serial_global_wall_ms\": {serial_global:.3},");
+    let _ = writeln!(out, "  \"parallel_global_wall_ms\": {parallel_global:.3},");
+    let _ = writeln!(
+        out,
+        "  \"parallel_speedup\": {:.3}",
+        serial_global / parallel_global
+    );
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let corpus = corpus_from_env();
+    let scale = scale_from_env();
+
+    // The three serial configurations of the paper's Table 2 (engine with
+    // one worker ≡ serial analyzer), plus the parallel global-memo run.
+    let runs = vec![
+        measure(&corpus, "No summaries", 1, MemoScope::None),
+        measure(
+            &corpus,
+            "Summaries (per entry point)",
+            1,
+            MemoScope::PerEntry,
+        ),
+        measure(&corpus, "Summaries (global)", 1, MemoScope::Global),
+        measure(
+            &corpus,
+            "Summaries (global, parallel)",
+            0,
+            MemoScope::Global,
+        ),
+    ];
+
+    for (pass, paper, pick) in [("MAY", &PAPER_MAY, 0usize), ("MUST", &PAPER_MUST, 1usize)] {
         let mut table = Table::new(vec![
             "configuration",
             "jdk ms",
@@ -67,13 +186,17 @@ fn main() {
             "classpath ms",
             "(paper min)",
         ]);
-        for (si, (name, _)) in scopes.iter().enumerate() {
-            let mut row = vec![name.to_string()];
-            for (li, lib) in Lib::ALL.iter().enumerate() {
-                let v = if pick == 0 { measured[si][li].0 } else { measured[si][li].1 };
+        for ms in runs.iter().take(3) {
+            let mut row = vec![ms[0].config.to_string()];
+            for m in ms {
+                let v = if pick == 0 { m.may_ms() } else { m.must_ms() };
                 row.push(format!("{v:.1}"));
-                let p = paper.iter().find(|(l, _)| l == lib).unwrap().1[si];
-                row.push(p.to_string());
+                let paper_row = paper.iter().find(|(l, _)| *l == m.lib).unwrap().1;
+                let si = runs
+                    .iter()
+                    .position(|r| r[0].config == ms[0].config)
+                    .unwrap();
+                row.push(paper_row[si].to_string());
             }
             table.row(row);
         }
@@ -83,11 +206,16 @@ fn main() {
 
     // Speedup summary (the paper's headline: 1.5–13x from per-entry
     // summaries, a further 3–18x from global reuse, 15–65x overall).
-    let mut table = Table::new(vec!["library", "no-memo/per-entry", "per-entry/global", "overall"]);
-    for (li, lib) in Lib::ALL.iter().enumerate() {
-        let total = |si: usize| measured[si][li].0 + measured[si][li].1;
+    let mut table = Table::new(vec![
+        "library",
+        "no-memo/per-entry",
+        "per-entry/global",
+        "overall",
+    ]);
+    for (li, first) in runs[0].iter().enumerate() {
+        let total = |ci: usize| runs[ci][li].may_ms() + runs[ci][li].must_ms();
         table.row(vec![
-            lib.to_string(),
+            first.lib.to_string(),
             format!("{:.1}x", total(0) / total(1)),
             format!("{:.1}x", total(1) / total(2)),
             format!("{:.1}x", total(0) / total(2)),
@@ -95,4 +223,32 @@ fn main() {
     }
     println!("Memoization speedups (paper: 1.5-13x, 3-18x, 15-65x)\n");
     println!("{}", table.render());
+
+    // Parallel headline: wall clock of the engine's parallel global-memo
+    // run against the serial global-memo run.
+    let mut table = Table::new(vec![
+        "library",
+        "serial wall ms",
+        "parallel wall ms",
+        "speedup",
+    ]);
+    for (serial, par) in runs[2].iter().zip(&runs[3]) {
+        let (s, p) = (serial.wall_ms(), par.wall_ms());
+        table.row(vec![
+            serial.lib.to_string(),
+            format!("{s:.1}"),
+            format!("{p:.1}"),
+            format!("{:.1}x", s / p),
+        ]);
+    }
+    println!(
+        "Parallel engine (global memo, {} workers)\n",
+        runs[3][0].jobs
+    );
+    println!("{}", table.render());
+
+    match write_json("BENCH_table2.json", scale, &runs) {
+        Ok(()) => eprintln!("wrote BENCH_table2.json"),
+        Err(e) => eprintln!("BENCH_table2.json: {e}"),
+    }
 }

@@ -99,11 +99,17 @@ fn measure(corpus: &Corpus, a: Lib, b: Lib) -> MeasuredCol {
         a.name(),
         corpus.program(b),
         b.name(),
-        AnalysisOptions { icp: false, ..Default::default() },
+        AnalysisOptions {
+            icp: false,
+            ..Default::default()
+        },
     );
     let on_keys: BTreeSet<&str> = on.groups.iter().map(|g| g.root_key.as_str()).collect();
-    let eliminated: Vec<&ReportGroup> =
-        off.groups.iter().filter(|g| !on_keys.contains(g.root_key.as_str())).collect();
+    let eliminated: Vec<&ReportGroup> = off
+        .groups
+        .iter()
+        .filter(|g| !on_keys.contains(g.root_key.as_str()))
+        .collect();
 
     let mut col = MeasuredCol {
         matching: on.diff.matching_apis,
@@ -142,8 +148,11 @@ fn measure(corpus: &Corpus, a: Lib, b: Lib) -> MeasuredCol {
         match corpus.catalog.classify(g) {
             Some(bug) => match bug.category {
                 BugCategory::Vulnerability => {
-                    let slot =
-                        if bug.buggy_lib == a { &mut col.vulns_left } else { &mut col.vulns_right };
+                    let slot = if bug.buggy_lib == a {
+                        &mut col.vulns_left
+                    } else {
+                        &mut col.vulns_right
+                    };
                     slot.0 += 1;
                     slot.1 += m;
                 }
@@ -166,9 +175,14 @@ fn measure(corpus: &Corpus, a: Lib, b: Lib) -> MeasuredCol {
 fn main() {
     let corpus = corpus_from_env();
     let t0 = std::time::Instant::now();
-    let cols: Vec<MeasuredCol> =
-        PAIRINGS.iter().map(|&(a, b)| measure(&corpus, a, b)).collect();
-    eprintln!("differenced all three pairings (ICP on and off) in {:?}", t0.elapsed());
+    let cols: Vec<MeasuredCol> = PAIRINGS
+        .iter()
+        .map(|&(a, b)| measure(&corpus, a, b))
+        .collect();
+    eprintln!(
+        "differenced all three pairings (ICP on and off) in {:?}",
+        t0.elapsed()
+    );
 
     let mut table = Table::new(vec![
         "row",
@@ -190,16 +204,24 @@ fn main() {
         }
         table.row(row);
     };
-    row3(&mut table, "Matching APIs", &|c| c.matching.to_string(), &|p| {
-        p.matching.to_string()
-    });
+    row3(
+        &mut table,
+        "Matching APIs",
+        &|c| c.matching.to_string(),
+        &|p| p.matching.to_string(),
+    );
     row3(
         &mut table,
         "FPs eliminated by ICP",
         &|c| dm(c.icp_fp.0, c.icp_fp.1),
         &|p| dm(p.icp_fp.0, p.icp_fp.1),
     );
-    row3(&mut table, "False positives", &|c| dm(c.fps.0, c.fps.1), &|p| dm(p.fps.0, p.fps.1));
+    row3(
+        &mut table,
+        "False positives",
+        &|c| dm(c.fps.0, c.fps.1),
+        &|p| dm(p.fps.0, p.fps.1),
+    );
     row3(
         &mut table,
         "Root cause: intraprocedural",
@@ -218,9 +240,12 @@ fn main() {
         &|c| dm(c.mustmay.0, c.mustmay.1),
         &|p| dm(p.mustmay.0, p.mustmay.1),
     );
-    row3(&mut table, "Total differences", &|c| dm(c.total.0, c.total.1), &|p| {
-        dm(p.total.0, p.total.1)
-    });
+    row3(
+        &mut table,
+        "Total differences",
+        &|c| dm(c.total.0, c.total.1),
+        &|p| dm(p.total.0, p.total.1),
+    );
     row3(
         &mut table,
         "Total interoperability bugs",
@@ -231,7 +256,13 @@ fn main() {
     println!("\nTable 3: security policy differencing results (measured vs paper)\n");
     println!("{}", table.render());
 
-    let mut vt = Table::new(vec!["pairing", "vulns (left lib)", "(paper)", "vulns (right lib)", "(paper)"]);
+    let mut vt = Table::new(vec![
+        "pairing",
+        "vulns (left lib)",
+        "(paper)",
+        "vulns (right lib)",
+        "(paper)",
+    ]);
     for (i, ((a, b), col)) in PAIRINGS.iter().zip(&cols).enumerate() {
         let (pl, pr) = PAPER_VULNS[i];
         vt.row(vec![

@@ -5,9 +5,9 @@
 //! controlled by the `SPO_SCALE` environment variable (default `1.0`,
 //! approximating the paper's library sizes).
 
-use parking_lot::Mutex;
-use spo_core::{AnalysisOptions, Analyzer, LibraryPolicies};
+use spo_core::{AnalysisOptions, LibraryPolicies};
 use spo_corpus::{generate, Corpus, CorpusConfig, Lib};
+use spo_engine::AnalysisEngine;
 
 /// Reads the corpus scale from `SPO_SCALE` (default 1.0).
 pub fn scale_from_env() -> f64 {
@@ -21,33 +21,34 @@ pub fn scale_from_env() -> f64 {
 /// header.
 pub fn corpus_from_env() -> Corpus {
     let scale = scale_from_env();
-    let config = CorpusConfig { scale, ..Default::default() };
-    eprintln!("generating corpus (scale {scale}, seed {:#x}) ...", config.seed);
+    let config = CorpusConfig {
+        scale,
+        ..Default::default()
+    };
+    eprintln!(
+        "generating corpus (scale {scale}, seed {:#x}) ...",
+        config.seed
+    );
     let t = std::time::Instant::now();
     let corpus = generate(&config);
     eprintln!("generated in {:?}", t.elapsed());
     corpus
 }
 
-/// Analyzes all three implementations in parallel (one OS thread per
-/// library — the analysis itself is single-threaded and deterministic).
+/// Analyzes all three implementations through the parallel engine (each
+/// library's entry points fan out across the worker pool; results are
+/// identical to a serial run).
 pub fn analyze_all(corpus: &Corpus, options: AnalysisOptions) -> Vec<(Lib, LibraryPolicies)> {
-    let results = Mutex::new(Vec::new());
-    crossbeam::scope(|s| {
-        for lib in Lib::ALL {
-            let results = &results;
-            let corpus = &corpus;
-            s.spawn(move |_| {
-                let analyzer = Analyzer::new(corpus.program(lib), options);
-                let policies = analyzer.analyze_library(lib.name());
-                results.lock().push((lib, policies));
-            });
-        }
-    })
-    .expect("analysis thread panicked");
-    let mut out = results.into_inner();
-    out.sort_by_key(|(lib, _)| *lib);
-    out
+    let engine = AnalysisEngine::default();
+    Lib::ALL
+        .iter()
+        .map(|&lib| {
+            let (policies, stats) =
+                engine.analyze_library(corpus.program(lib), lib.name(), options);
+            eprintln!("  {lib}: {stats}");
+            (lib, policies)
+        })
+        .collect()
 }
 
 /// A fixed-width table printer for paper-style tables.
@@ -59,7 +60,10 @@ pub struct Table {
 impl Table {
     /// Starts a table with the given column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -123,6 +127,7 @@ mod tests {
 
     #[test]
     fn parallel_analysis_matches_serial() {
+        use spo_core::Analyzer;
         let corpus = generate(&CorpusConfig::test_sized());
         let par = analyze_all(&corpus, AnalysisOptions::default());
         for (lib, policies) in &par {

@@ -60,7 +60,9 @@ pub fn verify_mediation(
     let mut out = Vec::new();
     for (sig, entry) in &lib.entries {
         for (check, event) in &policy.pairs {
-            let Some(p) = entry.events.get(event) else { continue };
+            let Some(p) = entry.events.get(event) else {
+                continue;
+            };
             if !p.must.contains(*check) {
                 out.push(MediationViolation {
                     signature: sig.clone(),
@@ -143,7 +145,9 @@ pub fn mining_deviations(lib: &LibraryPolicies, rules: &[MinedRule]) -> Vec<Mini
     let mut out = Vec::new();
     for (sig, entry) in &lib.entries {
         for rule in rules {
-            let Some(p) = entry.events.get(&rule.event) else { continue };
+            let Some(p) = entry.events.get(&rule.event) else {
+                continue;
+            };
             if !p.may.contains(rule.check) {
                 out.push(MiningDeviation {
                     signature: sig.clone(),
@@ -167,12 +171,22 @@ mod tests {
         let mut e = EntryPolicy::new(sig.to_owned());
         let must: CheckSet = must.iter().copied().collect();
         let may: CheckSet = may.iter().copied().collect();
-        e.events.insert(event, EventPolicy { must, may, may_paths: Dnf::of(may.bits()) });
+        e.events.insert(
+            event,
+            EventPolicy {
+                must,
+                may,
+                may_paths: Dnf::of(may.bits()),
+            },
+        );
         e
     }
 
     fn lib(entries: Vec<EntryPolicy>) -> LibraryPolicies {
-        let mut l = LibraryPolicies { name: "t".into(), ..Default::default() };
+        let mut l = LibraryPolicies {
+            name: "t".into(),
+            ..Default::default()
+        };
         for e in entries {
             l.entries.insert(e.signature.clone(), e);
         }
@@ -209,20 +223,34 @@ mod tests {
         let p = e.events.get_mut(&native("connect0")).unwrap();
         p.may_paths = [
             CheckSet::of(Check::Multicast).bits(),
-            [Check::Connect, Check::Accept].into_iter().collect::<CheckSet>().bits(),
+            [Check::Connect, Check::Accept]
+                .into_iter()
+                .collect::<CheckSet>()
+                .bits(),
         ]
         .into_iter()
         .collect();
         let l = lib(vec![e]);
         let policy = MediationPolicy::new(vec![(Check::Connect, native("connect0"))]);
         let v = verify_mediation(&l, &policy);
-        assert_eq!(v.len(), 1, "the verifier must (wrongly) flag the correct code");
+        assert_eq!(
+            v.len(),
+            1,
+            "the verifier must (wrongly) flag the correct code"
+        );
     }
 
     #[test]
     fn miner_learns_frequent_rules_and_flags_deviations() {
         let mut entries: Vec<EntryPolicy> = (0..9)
-            .map(|i| entry(&format!("A.m{i}()"), native("w"), &[Check::Write], &[Check::Write]))
+            .map(|i| {
+                entry(
+                    &format!("A.m{i}()"),
+                    native("w"),
+                    &[Check::Write],
+                    &[Check::Write],
+                )
+            })
             .collect();
         entries.push(entry("A.devious()", native("w"), &[], &[]));
         let l = lib(entries);
@@ -256,7 +284,14 @@ mod tests {
         // deviations, bug missed); at low confidence a rule flags the 2 —
         // whether they are bugs or false positives the miner cannot know.
         let mut entries: Vec<EntryPolicy> = (0..3)
-            .map(|i| entry(&format!("A.c{i}()"), native("w"), &[Check::Write], &[Check::Write]))
+            .map(|i| {
+                entry(
+                    &format!("A.c{i}()"),
+                    native("w"),
+                    &[Check::Write],
+                    &[Check::Write],
+                )
+            })
             .collect();
         entries.push(entry("A.u0()", native("w"), &[], &[]));
         entries.push(entry("A.u1()", native("w"), &[], &[]));
@@ -272,7 +307,14 @@ mod tests {
         // confidence == 1.0 means nothing deviates; the rule is emitted
         // but produces no reports.
         let entries: Vec<EntryPolicy> = (0..5)
-            .map(|i| entry(&format!("A.m{i}()"), native("w"), &[Check::Write], &[Check::Write]))
+            .map(|i| {
+                entry(
+                    &format!("A.m{i}()"),
+                    native("w"),
+                    &[Check::Write],
+                    &[Check::Write],
+                )
+            })
             .collect();
         let l = lib(entries);
         let rules = mine_rules(&l, 3, 0.8);

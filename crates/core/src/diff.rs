@@ -74,7 +74,10 @@ impl fmt::Display for DifferenceKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DifferenceKind::MissingPolicy { checked } => {
-                write!(f, "one implementation performs no checks (checked side: {checked:?})")
+                write!(
+                    f,
+                    "one implementation performs no checks (checked side: {checked:?})"
+                )
             }
             DifferenceKind::CheckSetMismatch { event } => {
                 write!(f, "different check sets before {event}")
@@ -103,7 +106,11 @@ pub struct SideEvidence {
 
 impl SideEvidence {
     fn of_event(p: &EventPolicy) -> Self {
-        SideEvidence { may: p.may, must: p.must, may_paths: p.may_paths.clone() }
+        SideEvidence {
+            may: p.may,
+            must: p.must,
+            may_paths: p.may_paths.clone(),
+        }
     }
 }
 
@@ -214,7 +221,10 @@ pub fn diff_entry_with(
         let delta = left.all_checks().union(right.all_checks());
         let origins = origins_for(left, right, None, delta);
         let evidence = |e: &EntryPolicy| {
-            let mut ev = SideEvidence { may: e.all_checks(), ..Default::default() };
+            let mut ev = SideEvidence {
+                may: e.all_checks(),
+                ..Default::default()
+            };
             for p in e.events.values() {
                 ev.must = ev.must.union(p.must);
             }
@@ -232,7 +242,9 @@ pub fn diff_entry_with(
     // Case 3: match events; ignore events unique to one implementation.
     let mut out = Vec::new();
     for (key, lp) in &left.events {
-        let Some(rp) = right.events.get(key) else { continue };
+        let Some(rp) = right.events.get(key) else {
+            continue;
+        };
         if lp.may != rp.may {
             let delta = lp.may.difference(rp.may).union(rp.may.difference(lp.may));
             out.push(PolicyDifference {
@@ -244,10 +256,16 @@ pub fn diff_entry_with(
                 delta,
             });
         } else if lp.must != rp.must {
-            let delta = lp.must.difference(rp.must).union(rp.must.difference(lp.must));
+            let delta = lp
+                .must
+                .difference(rp.must)
+                .union(rp.must.difference(lp.must));
             out.push(PolicyDifference {
                 signature: left.signature.clone(),
-                kind: DifferenceKind::MustMayMismatch { event: key.clone(), checks: delta },
+                kind: DifferenceKind::MustMayMismatch {
+                    event: key.clone(),
+                    checks: delta,
+                },
                 left: SideEvidence::of_event(lp),
                 right: SideEvidence::of_event(rp),
                 origins: origins_for(left, right, Some(key), delta),
@@ -261,13 +279,17 @@ pub fn diff_entry_with(
                 .disjuncts()
                 .iter()
                 .filter(|d| !rp.may_paths.disjuncts().contains(d))
-                .fold(CheckSet::empty(), |acc, &d| acc.union(CheckSet::from_bits(d)));
+                .fold(CheckSet::empty(), |acc, &d| {
+                    acc.union(CheckSet::from_bits(d))
+                });
             let unique_r: CheckSet = rp
                 .may_paths
                 .disjuncts()
                 .iter()
                 .filter(|d| !lp.may_paths.disjuncts().contains(d))
-                .fold(CheckSet::empty(), |acc, &d| acc.union(CheckSet::from_bits(d)));
+                .fold(CheckSet::empty(), |acc, &d| {
+                    acc.union(CheckSet::from_bits(d))
+                });
             let delta = unique_l.union(unique_r);
             out.push(PolicyDifference {
                 signature: left.signature.clone(),
@@ -300,7 +322,9 @@ pub fn diff_libraries_with(
         ..Default::default()
     };
     for (sig, le) in &left.entries {
-        let Some(re) = right.entries.get(sig) else { continue };
+        let Some(re) = right.entries.get(sig) else {
+            continue;
+        };
         result.matching_apis += 1;
         result.differences.extend(diff_entry_with(le, re, mode));
     }
@@ -320,7 +344,11 @@ mod tests {
             let may: CheckSet = may.iter().copied().collect();
             e.events.insert(
                 key.clone(),
-                EventPolicy { must, may, may_paths: Dnf::of(may.bits()) },
+                EventPolicy {
+                    must,
+                    may,
+                    may_paths: Dnf::of(may.bits()),
+                },
             );
             let mut o = Origins::new();
             o.insert(format!("{sig}#impl"));
@@ -356,13 +384,18 @@ mod tests {
     #[test]
     fn case_2_missing_policy() {
         // Figure 7: Classpath's Socket.connect omits all checks.
-        let jdk = entry("Socket.connect()", &[(EventKey::ApiReturn, &[Check::Connect], &[Check::Connect])]);
+        let jdk = entry(
+            "Socket.connect()",
+            &[(EventKey::ApiReturn, &[Check::Connect], &[Check::Connect])],
+        );
         let classpath = entry("Socket.connect()", &[(EventKey::ApiReturn, &[], &[])]);
         let diffs = diff_entry(&jdk, &classpath);
         assert_eq!(diffs.len(), 1);
         assert!(matches!(
             diffs[0].kind,
-            DifferenceKind::MissingPolicy { checked: Side::Left }
+            DifferenceKind::MissingPolicy {
+                checked: Side::Left
+            }
         ));
         assert_eq!(diffs[0].delta, CheckSet::of(Check::Connect));
         assert!(!diffs[0].origins.is_empty());
@@ -373,7 +406,11 @@ mod tests {
         // Figure 1: Harmony misses checkAccept on the connect path.
         let jdk = entry(
             "DatagramSocket.connect()",
-            &[(native("connect0"), &[], &[Check::Multicast, Check::Connect, Check::Accept])],
+            &[(
+                native("connect0"),
+                &[],
+                &[Check::Multicast, Check::Connect, Check::Accept],
+            )],
         );
         let harmony = entry(
             "DatagramSocket.connect()",
@@ -381,7 +418,10 @@ mod tests {
         );
         let diffs = diff_entry(&jdk, &harmony);
         assert_eq!(diffs.len(), 1);
-        assert!(matches!(diffs[0].kind, DifferenceKind::CheckSetMismatch { .. }));
+        assert!(matches!(
+            diffs[0].kind,
+            DifferenceKind::CheckSetMismatch { .. }
+        ));
         assert_eq!(diffs[0].delta, CheckSet::of(Check::Accept));
     }
 
@@ -418,18 +458,24 @@ mod tests {
 
     #[test]
     fn diff_libraries_counts_matching_apis() {
-        let mut l = LibraryPolicies { name: "L".into(), ..Default::default() };
-        let mut r = LibraryPolicies { name: "R".into(), ..Default::default() };
+        let mut l = LibraryPolicies {
+            name: "L".into(),
+            ..Default::default()
+        };
+        let mut r = LibraryPolicies {
+            name: "R".into(),
+            ..Default::default()
+        };
         l.entries.insert(
             "C.m()".into(),
             entry("C.m()", &[(native("x"), &[Check::Read], &[Check::Read])]),
         );
-        l.entries.insert("C.only_left()".into(), entry("C.only_left()", &[]));
-        r.entries.insert(
-            "C.m()".into(),
-            entry("C.m()", &[(native("x"), &[], &[])]),
-        );
-        r.entries.insert("C.only_right()".into(), entry("C.only_right()", &[]));
+        l.entries
+            .insert("C.only_left()".into(), entry("C.only_left()", &[]));
+        r.entries
+            .insert("C.m()".into(), entry("C.m()", &[(native("x"), &[], &[])]));
+        r.entries
+            .insert("C.only_right()".into(), entry("C.only_right()", &[]));
         let d = diff_libraries(&l, &r);
         assert_eq!(d.matching_apis, 1);
         assert_eq!(d.differences.len(), 1);
@@ -504,10 +550,15 @@ mod diffmode_tests {
         let (l, r) = structurally_different();
         let diffs = diff_entry_with(&l, &r, DiffMode::Disjunctive);
         assert_eq!(diffs.len(), 1);
-        assert!(matches!(diffs[0].kind, DifferenceKind::PathSetMismatch { .. }));
+        assert!(matches!(
+            diffs[0].kind,
+            DifferenceKind::PathSetMismatch { .. }
+        ));
         assert_eq!(
             diffs[0].delta,
-            [Check::Read, Check::Write].into_iter().collect::<CheckSet>()
+            [Check::Read, Check::Write]
+                .into_iter()
+                .collect::<CheckSet>()
         );
     }
 

@@ -10,11 +10,10 @@
 //! accesses to API parameters — the definition needed to catch the
 //! hypothetical Figure 3 bug.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which definition of security-sensitive events the analysis uses.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum EventDef {
     /// JNI (native) calls and API returns only — the paper's primary
     /// configuration (≤16,700 policies per library).
@@ -32,7 +31,7 @@ pub enum EventDef {
 /// signature can structure their internals differently, but an event named
 /// the same thing (the same native routine, the same private datum) is "the
 /// same event" (§5; events unique to one implementation are ignored).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum EventKey {
     /// Return from the API entry point, exposing internal state to the
     /// caller.
@@ -79,15 +78,20 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(EventKey::ApiReturn.to_string(), "API return");
-        assert_eq!(EventKey::Native("load0".into()).to_string(), "native call load0");
+        assert_eq!(
+            EventKey::Native("load0".into()).to_string(),
+            "native call load0"
+        );
         assert_eq!(EventKey::DataRead("x".into()).to_string(), "read of x");
     }
 
     #[test]
     fn ordering_is_stable_for_report_determinism() {
-        let mut keys = [EventKey::Native("b".into()),
+        let mut keys = [
+            EventKey::Native("b".into()),
             EventKey::ApiReturn,
-            EventKey::Native("a".into())];
+            EventKey::Native("a".into()),
+        ];
         keys.sort();
         assert_eq!(keys[0], EventKey::ApiReturn);
         assert_eq!(keys[1], EventKey::Native("a".into()));

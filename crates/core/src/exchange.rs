@@ -67,7 +67,10 @@ fn checkset_token(set: CheckSet) -> String {
     if set.is_empty() {
         "-".to_owned()
     } else {
-        set.iter().map(|c| c.method_name().to_owned()).collect::<Vec<_>>().join(",")
+        set.iter()
+            .map(|c| c.method_name().to_owned())
+            .collect::<Vec<_>>()
+            .join(",")
     }
 }
 
@@ -100,7 +103,11 @@ fn parse_dnf(tok: &str) -> Option<Dnf> {
     let mut disjuncts: Vec<BitSet32> = Vec::new();
     for part in tok.split('|') {
         let inner = part.strip_prefix('{')?.strip_suffix('}')?;
-        let set = if inner.is_empty() { CheckSet::empty() } else { parse_checkset(inner)? };
+        let set = if inner.is_empty() {
+            CheckSet::empty()
+        } else {
+            parse_checkset(inner)?
+        };
         disjuncts.push(set.bits());
     }
     Some(disjuncts.into_iter().collect())
@@ -130,7 +137,9 @@ pub fn export_policies(lib: &LibraryPolicies) -> String {
             }
         }
         for (check_idx, origins) in &entry.check_origins {
-            let Some(check) = Check::from_index(*check_idx) else { continue };
+            let Some(check) = Check::from_index(*check_idx) else {
+                continue;
+            };
             for origin in origins {
                 writeln!(out, "checkorigin {} {origin}", check.method_name()).unwrap();
             }
@@ -149,24 +158,32 @@ pub fn export_policies(lib: &LibraryPolicies) -> String {
 pub fn import_policies(text: &str) -> Result<LibraryPolicies, ExchangeError> {
     let mut lib = LibraryPolicies::default();
     let mut current: Option<String> = None;
-    let err = |line: usize, message: &str| ExchangeError { line, message: message.to_owned() };
+    let err = |line: usize, message: &str| ExchangeError {
+        line,
+        message: message.to_owned(),
+    };
     for (i, raw) in text.lines().enumerate() {
         let lineno = i + 1;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (keyword, rest) =
-            line.split_once(' ').ok_or_else(|| err(lineno, "missing argument"))?;
+        let (keyword, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| err(lineno, "missing argument"))?;
         match keyword {
             "library" => lib.name = rest.to_owned(),
             "entry" => {
                 let sig = rest.to_owned();
-                lib.entries.entry(sig.clone()).or_insert_with(|| EntryPolicy::new(sig.clone()));
+                lib.entries
+                    .entry(sig.clone())
+                    .or_insert_with(|| EntryPolicy::new(sig.clone()));
                 current = Some(sig);
             }
             "event" => {
-                let sig = current.as_ref().ok_or_else(|| err(lineno, "`event` before `entry`"))?;
+                let sig = current
+                    .as_ref()
+                    .ok_or_else(|| err(lineno, "`event` before `entry`"))?;
                 let mut parts = rest.split_whitespace();
                 let ev = parts
                     .next()
@@ -191,15 +208,23 @@ pub fn import_policies(text: &str) -> Result<LibraryPolicies, ExchangeError> {
                     .get_mut(sig)
                     .expect("entry inserted above")
                     .events
-                    .insert(ev, EventPolicy { must, may, may_paths });
+                    .insert(
+                        ev,
+                        EventPolicy {
+                            must,
+                            may,
+                            may_paths,
+                        },
+                    );
             }
             "origin" => {
-                let sig =
-                    current.as_ref().ok_or_else(|| err(lineno, "`origin` before `entry`"))?;
-                let (ev_tok, origin) =
-                    rest.split_once(' ').ok_or_else(|| err(lineno, "missing origin method"))?;
-                let ev =
-                    parse_event_token(ev_tok).ok_or_else(|| err(lineno, "bad event token"))?;
+                let sig = current
+                    .as_ref()
+                    .ok_or_else(|| err(lineno, "`origin` before `entry`"))?;
+                let (ev_tok, origin) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err(lineno, "missing origin method"))?;
+                let ev = parse_event_token(ev_tok).ok_or_else(|| err(lineno, "bad event token"))?;
                 lib.entries
                     .get_mut(sig)
                     .expect("entry inserted above")
@@ -212,10 +237,11 @@ pub fn import_policies(text: &str) -> Result<LibraryPolicies, ExchangeError> {
                 let sig = current
                     .as_ref()
                     .ok_or_else(|| err(lineno, "`checkorigin` before `entry`"))?;
-                let (check_tok, origin) =
-                    rest.split_once(' ').ok_or_else(|| err(lineno, "missing origin method"))?;
-                let check = Check::from_name(check_tok)
-                    .ok_or_else(|| err(lineno, "unknown check name"))?;
+                let (check_tok, origin) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err(lineno, "missing origin method"))?;
+                let check =
+                    Check::from_name(check_tok).ok_or_else(|| err(lineno, "unknown check name"))?;
                 lib.entries
                     .get_mut(sig)
                     .expect("entry inserted above")
@@ -235,7 +261,10 @@ mod tests {
     use super::*;
 
     fn sample() -> LibraryPolicies {
-        let mut lib = LibraryPolicies { name: "jdk".into(), ..Default::default() };
+        let mut lib = LibraryPolicies {
+            name: "jdk".into(),
+            ..Default::default()
+        };
         let mut entry = EntryPolicy::new("api.C.m(int)".into());
         let mc: CheckSet = [Check::Multicast].into_iter().collect();
         let ca: CheckSet = [Check::Connect, Check::Accept].into_iter().collect();
@@ -286,7 +315,10 @@ mod tests {
         other.name = "harmony".into();
         // Harmony misses checkAccept on the connect path.
         let e = other.entries.get_mut("api.C.m(int)").unwrap();
-        let ev = e.events.get_mut(&EventKey::Native("connect0".into())).unwrap();
+        let ev = e
+            .events
+            .get_mut(&EventKey::Native("connect0".into()))
+            .unwrap();
         let mc: CheckSet = [Check::Multicast].into_iter().collect();
         let c: CheckSet = [Check::Connect].into_iter().collect();
         ev.may_paths = [mc.bits(), c.bits()].into_iter().collect();
@@ -303,8 +335,7 @@ mod tests {
     fn rejects_garbage() {
         assert!(import_policies("frobnicate x").is_err());
         assert!(import_policies("event return must - may {}").is_err()); // before entry
-        let e = import_policies("entry a.B.c()\nevent return must checkBogus may {}")
-            .unwrap_err();
+        let e = import_policies("entry a.B.c()\nevent return must checkBogus may {}").unwrap_err();
         assert_eq!(e.line, 2);
     }
 
@@ -317,9 +348,14 @@ mod tests {
 
     #[test]
     fn empty_dnf_and_sets_roundtrip() {
-        let mut lib = LibraryPolicies { name: "n".into(), ..Default::default() };
+        let mut lib = LibraryPolicies {
+            name: "n".into(),
+            ..Default::default()
+        };
         let mut entry = EntryPolicy::new("a.B.c()".into());
-        entry.events.insert(EventKey::ApiReturn, EventPolicy::default());
+        entry
+            .events
+            .insert(EventKey::ApiReturn, EventPolicy::default());
         lib.entries.insert(entry.signature.clone(), entry);
         let back = import_policies(&export_policies(&lib)).unwrap();
         assert_eq!(back.entries, lib.entries);
@@ -327,10 +363,17 @@ mod tests {
 
     #[test]
     fn broad_event_tokens_roundtrip() {
-        let mut lib = LibraryPolicies { name: "n".into(), ..Default::default() };
+        let mut lib = LibraryPolicies {
+            name: "n".into(),
+            ..Default::default()
+        };
         let mut entry = EntryPolicy::new("a.B.c()".into());
-        entry.events.insert(EventKey::DataRead("data1".into()), EventPolicy::default());
-        entry.events.insert(EventKey::DataWrite("data2".into()), EventPolicy::default());
+        entry
+            .events
+            .insert(EventKey::DataRead("data1".into()), EventPolicy::default());
+        entry
+            .events
+            .insert(EventKey::DataWrite("data2".into()), EventPolicy::default());
         lib.entries.insert(entry.signature.clone(), entry);
         let back = import_policies(&export_policies(&lib)).unwrap();
         assert_eq!(back.entries, lib.entries);

@@ -52,7 +52,10 @@ pub fn render_html(result: &DiffResult, groups: &[ReportGroup]) -> String {
         esc(&result.right_name),
         result.matching_apis,
         groups.len(),
-        groups.iter().map(ReportGroup::manifestation_count).sum::<usize>(),
+        groups
+            .iter()
+            .map(ReportGroup::manifestation_count)
+            .sum::<usize>(),
     );
     for g in sorted {
         let d = &g.representative;
@@ -86,13 +89,16 @@ pub fn render_html(result: &DiffResult, groups: &[ReportGroup]) -> String {
             let origins: Vec<String> = d.origins.iter().map(|o| esc(o)).collect();
             let _ = writeln!(out, "<div>implicated methods: {}</div>", origins.join(", "));
         }
-        let sample: Vec<String> =
-            g.manifestations.iter().take(6).map(|m| esc(m)).collect();
+        let sample: Vec<String> = g.manifestations.iter().take(6).map(|m| esc(m)).collect();
         let _ = writeln!(
             out,
             "<div class=\"manifests\">e.g. {}{}</div>",
             sample.join(", "),
-            if g.manifestations.len() > 6 { ", …" } else { "" },
+            if g.manifestations.len() > 6 {
+                ", …"
+            } else {
+                ""
+            },
         );
         out.push_str("</div>\n");
     }
@@ -159,8 +165,7 @@ mod tests {
         // Add a bigger group and confirm it renders first.
         let mut big = groups[0].clone();
         big.root_key = "other".into();
-        big.manifestations =
-            (0..5).map(|i| format!("api.Big.m{i}()")).collect();
+        big.manifestations = (0..5).map(|i| format!("api.Big.m{i}()")).collect();
         big.representative.delta = CheckSet::of(Check::Exit);
         big.cause = RootCause::Interprocedural;
         groups.push(big);

@@ -11,6 +11,7 @@
 use crate::checks::{check_of_call, Check};
 use crate::events::{EventDef, EventKey};
 use crate::policy::{AnalysisStats, EntryPolicy, EventPolicy, LibraryPolicies};
+use crate::store::{EventRec, LocalStore, MemoKey, Summary, SummaryStore};
 use spo_dataflow::{
     run_forward, AbsVal, ConstEnv, Dnf, Flow, ForwardAnalysis, JoinLattice, MustSet,
 };
@@ -19,7 +20,7 @@ use spo_resolve::{entry_points, Hierarchy, Resolution, Resolver};
 use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::Hash;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How widely method summaries are reused (Table 2's three configurations).
@@ -126,31 +127,6 @@ impl<P: PolicyDomain> JoinLattice for SpState<P> {
     }
 }
 
-/// One recorded security-sensitive event inside a summary.
-#[derive(Clone, Debug)]
-struct EventRec<P> {
-    key: EventKey,
-    policy: P,
-    origin: MethodId,
-}
-
-/// A context-sensitive method summary: the exit policy plus everything the
-/// subtree recorded.
-#[derive(Debug)]
-struct Summary<P> {
-    exit: P,
-    events: Vec<EventRec<P>>,
-    checks: Vec<(Check, MethodId)>,
-}
-
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-struct MemoKey<P> {
-    method: MethodId,
-    policy: P,
-    consts: Vec<AbsVal>,
-    privileged: bool,
-}
-
 /// The security policy analyzer for one program.
 ///
 /// # Examples
@@ -201,7 +177,11 @@ impl<'p> Analyzer<'p> {
     /// Creates an analyzer (builds the class hierarchy).
     pub fn new(program: &'p Program, options: AnalysisOptions) -> Self {
         let hierarchy = Hierarchy::new(program);
-        Analyzer { program, hierarchy, options }
+        Analyzer {
+            program,
+            hierarchy,
+            options,
+        }
     }
 
     /// The program under analysis.
@@ -236,40 +216,84 @@ impl<'p> Analyzer<'p> {
         lib.entries.into_values().next()
     }
 
-    /// Analyzes a chosen set of entry points (both passes).
+    /// Analyzes a chosen set of entry points (both passes) with private
+    /// serial summary stores.
     pub fn analyze_entries(&self, name: &str, roots: &[MethodId]) -> LibraryPolicies {
-        let mut stats = AnalysisStats { entry_points: roots.len(), ..Default::default() };
+        let may_store = LocalStore::default();
+        let must_store = LocalStore::default();
+        self.analyze_entries_with(name, roots, &may_store, &must_store)
+    }
+
+    /// Analyzes a chosen set of entry points (both passes) against the
+    /// given summary stores.
+    ///
+    /// This is the store-pluggable variant behind [`analyze_entries`]: the
+    /// serial analyzer passes fresh [`LocalStore`]s, while the parallel
+    /// engine passes [`SharedStore`]s so workers reuse each other's
+    /// summaries. Results are identical either way — memoized summaries
+    /// are pure functions of their key.
+    ///
+    /// [`analyze_entries`]: Analyzer::analyze_entries
+    /// [`SharedStore`]: crate::SharedStore
+    pub fn analyze_entries_with(
+        &self,
+        name: &str,
+        roots: &[MethodId],
+        may_store: &dyn SummaryStore<Dnf>,
+        must_store: &dyn SummaryStore<MustSet>,
+    ) -> LibraryPolicies {
+        let mut stats = AnalysisStats {
+            entry_points: roots.len(),
+            ..Default::default()
+        };
 
         let t0 = Instant::now();
-        let may = self.run_pass::<Dnf>(roots, &mut stats);
+        let may = self.run_pass::<Dnf>(roots, &mut stats, may_store);
         stats.may_nanos = t0.elapsed().as_nanos();
 
         let t1 = Instant::now();
-        let must = self.run_pass::<MustSet>(roots, &mut stats);
+        let must = self.run_pass::<MustSet>(roots, &mut stats, must_store);
         stats.must_nanos = t1.elapsed().as_nanos();
 
         let mut entries = std::collections::BTreeMap::new();
         for (sig, raw_may) in may {
-            let raw_must = must.get(&sig);
-            let mut entry = EntryPolicy::new(sig.clone());
-            for (key, dnf) in raw_may.events {
-                let mut ep = EventPolicy {
-                    may: crate::checks::CheckSet::from_bits(dnf.flat_union()),
-                    may_paths: dnf,
-                    ..Default::default()
-                };
-                if let Some(rm) = raw_must {
-                    if let Some(ms) = rm.events.get(&key) {
-                        ep.must = crate::checks::CheckSet::from_bits(ms.unwrap_or_empty());
-                    }
-                }
-                entry.events.insert(key, ep);
-            }
-            entry.event_origins = raw_may.event_origins;
-            entry.check_origins = raw_may.check_origins;
+            let entry = combine_raw(sig.clone(), raw_may, must.get(&sig));
             entries.insert(sig, entry);
         }
-        LibraryPolicies { name: name.to_owned(), entries, stats }
+        LibraryPolicies {
+            name: name.to_owned(),
+            entries,
+            stats,
+        }
+    }
+
+    /// Analyzes a single entry point (both passes) against the given
+    /// summary stores, returning its signature key and policy.
+    ///
+    /// This is the unit of work the parallel engine fans out: each worker
+    /// analyzes whole roots against shared stores and the engine merges the
+    /// `(signature, policy)` pairs back in root order, reproducing the
+    /// serial first-root-wins merge exactly.
+    pub fn analyze_root_with(
+        &self,
+        root: MethodId,
+        may_store: &dyn SummaryStore<Dnf>,
+        must_store: &dyn SummaryStore<MustSet>,
+        stats: &mut AnalysisStats,
+    ) -> (String, EntryPolicy) {
+        stats.entry_points += 1;
+
+        let t0 = Instant::now();
+        let raw_may = self.root_pass::<Dnf>(root, stats, may_store);
+        stats.may_nanos += t0.elapsed().as_nanos();
+
+        let t1 = Instant::now();
+        let raw_must = self.root_pass::<MustSet>(root, stats, must_store);
+        stats.must_nanos += t1.elapsed().as_nanos();
+
+        let sig = self.program.method_signature(root);
+        let entry = combine_raw(sig.clone(), raw_may, Some(&raw_must));
+        (sig, entry)
     }
 
     /// Runs one pass (MAY or MUST) over all roots.
@@ -277,13 +301,14 @@ impl<'p> Analyzer<'p> {
         &self,
         roots: &[MethodId],
         stats: &mut AnalysisStats,
+        store: &dyn SummaryStore<P>,
     ) -> std::collections::BTreeMap<String, RawEntry<P>> {
         let resolver = Resolver::new(&self.hierarchy);
         let mut pass = Pass {
             program: self.program,
             resolver,
             options: self.options,
-            memo: HashMap::new(),
+            store,
             stack: Vec::new(),
             taint_floor: usize::MAX,
             stats,
@@ -291,16 +316,62 @@ impl<'p> Analyzer<'p> {
         let mut out = std::collections::BTreeMap::new();
         for &root in roots {
             if pass.options.memo == MemoScope::PerEntry {
-                pass.memo.clear();
+                pass.store.clear();
             }
             let raw = pass.analyze_entry(root);
             // Protected methods can collide with public overrides on the
             // signature key across class boundaries; keep the first
             // (deterministic: roots come in program order).
-            out.entry(self.program.method_signature(root)).or_insert(raw);
+            out.entry(self.program.method_signature(root))
+                .or_insert(raw);
         }
         out
     }
+
+    /// Runs one pass (MAY or MUST) over a single root.
+    fn root_pass<P: PolicyDomain>(
+        &self,
+        root: MethodId,
+        stats: &mut AnalysisStats,
+        store: &dyn SummaryStore<P>,
+    ) -> RawEntry<P> {
+        let resolver = Resolver::new(&self.hierarchy);
+        let mut pass = Pass {
+            program: self.program,
+            resolver,
+            options: self.options,
+            store,
+            stack: Vec::new(),
+            taint_floor: usize::MAX,
+            stats,
+        };
+        pass.analyze_entry(root)
+    }
+}
+
+/// Zips the per-root results of the two passes into an [`EntryPolicy`].
+fn combine_raw(
+    sig: String,
+    raw_may: RawEntry<Dnf>,
+    raw_must: Option<&RawEntry<MustSet>>,
+) -> EntryPolicy {
+    let mut entry = EntryPolicy::new(sig);
+    for (key, dnf) in raw_may.events {
+        let mut ep = EventPolicy {
+            may: crate::checks::CheckSet::from_bits(dnf.flat_union()),
+            may_paths: dnf,
+            ..Default::default()
+        };
+        if let Some(rm) = raw_must {
+            if let Some(ms) = rm.events.get(&key) {
+                ep.must = crate::checks::CheckSet::from_bits(ms.unwrap_or_empty());
+            }
+        }
+        entry.events.insert(key, ep);
+    }
+    entry.event_origins = raw_may.event_origins;
+    entry.check_origins = raw_may.check_origins;
+    entry
 }
 
 /// Per-entry raw result of one pass.
@@ -311,11 +382,11 @@ struct RawEntry<P> {
 }
 
 /// Mutable state of one pass over one library.
-struct Pass<'a, 'p, P> {
+struct Pass<'a, 'p, P: PolicyDomain> {
     program: &'p Program,
     resolver: Resolver<'a>,
     options: AnalysisOptions,
-    memo: HashMap<MemoKey<P>, Rc<Summary<P>>>,
+    store: &'a dyn SummaryStore<P>,
     stack: Vec<MethodId>,
     /// Minimum stack position targeted by a recursion cut in the current
     /// subtree; frames deeper than this position must not be memoized
@@ -348,7 +419,7 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
                 policy: P::entry_value(),
                 origin: root,
             });
-            summary = Rc::new(with_event);
+            summary = Arc::new(with_event);
         }
         let mut events: std::collections::BTreeMap<EventKey, P> = Default::default();
         let mut event_origins: std::collections::BTreeMap<EventKey, crate::policy::Origins> =
@@ -387,7 +458,11 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
                 .or_default()
                 .insert(self.program.method_name(*origin));
         }
-        RawEntry { events, event_origins, check_origins }
+        RawEntry {
+            events,
+            event_origins,
+            check_origins,
+        }
     }
 
     /// Analyzes `method` in the context `(in_policy, consts, privileged)`,
@@ -400,7 +475,7 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
         consts: Vec<AbsVal>,
         privileged: bool,
         top: bool,
-    ) -> Rc<Summary<P>> {
+    ) -> Arc<Summary<P>> {
         let memo_on = self.options.memo != MemoScope::None;
         let key = MemoKey {
             method,
@@ -409,9 +484,9 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
             privileged,
         };
         if !top && memo_on {
-            if let Some(hit) = self.memo.get(&key) {
+            if let Some(hit) = self.store.get(&key) {
                 self.stats.memo_hits += 1;
-                return Rc::clone(hit);
+                return hit;
             }
             self.stats.memo_misses += 1;
         }
@@ -422,7 +497,7 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
         let Some(body) = m.body.as_ref() else {
             // Native/abstract target reached directly (callers normally
             // handle natives as events before getting here): identity.
-            return Rc::new(Summary {
+            return Arc::new(Summary {
                 exit: in_policy.clone(),
                 events: Vec::new(),
                 checks: Vec::new(),
@@ -436,7 +511,10 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
         // other locals unassigned.
         let mut env = ConstEnv::top(body.locals.len());
         for (i, v) in consts.iter().enumerate().take(body.n_params) {
-            env.set(LocalId(i as u32), if self.options.icp { *v } else { AbsVal::Bottom });
+            env.set(
+                LocalId(i as u32),
+                if self.options.icp { *v } else { AbsVal::Bottom },
+            );
         }
 
         let cfg = body.cfg();
@@ -457,7 +535,9 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
         let mut events: Vec<EventRec<P>> = Vec::new();
         let mut checks: Vec<(Check, MethodId)> = Vec::new();
         for (idx, stmt) in body.stmts.iter().enumerate() {
-            let Some(st) = results.input(idx) else { continue };
+            let Some(st) = results.input(idx) else {
+                continue;
+            };
             match stmt {
                 Stmt::Return { .. } => match &mut exit {
                     Some(e) => {
@@ -477,9 +557,7 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
                             let tm = program.method(target);
                             if tm.is_native() {
                                 events.push(EventRec {
-                                    key: EventKey::Native(
-                                        program.str(tm.name).to_owned(),
-                                    ),
+                                    key: EventKey::Native(program.str(tm.name).to_owned()),
                                     policy: st.policy.clone(),
                                     origin: method,
                                 });
@@ -488,7 +566,7 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
                                 && !self.stack.contains(&target)
                             {
                                 let summary = match call_cache.get(&idx) {
-                                    Some(s) => Rc::clone(s),
+                                    Some(s) => Arc::clone(s),
                                     None => {
                                         let args = call_arg_vals(call, &st.env, self.options.icp);
                                         self.analyze_method(
@@ -509,26 +587,27 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
                         }
                     }
                 }
-                Stmt::Assign { value: Expr::FieldLoad(target), .. }
-                    if self.options.events == EventDef::Broad => {
-                        if let Some(name) = self.private_field_name(target) {
-                            events.push(EventRec {
-                                key: EventKey::DataRead(name),
-                                policy: st.policy.clone(),
-                                origin: method,
-                            });
-                        }
+                Stmt::Assign {
+                    value: Expr::FieldLoad(target),
+                    ..
+                } if self.options.events == EventDef::Broad => {
+                    if let Some(name) = self.private_field_name(target) {
+                        events.push(EventRec {
+                            key: EventKey::DataRead(name),
+                            policy: st.policy.clone(),
+                            origin: method,
+                        });
                     }
-                Stmt::FieldStore { target, .. }
-                    if self.options.events == EventDef::Broad => {
-                        if let Some(name) = self.private_field_name(target) {
-                            events.push(EventRec {
-                                key: EventKey::DataWrite(name),
-                                policy: st.policy.clone(),
-                                origin: method,
-                            });
-                        }
+                }
+                Stmt::FieldStore { target, .. } if self.options.events == EventDef::Broad => {
+                    if let Some(name) = self.private_field_name(target) {
+                        events.push(EventRec {
+                            key: EventKey::DataWrite(name),
+                            policy: st.policy.clone(),
+                            origin: method,
+                        });
                     }
+                }
                 _ => {}
             }
             // Broad events: accesses to API parameters in the entry frame.
@@ -559,7 +638,7 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
         }
 
         self.stack.pop();
-        let summary = Rc::new(Summary {
+        let summary = Arc::new(Summary {
             // Methods with no reachable return (always-throwing): identity,
             // a conservative choice exercised rarely.
             exit: exit.unwrap_or_else(|| in_policy.clone()),
@@ -570,7 +649,7 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
         if clean {
             self.taint_floor = usize::MAX;
             if !top && memo_on {
-                self.memo.insert(key, Rc::clone(&summary));
+                self.store.insert(key, Arc::clone(&summary));
             }
         }
         summary
@@ -612,12 +691,12 @@ fn call_arg_vals(call: &spo_jir::Call, env: &ConstEnv, icp: bool) -> Vec<AbsVal>
 /// The intraprocedural transfer functions (Algorithm 1), parameterized over
 /// the policy domain and recursing into [`Pass::analyze_method`] at resolved
 /// call sites (Algorithm 2's mutual recursion).
-struct Spda<'s, 'a, 'p, P> {
+struct Spda<'s, 'a, 'p, P: PolicyDomain> {
     pass: &'s mut Pass<'a, 'p, P>,
     boundary: SpState<P>,
     /// Last summary computed per call-site statement; reused by the
     /// post-pass (the final transfer of a statement sees its fixpoint IN).
-    call_cache: HashMap<usize, Rc<Summary<P>>>,
+    call_cache: HashMap<usize, Arc<Summary<P>>>,
 }
 
 impl<P: PolicyDomain> ForwardAnalysis for Spda<'_, '_, '_, P> {
@@ -634,11 +713,24 @@ impl<P: PolicyDomain> ForwardAnalysis for Spda<'_, '_, '_, P> {
             Stmt::EnterPriv => out.priv_depth += 1,
             Stmt::ExitPriv => out.priv_depth = out.priv_depth.saturating_sub(1),
             Stmt::If { cond, .. } => {
-                let decided = if self.pass.options.icp { input.env.eval_cond(cond) } else { None };
+                let decided = if self.pass.options.icp {
+                    input.env.eval_cond(cond)
+                } else {
+                    None
+                };
                 return match decided {
-                    Some(true) => Flow::Branch { taken: Some(out), fall: None },
-                    Some(false) => Flow::Branch { taken: None, fall: Some(out) },
-                    None => Flow::Branch { taken: Some(out.clone()), fall: Some(out) },
+                    Some(true) => Flow::Branch {
+                        taken: Some(out),
+                        fall: None,
+                    },
+                    Some(false) => Flow::Branch {
+                        taken: None,
+                        fall: Some(out),
+                    },
+                    None => Flow::Branch {
+                        taken: Some(out.clone()),
+                        fall: Some(out),
+                    },
                 };
             }
             Stmt::Invoke { dst, call } => {
@@ -658,10 +750,7 @@ impl<P: PolicyDomain> ForwardAnalysis for Spda<'_, '_, '_, P> {
                 }
                 if let Resolution::Unique(target) = self.pass.resolver.resolve(call) {
                     let tm = self.pass.program.method(target);
-                    if tm.body.is_some()
-                        && !tm.is_native()
-                        && !self.pass.stack.contains(&target)
-                    {
+                    if tm.body.is_some() && !tm.is_native() && !self.pass.stack.contains(&target) {
                         let args = call_arg_vals(call, &input.env, self.pass.options.icp);
                         let summary = self.pass.analyze_method(
                             target,
@@ -759,7 +848,10 @@ class t.A {
         assert_eq!(may_of(&lib, "t.A.m()", &ev), CheckSet::of(Check::Exit));
         assert_eq!(must_of(&lib, "t.A.m()", &ev), CheckSet::of(Check::Exit));
         // The API return sees the same policy.
-        assert_eq!(must_of(&lib, "t.A.m()", &EventKey::ApiReturn), CheckSet::of(Check::Exit));
+        assert_eq!(
+            must_of(&lib, "t.A.m()", &EventKey::ApiReturn),
+            CheckSet::of(Check::Exit)
+        );
     }
 
     #[test]
@@ -821,7 +913,9 @@ class t.D {
         assert_eq!(policy.must, CheckSet::empty());
         assert_eq!(
             policy.may,
-            [Check::Multicast, Check::Connect, Check::Accept].into_iter().collect()
+            [Check::Multicast, Check::Connect, Check::Accept]
+                .into_iter()
+                .collect()
         );
         // Exactly the Figure 2 disjuncts.
         let expected_a: CheckSet = [Check::Multicast].into_iter().collect();
@@ -1003,7 +1097,10 @@ class t.Handler { }
 "#;
         let no_icp = analyze_opts(
             src,
-            AnalysisOptions { icp: false, ..Default::default() },
+            AnalysisOptions {
+                icp: false,
+                ..Default::default()
+            },
         );
         let ev = EventKey::Native("parse0".into());
         assert_eq!(
@@ -1038,7 +1135,13 @@ class t.R {
 }
 "#;
         for memo in [MemoScope::None, MemoScope::PerEntry, MemoScope::Global] {
-            let lib = analyze_opts(src, AnalysisOptions { memo, ..Default::default() });
+            let lib = analyze_opts(
+                src,
+                AnalysisOptions {
+                    memo,
+                    ..Default::default()
+                },
+            );
             let ev = EventKey::Native("op0".into());
             assert_eq!(
                 must_of(&lib, "t.R.m(int)", &ev),
@@ -1072,16 +1175,36 @@ class t.S {
   method private static native void op0();
 }
 "#;
-        let base = analyze_opts(src, AnalysisOptions { memo: MemoScope::None, ..Default::default() });
+        let base = analyze_opts(
+            src,
+            AnalysisOptions {
+                memo: MemoScope::None,
+                ..Default::default()
+            },
+        );
         for memo in [MemoScope::PerEntry, MemoScope::Global] {
-            let lib = analyze_opts(src, AnalysisOptions { memo, ..Default::default() });
+            let lib = analyze_opts(
+                src,
+                AnalysisOptions {
+                    memo,
+                    ..Default::default()
+                },
+            );
             for (sig, entry) in &base.entries {
-                assert_eq!(&lib.entries[sig].events, &entry.events, "{sig} under {memo:?}");
+                assert_eq!(
+                    &lib.entries[sig].events, &entry.events,
+                    "{sig} under {memo:?}"
+                );
             }
         }
         // Global memo actually hits across the two entries.
-        let global =
-            analyze_opts(src, AnalysisOptions { memo: MemoScope::Global, ..Default::default() });
+        let global = analyze_opts(
+            src,
+            AnalysisOptions {
+                memo: MemoScope::Global,
+                ..Default::default()
+            },
+        );
         assert!(global.stats.memo_hits > 0);
     }
 
@@ -1107,7 +1230,10 @@ class t.U {
     fn broad_events_catch_figure_3() {
         // Implementation reads private fields data1/data2; checkRead only
         // dominates data2's read.
-        let opts = AnalysisOptions { events: EventDef::Broad, ..Default::default() };
+        let opts = AnalysisOptions {
+            events: EventDef::Broad,
+            ..Default::default()
+        };
         let lib = analyze_opts(
             r#"
 class t.V {
@@ -1130,7 +1256,10 @@ class t.V {
             opts,
         );
         let e = &lib.entries["t.V.a(bool)"];
-        assert_eq!(e.events[&EventKey::DataRead("data1".into())].must, CheckSet::empty());
+        assert_eq!(
+            e.events[&EventKey::DataRead("data1".into())].must,
+            CheckSet::empty()
+        );
         assert_eq!(
             e.events[&EventKey::DataRead("data2".into())].must,
             CheckSet::of(Check::Read)
@@ -1176,10 +1305,16 @@ class t.X {
         let inter = analyze_opts(src, AnalysisOptions::default());
         let intra = analyze_opts(
             src,
-            AnalysisOptions { interprocedural: false, ..Default::default() },
+            AnalysisOptions {
+                interprocedural: false,
+                ..Default::default()
+            },
         );
         let ev = EventKey::Native("op0".into());
-        assert_eq!(may_of(&inter, "t.X.outer()", &ev), CheckSet::of(Check::Exit));
+        assert_eq!(
+            may_of(&inter, "t.X.outer()", &ev),
+            CheckSet::of(Check::Exit)
+        );
         assert_eq!(may_of(&intra, "t.X.outer()", &ev), CheckSet::empty());
     }
 

@@ -25,6 +25,7 @@ mod html;
 mod ispa;
 mod policy;
 mod report;
+mod store;
 mod throws;
 
 pub use baseline::{
@@ -32,16 +33,17 @@ pub use baseline::{
     MinedRule, MiningDeviation,
 };
 pub use checks::{check_of_call, Check, CheckSet, ALL_CHECKS, SECURITY_MANAGER_CLASS};
-pub use events::{EventDef, EventKey};
-pub use ispa::{AnalysisOptions, Analyzer, MemoScope, PolicyDomain};
 pub use diff::{
     diff_entry, diff_entry_with, diff_libraries, diff_libraries_with, DiffMode, DiffResult,
     DifferenceKind, PolicyDifference, Side, SideEvidence,
 };
-pub use policy::{render_dnf, AnalysisStats, EntryPolicy, EventPolicy, LibraryPolicies, Origins};
+pub use events::{EventDef, EventKey};
 pub use exchange::{export_policies, import_policies, ExchangeError};
 pub use html::render_html;
+pub use ispa::{AnalysisOptions, Analyzer, MemoScope, PolicyDomain};
+pub use policy::{render_dnf, AnalysisStats, EntryPolicy, EventPolicy, LibraryPolicies, Origins};
 pub use report::{
     group_differences, render_reports, root_keys, ReportGroup, ReportTally, RootCause,
 };
+pub use store::{LocalStore, MemoKey, ShardStats, SharedStore, Summary, SummaryStore};
 pub use throws::{diff_throws, LibraryThrows, ThrowSet, ThrowsAnalyzer, ThrowsDifference};

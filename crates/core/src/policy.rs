@@ -144,12 +144,18 @@ impl LibraryPolicies {
 
     /// Count of (entry, event) pairs whose may set is non-empty.
     pub fn nonempty_may_policy_count(&self) -> usize {
-        self.entries.values().map(EntryPolicy::nonempty_may_count).sum()
+        self.entries
+            .values()
+            .map(EntryPolicy::nonempty_may_count)
+            .sum()
     }
 
     /// Count of (entry, event) pairs whose must set is non-empty.
     pub fn nonempty_must_policy_count(&self) -> usize {
-        self.entries.values().map(EntryPolicy::nonempty_must_count).sum()
+        self.entries
+            .values()
+            .map(EntryPolicy::nonempty_must_count)
+            .sum()
     }
 
     /// Total number of (entry, event) policy pairs, empty or not.
@@ -175,6 +181,20 @@ pub struct AnalysisStats {
     pub may_nanos: u128,
     /// Wall-clock analysis time for the MUST pass, in nanoseconds.
     pub must_nanos: u128,
+}
+
+impl AnalysisStats {
+    /// Accumulates another run's counters (the parallel engine sums
+    /// per-worker statistics this way).
+    pub fn absorb(&mut self, other: &AnalysisStats) {
+        self.entry_points += other.entry_points;
+        self.frames_analyzed += other.frames_analyzed;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.unresolved_calls += other.unresolved_calls;
+        self.may_nanos += other.may_nanos;
+        self.must_nanos += other.must_nanos;
+    }
 }
 
 impl fmt::Display for AnalysisStats {
@@ -209,18 +229,27 @@ mod tests {
     fn policy(must: &[Check], may: &[Check]) -> EventPolicy {
         let must: CheckSet = must.iter().copied().collect();
         let may: CheckSet = may.iter().copied().collect();
-        EventPolicy { must, may, may_paths: Dnf::of(may.bits()) }
+        EventPolicy {
+            must,
+            may,
+            may_paths: Dnf::of(may.bits()),
+        }
     }
 
     #[test]
     fn combine_intersects_must_unions_may() {
-        let mut a = policy(&[Check::Connect, Check::Accept], &[Check::Connect, Check::Accept]);
+        let mut a = policy(
+            &[Check::Connect, Check::Accept],
+            &[Check::Connect, Check::Accept],
+        );
         let b = policy(&[Check::Connect], &[Check::Connect, Check::Multicast]);
         a.combine(&b);
         assert_eq!(a.must, CheckSet::of(Check::Connect));
         assert_eq!(
             a.may,
-            [Check::Connect, Check::Accept, Check::Multicast].into_iter().collect()
+            [Check::Connect, Check::Accept, Check::Multicast]
+                .into_iter()
+                .collect()
         );
         assert_eq!(a.may_paths.disjuncts().len(), 2);
     }
@@ -230,22 +259,26 @@ mod tests {
         let mut e = EntryPolicy::new("C.m()".into());
         e.events.insert(EventKey::ApiReturn, EventPolicy::default());
         assert!(e.has_no_checks());
-        e.events.insert(
-            EventKey::Native("x".into()),
-            policy(&[], &[Check::Exit]),
-        );
+        e.events
+            .insert(EventKey::Native("x".into()), policy(&[], &[Check::Exit]));
         assert!(!e.has_no_checks());
         assert_eq!(e.all_checks(), CheckSet::of(Check::Exit));
     }
 
     #[test]
     fn library_counts() {
-        let mut lib = LibraryPolicies { name: "t".into(), ..Default::default() };
+        let mut lib = LibraryPolicies {
+            name: "t".into(),
+            ..Default::default()
+        };
         let mut e1 = EntryPolicy::new("A.m()".into());
-        e1.events.insert(EventKey::ApiReturn, policy(&[Check::Read], &[Check::Read]));
-        e1.events.insert(EventKey::Native("n".into()), policy(&[], &[Check::Read]));
+        e1.events
+            .insert(EventKey::ApiReturn, policy(&[Check::Read], &[Check::Read]));
+        e1.events
+            .insert(EventKey::Native("n".into()), policy(&[], &[Check::Read]));
         let mut e2 = EntryPolicy::new("B.m()".into());
-        e2.events.insert(EventKey::ApiReturn, EventPolicy::default());
+        e2.events
+            .insert(EventKey::ApiReturn, EventPolicy::default());
         lib.entries.insert(e1.signature.clone(), e1);
         lib.entries.insert(e2.signature.clone(), e2);
         assert_eq!(lib.entries_with_checks(), 1);
@@ -263,7 +296,10 @@ mod tests {
         let mut p = EventPolicy::default();
         p.may_paths = [
             CheckSet::of(Check::Multicast).bits(),
-            [Check::Connect, Check::Accept].into_iter().collect::<CheckSet>().bits(),
+            [Check::Connect, Check::Accept]
+                .into_iter()
+                .collect::<CheckSet>()
+                .bits(),
         ]
         .into_iter()
         .collect();

@@ -63,10 +63,7 @@ impl ReportGroup {
 /// [`RootCause::Intraprocedural`], may/must-status differences
 /// [`RootCause::MustMay`], and everything else
 /// [`RootCause::Interprocedural`].
-pub fn group_differences(
-    result: &DiffResult,
-    intra_keys: &BTreeSet<String>,
-) -> Vec<ReportGroup> {
+pub fn group_differences(result: &DiffResult, intra_keys: &BTreeSet<String>) -> Vec<ReportGroup> {
     let mut groups: BTreeMap<String, ReportGroup> = BTreeMap::new();
     for diff in &result.differences {
         let key = diff.root_key();
@@ -97,7 +94,11 @@ pub fn group_differences(
 /// The root keys of a diff result, for feeding the intraprocedural ablation
 /// into [`group_differences`].
 pub fn root_keys(result: &DiffResult) -> BTreeSet<String> {
-    result.differences.iter().map(PolicyDifference::root_key).collect()
+    result
+        .differences
+        .iter()
+        .map(PolicyDifference::root_key)
+        .collect()
 }
 
 /// Tallies of grouped reports in the shape of one Table 3 column.
@@ -139,11 +140,12 @@ impl ReportTally {
 }
 
 /// Renders grouped reports as a human-readable listing, most-manifested
-/// first.
+/// first; ties are broken by root key so the output is a pure function of
+/// the diff (identical across runs, thread counts, and platforms).
 pub fn render_reports(result: &DiffResult, groups: &[ReportGroup]) -> String {
     use std::fmt::Write as _;
     let mut sorted: Vec<&ReportGroup> = groups.iter().collect();
-    sorted.sort_by_key(|g| std::cmp::Reverse(g.manifestation_count()));
+    sorted.sort_by_key(|g| (std::cmp::Reverse(g.manifestation_count()), &g.root_key));
     let mut out = String::new();
     writeln!(
         out,
@@ -151,13 +153,23 @@ pub fn render_reports(result: &DiffResult, groups: &[ReportGroup]) -> String {
         result.left_name,
         result.right_name,
         groups.len(),
-        groups.iter().map(ReportGroup::manifestation_count).sum::<usize>()
+        groups
+            .iter()
+            .map(ReportGroup::manifestation_count)
+            .sum::<usize>()
     )
     .unwrap();
     for (i, g) in sorted.iter().enumerate() {
         let d = &g.representative;
-        writeln!(out, "\n[{}] {} ({} manifestations, {} cause)", i + 1, d.kind, g.manifestation_count(), g.cause)
-            .unwrap();
+        writeln!(
+            out,
+            "\n[{}] {} ({} manifestations, {} cause)",
+            i + 1,
+            d.kind,
+            g.manifestation_count(),
+            g.cause
+        )
+        .unwrap();
         writeln!(out, "    delta checks: {}", d.delta).unwrap();
         writeln!(
             out,
@@ -179,7 +191,12 @@ pub fn render_reports(result: &DiffResult, groups: &[ReportGroup]) -> String {
             let origins: Vec<&str> = d.origins.iter().map(String::as_str).collect();
             writeln!(out, "    implicated methods: {}", origins.join(", ")).unwrap();
         }
-        let sample: Vec<&str> = g.manifestations.iter().take(4).map(String::as_str).collect();
+        let sample: Vec<&str> = g
+            .manifestations
+            .iter()
+            .take(4)
+            .map(String::as_str)
+            .collect();
         writeln!(out, "    e.g. {}", sample.join(", ")).unwrap();
     }
     out
@@ -204,7 +221,9 @@ mod tests {
     }
 
     fn mismatch() -> DifferenceKind {
-        DifferenceKind::CheckSetMismatch { event: EventKey::ApiReturn }
+        DifferenceKind::CheckSetMismatch {
+            event: EventKey::ApiReturn,
+        }
     }
 
     #[test]
@@ -221,7 +240,11 @@ mod tests {
         };
         let groups = group_differences(&result, &BTreeSet::new());
         assert_eq!(groups.len(), 2);
-        let max = groups.iter().map(|g| g.manifestation_count()).max().unwrap();
+        let max = groups
+            .iter()
+            .map(|g| g.manifestation_count())
+            .max()
+            .unwrap();
         assert_eq!(max, 2);
     }
 

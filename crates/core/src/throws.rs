@@ -58,7 +58,10 @@ pub struct ThrowsAnalyzer<'p> {
 impl<'p> ThrowsAnalyzer<'p> {
     /// Creates the analyzer (builds the hierarchy).
     pub fn new(program: &'p Program) -> Self {
-        ThrowsAnalyzer { program, hierarchy: Hierarchy::new(program) }
+        ThrowsAnalyzer {
+            program,
+            hierarchy: Hierarchy::new(program),
+        }
     }
 
     /// Computes may-throw sets for all entry points.
@@ -96,11 +99,20 @@ impl<'p> ThrowsAnalyzer<'p> {
         for root in roots {
             let set: ThrowSet = sets
                 .get(&root)
-                .map(|s| s.iter().map(|&sym| self.program.str(sym).to_owned()).collect())
+                .map(|s| {
+                    s.iter()
+                        .map(|&sym| self.program.str(sym).to_owned())
+                        .collect()
+                })
                 .unwrap_or_default();
-            entries.entry(self.program.method_signature(root)).or_insert(set);
+            entries
+                .entry(self.program.method_signature(root))
+                .or_insert(set);
         }
-        LibraryThrows { name: name.to_owned(), entries }
+        LibraryThrows {
+            name: name.to_owned(),
+            entries,
+        }
     }
 
     /// Exception classes thrown directly by `m`'s own `throw` statements.
@@ -113,22 +125,26 @@ impl<'p> ThrowsAnalyzer<'p> {
         let mut alloc: BTreeMap<u32, Symbol> = BTreeMap::new();
         for stmt in &body.stmts {
             match stmt {
-                Stmt::Assign { dst, value: Expr::New(class) } => {
+                Stmt::Assign {
+                    dst,
+                    value: Expr::New(class),
+                } => {
                     alloc.insert(dst.0, *class);
                 }
                 Stmt::Assign { dst, .. } | Stmt::Invoke { dst: Some(dst), .. } => {
                     alloc.remove(&dst.0);
                 }
                 Stmt::Throw { value } => {
-                    let class = match value {
-                        Operand::Local(l) => alloc.get(&l.0).copied().or_else(|| {
-                            match &body.locals[l.index()].ty {
-                                Type::Ref(s) => Some(*s),
-                                _ => None,
-                            }
-                        }),
-                        Operand::Const(_) => None,
-                    };
+                    let class =
+                        match value {
+                            Operand::Local(l) => alloc.get(&l.0).copied().or_else(|| {
+                                match &body.locals[l.index()].ty {
+                                    Type::Ref(s) => Some(*s),
+                                    _ => None,
+                                }
+                            }),
+                            Operand::Const(_) => None,
+                        };
                     if let Some(c) = class {
                         out.insert(c);
                     }
@@ -162,7 +178,9 @@ pub struct ThrowsDifference {
 pub fn diff_throws(left: &LibraryThrows, right: &LibraryThrows) -> Vec<ThrowsDifference> {
     let mut out = Vec::new();
     for (sig, ls) in &left.entries {
-        let Some(rs) = right.entries.get(sig) else { continue };
+        let Some(rs) = right.entries.get(sig) else {
+            continue;
+        };
         if ls == rs {
             continue;
         }

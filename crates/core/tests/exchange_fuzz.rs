@@ -1,96 +1,157 @@
 //! Robustness and round-trip properties of the policy exchange format.
+//!
+//! Randomized over fixed seeds via the in-tree `spo-rng` PRNG.
 
-use proptest::prelude::*;
 use spo_core::{
     export_policies, import_policies, Check, CheckSet, EntryPolicy, EventKey, EventPolicy,
     LibraryPolicies, ALL_CHECKS,
 };
 use spo_dataflow::Dnf;
+use spo_rng::SmallRng;
 
-/// Strategy for an arbitrary check set.
-fn any_checkset() -> impl Strategy<Value = CheckSet> {
-    proptest::collection::vec(0usize..31, 0..6).prop_map(|idxs| {
-        idxs.into_iter().map(|i| ALL_CHECKS[i]).collect()
-    })
+/// An arbitrary check set.
+fn any_checkset(rng: &mut SmallRng) -> CheckSet {
+    let n = rng.gen_range(0..6usize);
+    (0..n)
+        .map(|_| ALL_CHECKS[rng.gen_range(0..31usize)])
+        .collect()
 }
 
-fn any_event() -> impl Strategy<Value = EventKey> {
-    prop_oneof![
-        Just(EventKey::ApiReturn),
-        "[a-z][a-z0-9_]{0,10}".prop_map(EventKey::Native),
-        "[a-z][a-z0-9_]{0,10}".prop_map(EventKey::DataRead),
-        "[a-z][a-z0-9_]{0,10}".prop_map(EventKey::DataWrite),
-    ]
+fn lower_ident(rng: &mut SmallRng) -> String {
+    const FIRST: &[char] = &['a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'w', 'z'];
+    const REST: &[char] = &[
+        'a', 'b', 'c', 'd', 'e', 'x', 'y', 'z', '0', '1', '2', '9', '_',
+    ];
+    let mut s = String::new();
+    s.push(*rng.choose(FIRST).unwrap());
+    let extra = rng.gen_range(0..11usize);
+    for _ in 0..extra {
+        s.push(*rng.choose(REST).unwrap());
+    }
+    s
 }
 
-fn any_policy() -> impl Strategy<Value = EventPolicy> {
-    (any_checkset(), proptest::collection::vec(any_checkset(), 0..4)).prop_map(
-        |(extra_must, paths)| {
-            let may_paths: Dnf = paths.iter().map(|c| c.bits()).collect();
-            let flat = CheckSet::from_bits(may_paths.flat_union());
-            // must ⊆ may to mirror real analysis output.
-            let must = extra_must.intersect(flat).intersect(CheckSet::from_bits(
-                may_paths.must_view(),
-            ));
-            EventPolicy { must, may: flat, may_paths }
-        },
-    )
+fn any_event(rng: &mut SmallRng) -> EventKey {
+    match rng.gen_range(0..4u32) {
+        0 => EventKey::ApiReturn,
+        1 => EventKey::Native(lower_ident(rng)),
+        2 => EventKey::DataRead(lower_ident(rng)),
+        _ => EventKey::DataWrite(lower_ident(rng)),
+    }
 }
 
-fn any_library() -> impl Strategy<Value = LibraryPolicies> {
-    proptest::collection::btree_map(
-        "[A-Za-z][A-Za-z0-9.]{0,16}\\(\\)",
-        proptest::collection::btree_map(any_event(), any_policy(), 0..4),
-        0..6,
-    )
-    .prop_map(|entries| {
-        let mut lib = LibraryPolicies { name: "fuzz".into(), ..Default::default() };
-        for (sig, events) in entries {
-            let mut e = EntryPolicy::new(sig.clone());
-            e.events = events;
-            // Exercise origins too.
-            e.event_origins
-                .entry(EventKey::ApiReturn)
-                .or_default()
-                .insert(format!("{sig}#origin"));
-            e.check_origins
-                .entry(Check::Read.index())
-                .or_default()
-                .insert(format!("{sig}#check"));
-            lib.entries.insert(sig, e);
+fn any_policy(rng: &mut SmallRng) -> EventPolicy {
+    let extra_must = any_checkset(rng);
+    let npaths = rng.gen_range(0..4usize);
+    let paths: Vec<CheckSet> = (0..npaths).map(|_| any_checkset(rng)).collect();
+    let may_paths: Dnf = paths.iter().map(|c| c.bits()).collect();
+    let flat = CheckSet::from_bits(may_paths.flat_union());
+    // must ⊆ may to mirror real analysis output.
+    let must = extra_must
+        .intersect(flat)
+        .intersect(CheckSet::from_bits(may_paths.must_view()));
+    EventPolicy {
+        must,
+        may: flat,
+        may_paths,
+    }
+}
+
+fn signature(rng: &mut SmallRng) -> String {
+    const FIRST: &[char] = &['A', 'B', 'C', 'a', 'b', 'z'];
+    const REST: &[char] = &['A', 'b', 'C', 'd', '0', '7', '.', 'x'];
+    let mut s = String::new();
+    s.push(*rng.choose(FIRST).unwrap());
+    let extra = rng.gen_range(0..17usize);
+    for _ in 0..extra {
+        s.push(*rng.choose(REST).unwrap());
+    }
+    s.push_str("()");
+    s
+}
+
+fn any_library(rng: &mut SmallRng) -> LibraryPolicies {
+    let mut lib = LibraryPolicies {
+        name: "fuzz".into(),
+        ..Default::default()
+    };
+    let nentries = rng.gen_range(0..6usize);
+    for _ in 0..nentries {
+        let sig = signature(rng);
+        let mut e = EntryPolicy::new(sig.clone());
+        let nevents = rng.gen_range(0..4usize);
+        for _ in 0..nevents {
+            e.events.insert(any_event(rng), any_policy(rng));
         }
-        lib
-    })
+        // Exercise origins too.
+        e.event_origins
+            .entry(EventKey::ApiReturn)
+            .or_default()
+            .insert(format!("{sig}#origin"));
+        e.check_origins
+            .entry(Check::Read.index())
+            .or_default()
+            .insert(format!("{sig}#check"));
+        lib.entries.insert(sig, e);
+    }
+    lib
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Arbitrary libraries round-trip exactly.
-    #[test]
-    fn roundtrip_arbitrary_policies(lib in any_library()) {
+/// Arbitrary libraries round-trip exactly.
+#[test]
+fn roundtrip_arbitrary_policies() {
+    for seed in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0xf022_0000 + seed);
+        let lib = any_library(&mut rng);
         let text = export_policies(&lib);
         let back = import_policies(&text).unwrap();
-        prop_assert_eq!(back.entries, lib.entries);
+        assert_eq!(back.entries, lib.entries, "seed {seed}");
     }
+}
 
-    /// The importer never panics on arbitrary text.
-    #[test]
-    fn importer_total_on_noise(s in "\\PC{0,300}") {
+/// The importer never panics on arbitrary text.
+#[test]
+fn importer_total_on_noise() {
+    for seed in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0x2015_0000 + seed);
+        let len = rng.gen_range(0..301usize);
+        let s: String = (0..len)
+            .map(|_| match rng.gen_range(0..3u32) {
+                0 => rng.gen_range(0x20..0x7fu32),
+                1 => rng.gen_range(0..0x20u32),
+                _ => rng.gen_range(0xa0..0x2500u32),
+            })
+            .filter_map(char::from_u32)
+            .collect();
         let _ = import_policies(&s);
     }
+}
 
-    /// Keyword soup exercises deeper importer paths.
-    #[test]
-    fn importer_total_on_keyword_soup(words in proptest::collection::vec(
-        prop_oneof![
-            Just("library"), Just("entry"), Just("event"), Just("origin"),
-            Just("checkorigin"), Just("return"), Just("must"), Just("may"),
-            Just("native:x"), Just("read:y"), Just("{}"), Just("{checkRead}"),
-            Just("-"), Just("!"), Just("checkRead"), Just("a.B.c()"),
-        ],
-        0..30,
-    )) {
+/// Keyword soup exercises deeper importer paths.
+#[test]
+fn importer_total_on_keyword_soup() {
+    const WORDS: &[&str] = &[
+        "library",
+        "entry",
+        "event",
+        "origin",
+        "checkorigin",
+        "return",
+        "must",
+        "may",
+        "native:x",
+        "read:y",
+        "{}",
+        "{checkRead}",
+        "-",
+        "!",
+        "checkRead",
+        "a.B.c()",
+    ];
+    for seed in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5017_0000 + seed);
+        let len = rng.gen_range(0..30usize);
+        let words: Vec<&str> = (0..len).map(|_| *rng.choose(WORDS).unwrap()).collect();
         let _ = import_policies(&words.join(" "));
         let _ = import_policies(&words.join("\n"));
     }

@@ -49,7 +49,10 @@ class t.A {
         AnalysisOptions::default(),
     );
     let ev = &lib.entries["t.A.m()"].events[&EventKey::Native("op0".into())];
-    assert!(ev.may.is_empty(), "check inside nested privileged region must be a no-op");
+    assert!(
+        ev.may.is_empty(),
+        "check inside nested privileged region must be a no-op"
+    );
 }
 
 #[test]
@@ -154,7 +157,10 @@ class t.T {
 
 #[test]
 fn broad_mode_records_parameter_accesses_in_entry_only() {
-    let opts = AnalysisOptions { events: EventDef::Broad, ..Default::default() };
+    let opts = AnalysisOptions {
+        events: EventDef::Broad,
+        ..Default::default()
+    };
     let lib = analyze(
         r#"
 class t.P {
@@ -174,14 +180,21 @@ class t.P {
         opts,
     );
     let entry = &lib.entries["t.P.m(int)"];
-    assert!(entry.events.contains_key(&EventKey::DataRead("size".into())));
+    assert!(entry
+        .events
+        .contains_key(&EventKey::DataRead("size".into())));
     // Callee parameter names do not become events.
-    assert!(!entry.events.contains_key(&EventKey::DataRead("inner".into())));
+    assert!(!entry
+        .events
+        .contains_key(&EventKey::DataRead("inner".into())));
 }
 
 #[test]
 fn broad_mode_sees_inherited_private_fields() {
-    let opts = AnalysisOptions { events: EventDef::Broad, ..Default::default() };
+    let opts = AnalysisOptions {
+        events: EventDef::Broad,
+        ..Default::default()
+    };
     let lib = analyze(
         r#"
 class t.Base {
@@ -199,7 +212,9 @@ class t.Sub extends t.Base {
     );
     let entry = &lib.entries["t.Sub.leak()"];
     assert!(
-        entry.events.contains_key(&EventKey::DataRead("secret".into())),
+        entry
+            .events
+            .contains_key(&EventKey::DataRead("secret".into())),
         "{:?}",
         entry.events.keys().collect::<Vec<_>>()
     );
@@ -316,7 +331,12 @@ class t.M2 {
     );
     let ev = &lib.entries["t.M.m(bool)"].events[&EventKey::Native("nat".into())];
     assert!(ev.must.is_empty());
-    assert_eq!(ev.may, [Check::Read, Check::Write].into_iter().collect::<CheckSet>());
+    assert_eq!(
+        ev.may,
+        [Check::Read, Check::Write]
+            .into_iter()
+            .collect::<CheckSet>()
+    );
 }
 
 #[test]
@@ -376,7 +396,10 @@ fn builder_constructed_programs_analyze_like_parsed_ones() {
     let printed = spo_jir::print_program(&built);
     let reparsed = spo_jir::parse_program(&printed).unwrap();
     let lib2 = Analyzer::new(&reparsed, AnalysisOptions::default()).analyze_library("built");
-    assert_eq!(lib.entries["b.Built.m()"].events, lib2.entries["b.Built.m()"].events);
+    assert_eq!(
+        lib.entries["b.Built.m()"].events,
+        lib2.entries["b.Built.m()"].events
+    );
 }
 
 #[test]
@@ -407,7 +430,11 @@ class t.Loop {
         AnalysisOptions::default(),
     );
     let ev = &lib.entries["t.Loop.m(bool)"].events[&EventKey::Native("op0".into())];
-    assert_eq!(ev.may, CheckSet::of(Check::Read), "second trip carries the check");
+    assert_eq!(
+        ev.may,
+        CheckSet::of(Check::Read),
+        "second trip carries the check"
+    );
     assert!(ev.must.is_empty(), "first trip does not");
     // The API return always follows at least one check.
     let ret = &lib.entries["t.Loop.m(bool)"].events[&EventKey::ApiReturn];
@@ -434,7 +461,9 @@ class t.One {
     )
     .unwrap();
     let analyzer = Analyzer::new(&p, AnalysisOptions::default());
-    let single = analyzer.analyze_entry("t.One.api(int)").expect("entry exists");
+    let single = analyzer
+        .analyze_entry("t.One.api(int)")
+        .expect("entry exists");
     let whole = analyzer.analyze_library("t");
     assert_eq!(single.events, whole.entries["t.One.api(int)"].events);
     assert!(analyzer.analyze_entry("t.One.missing()").is_none());
@@ -480,11 +509,17 @@ class t.R {
 "#;
     let base = analyze(
         src,
-        AnalysisOptions { memo: spo_core::MemoScope::None, ..Default::default() },
+        AnalysisOptions {
+            memo: spo_core::MemoScope::None,
+            ..Default::default()
+        },
     );
     let global = analyze(
         src,
-        AnalysisOptions { memo: spo_core::MemoScope::Global, ..Default::default() },
+        AnalysisOptions {
+            memo: spo_core::MemoScope::Global,
+            ..Default::default()
+        },
     );
     for sig in ["t.R.a()", "t.R.b()"] {
         assert_eq!(

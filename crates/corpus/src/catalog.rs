@@ -109,9 +109,7 @@ impl PairingExpectation {
     /// Total distinct real differences (vulns + interop + FPs) the oracle
     /// should report with ICP on.
     pub fn total_distinct(&self) -> usize {
-        self.vulns.values().map(|v| v.0).sum::<usize>()
-            + self.interop.0
-            + self.false_positives.0
+        self.vulns.values().map(|v| v.0).sum::<usize>() + self.interop.0 + self.false_positives.0
     }
 }
 
@@ -127,8 +125,7 @@ impl BugCatalog {
     /// report (matching on the report's origin methods).
     pub fn classify(&self, group: &ReportGroup) -> Option<&BugRecord> {
         self.bugs.iter().find(|b| {
-            group.representative.origins.contains(&b.culprit)
-                || group.root_key.contains(&b.culprit)
+            group.representative.origins.contains(&b.culprit) || group.root_key.contains(&b.culprit)
         })
     }
 
@@ -170,9 +167,7 @@ impl BugCatalog {
         self.bugs
             .iter()
             .filter(|b| {
-                b.buggy_lib == lib
-                    && b.category == BugCategory::Vulnerability
-                    && !b.broad_only
+                b.buggy_lib == lib && b.category == BugCategory::Vulnerability && !b.broad_only
             })
             .count()
     }
@@ -212,9 +207,19 @@ mod tests {
     fn expected_counts_by_category() {
         let catalog = BugCatalog {
             bugs: vec![
-                record("v1", Lib::Harmony, BugCategory::Vulnerability, vec![(Group::All, 2)]),
+                record(
+                    "v1",
+                    Lib::Harmony,
+                    BugCategory::Vulnerability,
+                    vec![(Group::All, 2)],
+                ),
                 record("i1", Lib::Jdk, BugCategory::Interop, vec![(Group::All, 1)]),
-                record("f1", Lib::Harmony, BugCategory::FalsePositive, vec![(Group::All, 1)]),
+                record(
+                    "f1",
+                    Lib::Harmony,
+                    BugCategory::FalsePositive,
+                    vec![(Group::All, 1)],
+                ),
                 record(
                     "c1",
                     Lib::Classpath,

@@ -564,7 +564,8 @@ class java.security.Security {
 /// JDK and Harmony load it statically at boot and perform no check.
 pub const INTEROP_CHARSET: Figure = Figure {
     name: "interop_charset",
-    description: "CharsetProvider: Classpath's dynamic loading needs a permission the others never check",
+    description:
+        "CharsetProvider: Classpath's dynamic loading needs a permission the others never check",
     jdk: Some(CHARSET_STATIC),
     harmony: Some(CHARSET_STATIC),
     classpath: Some(CHARSET_DYNAMIC),

@@ -20,9 +20,8 @@
 use crate::catalog::{BugCatalog, BugCategory, BugKind, BugRecord};
 use crate::figures::{ALL_FIGURES, FP_GET_PROPERTY};
 use crate::lib_id::{Group, Lib};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use spo_core::Check;
+use spo_rng::SmallRng;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -40,7 +39,10 @@ pub struct CorpusConfig {
 
 impl Default for CorpusConfig {
     fn default() -> Self {
-        CorpusConfig { seed: 0x5350_4f31, scale: 1.0 }
+        CorpusConfig {
+            seed: 0x5350_4f31,
+            scale: 1.0,
+        }
     }
 }
 
@@ -48,7 +50,10 @@ impl CorpusConfig {
     /// A small corpus for unit/integration tests (bugs intact, little
     /// background mass).
     pub fn test_sized() -> Self {
-        CorpusConfig { scale: 0.02, ..Default::default() }
+        CorpusConfig {
+            scale: 0.02,
+            ..Default::default()
+        }
     }
 }
 
@@ -107,8 +112,9 @@ const GROUP_TARGETS: [(Group, usize); 7] = [
     (Group::ClasspathOnly, 10),
 ];
 
-const PACKAGES: [&str; 8] =
-    ["net", "io", "lang", "util", "security", "text", "nio", "crypto"];
+const PACKAGES: [&str; 8] = [
+    "net", "io", "lang", "util", "security", "text", "nio", "crypto",
+];
 
 /// Checks drawn on by the background checked-entry patterns. Disjoint from
 /// the checks the bug plan uses for deltas, so background noise cannot
@@ -164,7 +170,12 @@ pub fn generate(config: &CorpusConfig) -> Corpus {
         programs.insert(lib, p);
     }
 
-    Corpus { config: *config, sources, programs, catalog }
+    Corpus {
+        config: *config,
+        sources,
+        programs,
+        catalog,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -184,10 +195,25 @@ fn emit_background(group: Group, n: usize, rng: &mut SmallRng) -> String {
             writeln!(out, "    local int a, b;").unwrap();
             writeln!(out, "    a = x + {j};").unwrap();
             if j < 5 {
-                writeln!(out, "    b = staticinvoke gen.{tag}.{pkg}.Util.u{}(a);", j + 1).unwrap();
-                writeln!(out, "    b = staticinvoke gen.{tag}.{pkg}.Util.u{}(a);", j + 1).unwrap();
+                writeln!(
+                    out,
+                    "    b = staticinvoke gen.{tag}.{pkg}.Util.u{}(a);",
+                    j + 1
+                )
+                .unwrap();
+                writeln!(
+                    out,
+                    "    b = staticinvoke gen.{tag}.{pkg}.Util.u{}(a);",
+                    j + 1
+                )
+                .unwrap();
             } else if j < 7 {
-                writeln!(out, "    b = staticinvoke gen.{tag}.{pkg}.Util.u{}(a);", j + 1).unwrap();
+                writeln!(
+                    out,
+                    "    b = staticinvoke gen.{tag}.{pkg}.Util.u{}(a);",
+                    j + 1
+                )
+                .unwrap();
             } else {
                 writeln!(out, "    b = a * 2;").unwrap();
             }
@@ -244,7 +270,11 @@ fn emit_background_entry(
     } else if roll < 89 {
         // Unchecked native leaf.
         writeln!(out, "  method public void m{k}() {{").unwrap();
-        writeln!(out, "    staticinvoke gen.{tag}.{pkg}.C{class_idx}.nat{k}();").unwrap();
+        writeln!(
+            out,
+            "    staticinvoke gen.{tag}.{pkg}.C{class_idx}.nat{k}();"
+        )
+        .unwrap();
         writeln!(out, "    return;").unwrap();
         writeln!(out, "  }}").unwrap();
         writeln!(out, "  method private static native void nat{k}();").unwrap();
@@ -264,7 +294,11 @@ fn emit_background_entry(
         let shape: u32 = rng.gen_range(0..3);
         writeln!(out, "  method public void m{k}(bool c) {{").unwrap();
         writeln!(out, "    local java.lang.SecurityManager sm;").unwrap();
-        writeln!(out, "    sm = staticinvoke java.lang.System.getSecurityManager();").unwrap();
+        writeln!(
+            out,
+            "    sm = staticinvoke java.lang.System.getSecurityManager();"
+        )
+        .unwrap();
         match shape {
             0 => {
                 // Unconditional: a must policy.
@@ -285,13 +319,22 @@ fn emit_background_entry(
                 writeln!(out, "    virtualinvoke sm.{}({args});", check.method_name()).unwrap();
                 writeln!(out, "    goto go;").unwrap();
                 writeln!(out, "  alt:").unwrap();
-                writeln!(out, "    virtualinvoke sm.{}({});", other.method_name(), check_args(other))
-                    .unwrap();
+                writeln!(
+                    out,
+                    "    virtualinvoke sm.{}({});",
+                    other.method_name(),
+                    check_args(other)
+                )
+                .unwrap();
                 writeln!(out, "  go:").unwrap();
                 writeln!(out, "    nop;").unwrap();
             }
         }
-        writeln!(out, "    staticinvoke gen.{tag}.{pkg}.C{class_idx}.nat{k}();").unwrap();
+        writeln!(
+            out,
+            "    staticinvoke gen.{tag}.{pkg}.C{class_idx}.nat{k}();"
+        )
+        .unwrap();
         writeln!(out, "    return;").unwrap();
         writeln!(out, "  }}").unwrap();
         writeln!(out, "  method private static native void nat{k}();").unwrap();
@@ -378,44 +421,314 @@ fn bug_plans() -> Vec<BugPlan> {
     };
     vec![
         // --- JDK vulnerabilities: checks inside privileged blocks (§6.2).
-        plan("jv1", Jdk, Vulnerability, PrivilegedChecks, &[C::CreateClassLoader], &[(JC, 4)], Helper),
-        plan("jv2", Jdk, Vulnerability, PrivilegedChecks, &[C::SetFactory], &[(JC, 4)], Helper),
-        plan("jv3", Jdk, Vulnerability, PrivilegedChecks, &[C::PropertiesAccess], &[(JC, 5)], Helper),
-        plan("jv4", Jdk, Vulnerability, PrivilegedChecks, &[C::Delete], &[(JC, 5)], Helper),
-        plan("jv5", Jdk, Vulnerability, PrivilegedChecks, &[C::Exec], &[(JH, 2)], Helper),
+        plan(
+            "jv1",
+            Jdk,
+            Vulnerability,
+            PrivilegedChecks,
+            &[C::CreateClassLoader],
+            &[(JC, 4)],
+            Helper,
+        ),
+        plan(
+            "jv2",
+            Jdk,
+            Vulnerability,
+            PrivilegedChecks,
+            &[C::SetFactory],
+            &[(JC, 4)],
+            Helper,
+        ),
+        plan(
+            "jv3",
+            Jdk,
+            Vulnerability,
+            PrivilegedChecks,
+            &[C::PropertiesAccess],
+            &[(JC, 5)],
+            Helper,
+        ),
+        plan(
+            "jv4",
+            Jdk,
+            Vulnerability,
+            PrivilegedChecks,
+            &[C::Delete],
+            &[(JC, 5)],
+            Helper,
+        ),
+        plan(
+            "jv5",
+            Jdk,
+            Vulnerability,
+            PrivilegedChecks,
+            &[C::Exec],
+            &[(JH, 2)],
+            Helper,
+        ),
         // --- Harmony vulnerabilities (plus Figures 1 and 6).
-        plan("hv1", Harmony, Vulnerability, DropCheck(C::Listen), &[C::Listen], &[(All, 2), (CH, 1)], Helper),
-        plan("hv2", Harmony, Vulnerability, DropCheck(C::PackageAccess), &[C::PackageAccess], &[(All, 2), (CH, 1)], Helper),
-        plan("hv3", Harmony, Vulnerability, DropCheck(C::Write), &[C::Write, C::Read], &[(All, 2), (CH, 2)], Helper),
-        plan("hv4", Harmony, Vulnerability, DropAllChecks, &[C::AccessGroup], &[(JH, 2)], Helper),
+        plan(
+            "hv1",
+            Harmony,
+            Vulnerability,
+            DropCheck(C::Listen),
+            &[C::Listen],
+            &[(All, 2), (CH, 1)],
+            Helper,
+        ),
+        plan(
+            "hv2",
+            Harmony,
+            Vulnerability,
+            DropCheck(C::PackageAccess),
+            &[C::PackageAccess],
+            &[(All, 2), (CH, 1)],
+            Helper,
+        ),
+        plan(
+            "hv3",
+            Harmony,
+            Vulnerability,
+            DropCheck(C::Write),
+            &[C::Write, C::Read],
+            &[(All, 2), (CH, 2)],
+            Helper,
+        ),
+        plan(
+            "hv4",
+            Harmony,
+            Vulnerability,
+            DropAllChecks,
+            &[C::AccessGroup],
+            &[(JH, 2)],
+            Helper,
+        ),
         // --- Classpath vulnerabilities (plus Figure 7).
-        plan("cv1", Classpath, Vulnerability, DropCheck(C::Read), &[C::Read], &[(All, 2)], Helper),
-        plan("cv2", Classpath, Vulnerability, DropCheck(C::Connect), &[C::Connect, C::Accept], &[(All, 2)], Helper),
-        plan("cv3", Classpath, Vulnerability, DropAllChecks, &[C::PropertyAccess], &[(All, 2)], Helper),
-        plan("cv4", Classpath, Vulnerability, PrivilegedChecks, &[C::MemberAccess], &[(All, 2)], Helper),
-        plan("cv5", Classpath, Vulnerability, DropCheck(C::Multicast), &[C::Multicast], &[(JC, 5)], Helper),
-        plan("cv6", Classpath, Vulnerability, DropAllChecks, &[C::Link], &[(JC, 6)], Helper),
-        plan("cv7", Classpath, Vulnerability, DropCheck(C::TopLevelWindow), &[C::TopLevelWindow], &[(JC, 1)], Inline),
+        plan(
+            "cv1",
+            Classpath,
+            Vulnerability,
+            DropCheck(C::Read),
+            &[C::Read],
+            &[(All, 2)],
+            Helper,
+        ),
+        plan(
+            "cv2",
+            Classpath,
+            Vulnerability,
+            DropCheck(C::Connect),
+            &[C::Connect, C::Accept],
+            &[(All, 2)],
+            Helper,
+        ),
+        plan(
+            "cv3",
+            Classpath,
+            Vulnerability,
+            DropAllChecks,
+            &[C::PropertyAccess],
+            &[(All, 2)],
+            Helper,
+        ),
+        plan(
+            "cv4",
+            Classpath,
+            Vulnerability,
+            PrivilegedChecks,
+            &[C::MemberAccess],
+            &[(All, 2)],
+            Helper,
+        ),
+        plan(
+            "cv5",
+            Classpath,
+            Vulnerability,
+            DropCheck(C::Multicast),
+            &[C::Multicast],
+            &[(JC, 5)],
+            Helper,
+        ),
+        plan(
+            "cv6",
+            Classpath,
+            Vulnerability,
+            DropAllChecks,
+            &[C::Link],
+            &[(JC, 6)],
+            Helper,
+        ),
+        plan(
+            "cv7",
+            Classpath,
+            Vulnerability,
+            DropCheck(C::TopLevelWindow),
+            &[C::TopLevelWindow],
+            &[(JC, 1)],
+            Inline,
+        ),
         // --- Interoperability bugs (plus Figure 8).
-        plan("ji1", Jdk, Interop, ExtraCheck(C::AwtEventQueueAccess), &[C::Read], &[(All, 2)], Helper),
-        plan("ji2", Jdk, Interop, ExtraCheck(C::PrintJobAccess), &[C::Write], &[(All, 3)], Helper),
-        plan("hi1", Harmony, Interop, ExtraCheck(C::SystemClipboardAccess), &[C::Read], &[(All, 5), (CH, 35)], Helper),
-        plan("hi2", Harmony, Interop, ExtraCheck(C::PackageDefinition), &[C::Connect], &[(All, 5), (CH, 35)], Helper),
-        plan("hi3", Harmony, Interop, ExtraCheck(C::MulticastTtl), &[C::Multicast], &[(All, 5), (CH, 30)], Helper),
-        plan("hi4", Harmony, Interop, ExtraCheck(C::ReadFd), &[C::Read], &[(JH, 7)], Helper),
-        plan("hi5", Harmony, Interop, ExtraCheck(C::WriteFd), &[C::Write], &[(JH, 6)], Helper),
-        plan("hi6", Harmony, Interop, MustMayDowngrade(C::SecurityAccess), &[C::SecurityAccess], &[(JH, 5)], Helper),
-        plan("ci1", Classpath, Interop, ExtraCheck(C::ConnectContext), &[C::Connect], &[(JC, 108)], Helper),
-        plan("ci2", Classpath, Interop, ExtraCheck(C::ReadContext), &[C::Read], &[(JC, 108)], Helper),
+        plan(
+            "ji1",
+            Jdk,
+            Interop,
+            ExtraCheck(C::AwtEventQueueAccess),
+            &[C::Read],
+            &[(All, 2)],
+            Helper,
+        ),
+        plan(
+            "ji2",
+            Jdk,
+            Interop,
+            ExtraCheck(C::PrintJobAccess),
+            &[C::Write],
+            &[(All, 3)],
+            Helper,
+        ),
+        plan(
+            "hi1",
+            Harmony,
+            Interop,
+            ExtraCheck(C::SystemClipboardAccess),
+            &[C::Read],
+            &[(All, 5), (CH, 35)],
+            Helper,
+        ),
+        plan(
+            "hi2",
+            Harmony,
+            Interop,
+            ExtraCheck(C::PackageDefinition),
+            &[C::Connect],
+            &[(All, 5), (CH, 35)],
+            Helper,
+        ),
+        plan(
+            "hi3",
+            Harmony,
+            Interop,
+            ExtraCheck(C::MulticastTtl),
+            &[C::Multicast],
+            &[(All, 5), (CH, 30)],
+            Helper,
+        ),
+        plan(
+            "hi4",
+            Harmony,
+            Interop,
+            ExtraCheck(C::ReadFd),
+            &[C::Read],
+            &[(JH, 7)],
+            Helper,
+        ),
+        plan(
+            "hi5",
+            Harmony,
+            Interop,
+            ExtraCheck(C::WriteFd),
+            &[C::Write],
+            &[(JH, 6)],
+            Helper,
+        ),
+        plan(
+            "hi6",
+            Harmony,
+            Interop,
+            MustMayDowngrade(C::SecurityAccess),
+            &[C::SecurityAccess],
+            &[(JH, 5)],
+            Helper,
+        ),
+        plan(
+            "ci1",
+            Classpath,
+            Interop,
+            ExtraCheck(C::ConnectContext),
+            &[C::Connect],
+            &[(JC, 108)],
+            Helper,
+        ),
+        plan(
+            "ci2",
+            Classpath,
+            Interop,
+            ExtraCheck(C::ReadContext),
+            &[C::Read],
+            &[(JC, 108)],
+            Helper,
+        ),
         // --- False positives (plus the Security.getProperty figure).
-        plan("fp2", Harmony, FalsePositive, WrongCheck { expected: C::PropertyAccess, actual: C::PropertiesAccess }, &[C::PropertyAccess], &[(All, 1)], Helper),
-        plan("fp3", Harmony, FalsePositive, WrongCheck { expected: C::Access, actual: C::AccessGroup }, &[C::Access], &[(All, 1)], Helper),
+        plan(
+            "fp2",
+            Harmony,
+            FalsePositive,
+            WrongCheck {
+                expected: C::PropertyAccess,
+                actual: C::PropertiesAccess,
+            },
+            &[C::PropertyAccess],
+            &[(All, 1)],
+            Helper,
+        ),
+        plan(
+            "fp3",
+            Harmony,
+            FalsePositive,
+            WrongCheck {
+                expected: C::Access,
+                actual: C::AccessGroup,
+            },
+            &[C::Access],
+            &[(All, 1)],
+            Helper,
+        ),
         // --- ICP-only near-misses (plus Figure 4).
-        plan("icp1", Jdk, IcpOnly, IcpGuard(C::Permission), &[], &[(All, 8)], Helper),
-        plan("icp2", Harmony, IcpOnly, IcpGuard(C::PermissionContext), &[], &[(All, 12)], Helper),
-        plan("icp3", Classpath, IcpOnly, IcpGuard(C::MemberAccess), &[], &[(All, 25)], Helper),
-        plan("icp4", Jdk, IcpOnly, IcpGuard(C::Delete), &[], &[(All, 14)], Helper),
-        plan("icp5", Classpath, IcpOnly, IcpGuard(C::Exec), &[], &[(All, 25)], Helper),
+        plan(
+            "icp1",
+            Jdk,
+            IcpOnly,
+            IcpGuard(C::Permission),
+            &[],
+            &[(All, 8)],
+            Helper,
+        ),
+        plan(
+            "icp2",
+            Harmony,
+            IcpOnly,
+            IcpGuard(C::PermissionContext),
+            &[],
+            &[(All, 12)],
+            Helper,
+        ),
+        plan(
+            "icp3",
+            Classpath,
+            IcpOnly,
+            IcpGuard(C::MemberAccess),
+            &[],
+            &[(All, 25)],
+            Helper,
+        ),
+        plan(
+            "icp4",
+            Jdk,
+            IcpOnly,
+            IcpGuard(C::Delete),
+            &[],
+            &[(All, 14)],
+            Helper,
+        ),
+        plan(
+            "icp5",
+            Classpath,
+            IcpOnly,
+            IcpGuard(C::Exec),
+            &[],
+            &[(All, 25)],
+            Helper,
+        ),
     ]
 }
 
@@ -424,7 +737,13 @@ fn bug_plans() -> Vec<BugPlan> {
 fn figure_records() -> Vec<BugRecord> {
     use BugCategory::{FalsePositive, IcpOnly, Interop, Vulnerability};
     use Check as C;
-    let rec = |id: &str, buggy, category, kind, culprit: &str, wrappers: Vec<(Group, usize)>, broad_only| BugRecord {
+    let rec = |id: &str,
+               buggy,
+               category,
+               kind,
+               culprit: &str,
+               wrappers: Vec<(Group, usize)>,
+               broad_only| BugRecord {
         id: id.to_owned(),
         buggy_lib: buggy,
         category,
@@ -501,7 +820,10 @@ fn figure_records() -> Vec<BugRecord> {
             "figfp",
             Lib::Harmony,
             FalsePositive,
-            BugKind::WrongCheck { expected: C::Permission, actual: C::SecurityAccess },
+            BugKind::WrongCheck {
+                expected: C::Permission,
+                actual: C::SecurityAccess,
+            },
             "java.security.Security.getProperty",
             vec![(Group::All, 1)],
             false,
@@ -553,13 +875,26 @@ fn render_impl_class(plan: &BugPlan, buggy: bool) -> String {
         writeln!(out, "    return;").unwrap();
         writeln!(out, "  }}").unwrap();
         if buggy {
-            writeln!(out, "  method static void guarded(java.lang.Object h, int x) {{").unwrap();
+            writeln!(
+                out,
+                "  method static void guarded(java.lang.Object h, int x) {{"
+            )
+            .unwrap();
             writeln!(out, "    local java.lang.SecurityManager sm;").unwrap();
-            writeln!(out, "    sm = staticinvoke java.lang.System.getSecurityManager();").unwrap();
+            writeln!(
+                out,
+                "    sm = staticinvoke java.lang.System.getSecurityManager();"
+            )
+            .unwrap();
             writeln!(out, "    if sm == null goto go;").unwrap();
             writeln!(out, "    if h == null goto go;").unwrap();
-            writeln!(out, "    virtualinvoke sm.{}({});", check.method_name(), check_args(check))
-                .unwrap();
+            writeln!(
+                out,
+                "    virtualinvoke sm.{}({});",
+                check.method_name(),
+                check_args(check)
+            )
+            .unwrap();
             writeln!(out, "  go:").unwrap();
             writeln!(out, "    staticinvoke gen.bug.{id}.Impl.nat(x);").unwrap();
             writeln!(out, "    return;").unwrap();
@@ -572,7 +907,11 @@ fn render_impl_class(plan: &BugPlan, buggy: bool) -> String {
 
     writeln!(out, "  method static void doWork(int x) {{").unwrap();
     writeln!(out, "    local java.lang.SecurityManager sm;").unwrap();
-    writeln!(out, "    sm = staticinvoke java.lang.System.getSecurityManager();").unwrap();
+    writeln!(
+        out,
+        "    sm = staticinvoke java.lang.System.getSecurityManager();"
+    )
+    .unwrap();
     render_check_block(&mut out, plan, buggy);
     writeln!(out, "    staticinvoke gen.bug.{id}.Impl.nat(x);").unwrap();
     writeln!(out, "    return;").unwrap();
@@ -586,7 +925,13 @@ fn render_impl_class(plan: &BugPlan, buggy: bool) -> String {
 /// for the buggy implementation.
 fn render_check_block(out: &mut String, plan: &BugPlan, buggy: bool) {
     let line = |out: &mut String, c: Check| {
-        writeln!(out, "    virtualinvoke sm.{}({});", c.method_name(), check_args(c)).unwrap();
+        writeln!(
+            out,
+            "    virtualinvoke sm.{}({});",
+            c.method_name(),
+            check_args(c)
+        )
+        .unwrap();
     };
     match (plan.kind, buggy) {
         (BugKind::MustMayDowngrade(c), false) => {
@@ -642,7 +987,11 @@ fn render_check_block(out: &mut String, plan: &BugPlan, buggy: bool) {
 
 fn render_wrapper_class(plan: &BugPlan, group: Group, count: usize) -> String {
     let id = plan.id;
-    let entry = if matches!(plan.kind, BugKind::IcpGuard(_)) { "enter" } else { "doWork" };
+    let entry = if matches!(plan.kind, BugKind::IcpGuard(_)) {
+        "enter"
+    } else {
+        "doWork"
+    };
     let mut out = String::new();
     writeln!(out, "class gen.bug.{id}.W{} {{", group.tag()).unwrap();
     for n in 0..count {
@@ -664,9 +1013,18 @@ fn render_inline_class(plan: &BugPlan, group: Group, count: usize, buggy: bool) 
     for n in 0..count {
         writeln!(out, "  method public void w{n}(int x) {{").unwrap();
         writeln!(out, "    local java.lang.SecurityManager sm;").unwrap();
-        writeln!(out, "    sm = staticinvoke java.lang.System.getSecurityManager();").unwrap();
+        writeln!(
+            out,
+            "    sm = staticinvoke java.lang.System.getSecurityManager();"
+        )
+        .unwrap();
         render_check_block(&mut out, plan, buggy);
-        writeln!(out, "    staticinvoke gen.bug.{id}.W{}.nat(x);", group.tag()).unwrap();
+        writeln!(
+            out,
+            "    staticinvoke gen.bug.{id}.W{}.nat(x);",
+            group.tag()
+        )
+        .unwrap();
         writeln!(out, "    return;").unwrap();
         writeln!(out, "  }}").unwrap();
     }
@@ -753,8 +1111,14 @@ mod tests {
 
     #[test]
     fn scale_changes_background_size_only() {
-        let small = generate(&CorpusConfig { scale: 0.01, ..Default::default() });
-        let larger = generate(&CorpusConfig { scale: 0.05, ..Default::default() });
+        let small = generate(&CorpusConfig {
+            scale: 0.01,
+            ..Default::default()
+        });
+        let larger = generate(&CorpusConfig {
+            scale: 0.05,
+            ..Default::default()
+        });
         assert!(larger.sources[&Lib::Jdk].len() > small.sources[&Lib::Jdk].len());
         assert_eq!(small.catalog.bugs.len(), larger.catalog.bugs.len());
     }

@@ -139,9 +139,10 @@ mod tests {
         let p = prelude_program();
         let sm = p.class_by_str(SECURITY_MANAGER_CLASS).unwrap();
         for check in ALL_CHECKS {
-            let name = p.interner().get(check.method_name()).unwrap_or_else(|| {
-                panic!("check {} not in prelude", check.method_name())
-            });
+            let name = p
+                .interner()
+                .get(check.method_name())
+                .unwrap_or_else(|| panic!("check {} not in prelude", check.method_name()));
             let m = p
                 .find_method(sm, name, check.argc())
                 .unwrap_or_else(|| panic!("missing {}", check.method_name()));

@@ -53,22 +53,26 @@ impl AliasClasses {
             match stmt {
                 Stmt::Assign { dst, value } => match value {
                     Expr::Operand(Operand::Local(src))
-                    | Expr::Cast { operand: Operand::Local(src), .. }
-                        if this.is_ref(*dst) && this.is_ref(*src) => {
-                            this.union(dst.index(), src.index());
-                        }
+                    | Expr::Cast {
+                        operand: Operand::Local(src),
+                        ..
+                    } if this.is_ref(*dst) && this.is_ref(*src) => {
+                        this.union(dst.index(), src.index());
+                    }
                     // Array loads may surface any element stored into the
                     // array: unify with the array local (coarse but sound).
-                    Expr::ArrayLoad { array, .. }
-                        if this.is_ref(*dst) => {
-                            this.union(dst.index(), array.index());
-                        }
+                    Expr::ArrayLoad { array, .. } if this.is_ref(*dst) => {
+                        this.union(dst.index(), array.index());
+                    }
                     _ => {}
                 },
-                Stmt::ArrayStore { array, value: Operand::Local(v), .. }
-                    if this.is_ref(*v) => {
-                        this.union(array.index(), v.index());
-                    }
+                Stmt::ArrayStore {
+                    array,
+                    value: Operand::Local(v),
+                    ..
+                } if this.is_ref(*v) => {
+                    this.union(array.index(), v.index());
+                }
                 // A call result is a fresh handle: no unification (the
                 // callee's aliasing is out of scope intraprocedurally,
                 // mirroring Soot's per-body alias queries).
@@ -211,7 +215,10 @@ mod tests {
                return;
              } }",
         );
-        assert!(a.may_alias(lid(0), lid(2)), "p flows through the array to out");
+        assert!(
+            a.may_alias(lid(0), lid(2)),
+            "p flows through the array to out"
+        );
     }
 
     #[test]
@@ -233,9 +240,7 @@ mod tests {
 
     #[test]
     fn self_alias_for_refs() {
-        let (_, a) = classes(
-            "class C { method public static void m(C p) { return; } }",
-        );
+        let (_, a) = classes("class C { method public static void m(C p) { return; } }");
         assert!(a.may_alias(lid(0), lid(0)));
     }
 }

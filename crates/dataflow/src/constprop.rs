@@ -95,7 +95,9 @@ pub struct ConstEnv {
 impl ConstEnv {
     /// An environment of `n` locals, all ⊤ (unassigned).
     pub fn top(n: usize) -> Self {
-        ConstEnv { vals: vec![AbsVal::Top; n] }
+        ConstEnv {
+            vals: vec![AbsVal::Top; n],
+        }
     }
 
     /// An environment where the first `n_params` locals are ⊥ (arbitrary
@@ -164,9 +166,7 @@ impl ConstEnv {
             // null; of a constant string, the same string).
             Expr::Cast { operand, .. } => self.eval_operand(*operand),
             // Heap reads and type tests are unknown.
-            Expr::FieldLoad(_) | Expr::ArrayLoad { .. } | Expr::InstanceOf { .. } => {
-                AbsVal::Bottom
-            }
+            Expr::FieldLoad(_) | Expr::ArrayLoad { .. } | Expr::InstanceOf { .. } => AbsVal::Bottom,
         }
     }
 
@@ -352,15 +352,24 @@ mod tests {
             rhs: Operand::Const(Const::Bool(false)),
         };
         assert_eq!(env.eval_expr(&e), AbsVal::Val(Const::Bool(false)));
-        let not = Expr::Unary { op: UnOp::Not, operand: Operand::Const(Const::Bool(false)) };
+        let not = Expr::Unary {
+            op: UnOp::Not,
+            operand: Operand::Const(Const::Bool(false)),
+        };
         assert_eq!(env.eval_expr(&not), AbsVal::Val(Const::Bool(true)));
     }
 
     #[test]
     fn truthy_conditions() {
         let env = ConstEnv::top(0);
-        assert_eq!(env.eval_cond(&Cond::Truthy(Operand::Const(Const::Bool(true)))), Some(true));
-        assert_eq!(env.eval_cond(&Cond::Falsy(Operand::Const(Const::Int(0)))), Some(true));
+        assert_eq!(
+            env.eval_cond(&Cond::Truthy(Operand::Const(Const::Bool(true)))),
+            Some(true)
+        );
+        assert_eq!(
+            env.eval_cond(&Cond::Falsy(Operand::Const(Const::Int(0)))),
+            Some(true)
+        );
         assert_eq!(env.eval_cond(&Cond::Truthy(Operand::Local(lid(9)))), None);
     }
 
@@ -369,11 +378,19 @@ mod tests {
         let mut i = spo_jir::Interner::new();
         let s = Const::Str(i.intern("ISO-8859-1"));
         let env = ConstEnv::top(0);
-        let cond = Cond::Cmp { op: CmpOp::Eq, lhs: Operand::Const(s), rhs: Operand::Const(s) };
+        let cond = Cond::Cmp {
+            op: CmpOp::Eq,
+            lhs: Operand::Const(s),
+            rhs: Operand::Const(s),
+        };
         assert_eq!(env.eval_cond(&cond), Some(true));
         // Different literals: identity unknown -> None.
         let s2 = Const::Str(i.intern("UTF-8"));
-        let cond2 = Cond::Cmp { op: CmpOp::Eq, lhs: Operand::Const(s), rhs: Operand::Const(s2) };
+        let cond2 = Cond::Cmp {
+            op: CmpOp::Eq,
+            lhs: Operand::Const(s),
+            rhs: Operand::Const(s2),
+        };
         assert_eq!(env.eval_cond(&cond2), None);
     }
 

@@ -94,10 +94,10 @@ pub fn run_forward<A: ForwardAnalysis>(
 
     // Merge `state` into IN[succ]; enqueue on change.
     let apply = |inputs: &mut Vec<Option<A::State>>,
-                     queue: &mut VecDeque<usize>,
-                     queued: &mut Vec<bool>,
-                     succ: usize,
-                     state: &A::State| {
+                 queue: &mut VecDeque<usize>,
+                 queued: &mut Vec<bool>,
+                 succ: usize,
+                 state: &A::State| {
         let changed = match &mut inputs[succ] {
             Some(existing) => existing.join(state),
             slot @ None => {
@@ -196,7 +196,10 @@ mod tests {
         type State = St;
 
         fn boundary(&mut self) -> St {
-            St { assigned: BitSet32::empty(), env: self.env_entry.clone() }
+            St {
+                assigned: BitSet32::empty(),
+                env: self.env_entry.clone(),
+            }
         }
 
         fn transfer(&mut self, _idx: usize, stmt: &Stmt, input: &St) -> Flow<St> {
@@ -209,9 +212,18 @@ mod tests {
             out.env.transfer(stmt);
             if let Stmt::If { cond, .. } = stmt {
                 return match input.env.eval_cond(cond) {
-                    Some(true) => Flow::Branch { taken: Some(out), fall: None },
-                    Some(false) => Flow::Branch { taken: None, fall: Some(out) },
-                    None => Flow::Branch { taken: Some(out.clone()), fall: Some(out) },
+                    Some(true) => Flow::Branch {
+                        taken: Some(out),
+                        fall: None,
+                    },
+                    Some(false) => Flow::Branch {
+                        taken: None,
+                        fall: Some(out),
+                    },
+                    None => Flow::Branch {
+                        taken: Some(out.clone()),
+                        fall: Some(out),
+                    },
                 };
             }
             Flow::Uniform(out)
@@ -224,7 +236,9 @@ mod tests {
         let body = p.class(c).methods[0].body.as_ref().unwrap().clone();
         let cfg = body.cfg();
         let n = body.locals.len();
-        let mut a = AssignedLocals { env_entry: ConstEnv::entry(n, body.n_params) };
+        let mut a = AssignedLocals {
+            env_entry: ConstEnv::entry(n, body.n_params),
+        };
         let r = run_forward(&body, &cfg, &mut a);
         (p, r)
     }

@@ -150,8 +150,7 @@ impl JoinLattice for BitSet32 {
 /// ⊤ ("not yet visited") is the identity of intersection; the paper's
 /// Algorithm 1 initializes MUST `OUT` values to ⊤ so that the first visit
 /// replaces rather than empties them.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum MustSet {
     /// Not yet visited: the universe, identity of ∩.
     #[default]
@@ -187,7 +186,6 @@ impl MustSet {
         }
     }
 }
-
 
 impl JoinLattice for MustSet {
     /// Join for the MUST direction: set intersection, with ⊤ as identity.
@@ -241,7 +239,9 @@ impl Dnf {
 
     /// A single path carrying the given check set.
     pub fn of(set: BitSet32) -> Self {
-        Dnf { disjuncts: vec![set] }
+        Dnf {
+            disjuncts: vec![set],
+        }
     }
 
     /// The single empty path — the entry state of the MAY analysis.
@@ -308,7 +308,9 @@ impl JoinLattice for Dnf {
 
 impl FromIterator<BitSet32> for Dnf {
     fn from_iter<T: IntoIterator<Item = BitSet32>>(iter: T) -> Self {
-        let mut d = Dnf { disjuncts: iter.into_iter().collect() };
+        let mut d = Dnf {
+            disjuncts: iter.into_iter().collect(),
+        };
         d.normalize();
         d
     }

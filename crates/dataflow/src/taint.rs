@@ -25,7 +25,9 @@ pub struct TaintSet {
 impl TaintSet {
     /// An empty set over `n` locals.
     pub fn empty(n: usize) -> Self {
-        TaintSet { bits: vec![false; n] }
+        TaintSet {
+            bits: vec![false; n],
+        }
     }
 
     /// Marks a local tainted.
@@ -213,7 +215,10 @@ mod tests {
             &["p"],
         );
         let last = dep[body.stmts.len() - 1].as_ref().unwrap();
-        assert!(!last.contains(LocalId(1)), "a was overwritten by a constant");
+        assert!(
+            !last.contains(LocalId(1)),
+            "a was overwritten by a constant"
+        );
     }
 
     #[test]

@@ -1,0 +1,471 @@
+//! # spo-engine — the parallel analysis driver
+//!
+//! The policy analysis is embarrassingly parallel across API entry points:
+//! each root's MAY/MUST passes only read the program and the shared memo
+//! table. This crate drives one library's entry points across N
+//! work-stealing workers backed by a sharded concurrent
+//! [`SharedStore`], then merges the per-root policies **in root order** so
+//! the result is byte-identical to the serial analyzer no matter the
+//! thread count.
+//!
+//! ## Why parallel results equal serial results
+//!
+//! * Only *clean* summaries — whose subtree was not cut by recursion — are
+//!   memoized, and a clean summary is a pure function of its memo key
+//!   `(method, in-policy, const-params, privileged)`. A memo hit therefore
+//!   returns exactly what recomputation would have produced, regardless of
+//!   which worker (or run) inserted it.
+//! * Per-root analysis state (the call stack, the recursion taint floor)
+//!   lives in the worker, never in the shared store.
+//! * The serial analyzer resolves signature collisions between roots
+//!   first-root-wins in program order; the engine merges per-root results
+//!   by ascending root index, reproducing that exactly.
+//!
+//! ```
+//! use spo_engine::AnalysisEngine;
+//! use spo_core::{AnalysisOptions, Analyzer};
+//!
+//! let program = spo_jir::parse_program(r#"
+//! class t.A {
+//!   method public void m() {
+//!     staticinvoke t.A.op0();
+//!     return;
+//!   }
+//!   method private static native void op0();
+//! }
+//! "#).unwrap();
+//! let options = AnalysisOptions::default();
+//! let serial = Analyzer::new(&program, options).analyze_library("t");
+//! let (parallel, stats) = AnalysisEngine::new(4).analyze_library(&program, "t", options);
+//! assert_eq!(serial.entries, parallel.entries);
+//! assert_eq!(stats.entry_points, 1);
+//! ```
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use spo_core::{
+    diff_libraries, group_differences, root_keys, AnalysisOptions, AnalysisStats, Analyzer,
+    DiffResult, EntryPolicy, LibraryPolicies, LocalStore, MemoScope, ReportGroup, ShardStats,
+    SharedStore,
+};
+use spo_dataflow::{Dnf, MustSet};
+use spo_jir::{MethodId, Program};
+use spo_resolve::entry_points;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Per-run statistics of one engine invocation.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Entry points analyzed.
+    pub entry_points: usize,
+    /// Analysis counters summed over all workers (frames, memo hits and
+    /// misses, unresolved calls, per-pass CPU time).
+    pub analysis: AnalysisStats,
+    /// Roots taken from another worker's deque.
+    pub steals: u64,
+    /// Per-shard counters of the MAY-pass summary store (empty unless the
+    /// memo scope was [`MemoScope::Global`]).
+    pub may_shards: Vec<ShardStats>,
+    /// Per-shard counters of the MUST-pass summary store.
+    pub must_shards: Vec<ShardStats>,
+    /// Wall-clock time of the whole run, in nanoseconds.
+    pub wall_nanos: u128,
+}
+
+impl EngineStats {
+    /// Total contended lock acquisitions across both stores' shards.
+    pub fn contended(&self) -> u64 {
+        self.may_shards
+            .iter()
+            .chain(&self.must_shards)
+            .map(|s| s.contended)
+            .sum()
+    }
+
+    /// Accumulates another run's counters (used when one logical operation
+    /// spans several engine invocations).
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.workers = self.workers.max(other.workers);
+        self.entry_points += other.entry_points;
+        self.analysis.absorb(&other.analysis);
+        self.steals += other.steals;
+        self.wall_nanos += other.wall_nanos;
+        absorb_shards(&mut self.may_shards, &other.may_shards);
+        absorb_shards(&mut self.must_shards, &other.must_shards);
+    }
+}
+
+fn absorb_shards(into: &mut Vec<ShardStats>, from: &[ShardStats]) {
+    if into.len() < from.len() {
+        into.resize(from.len(), ShardStats::default());
+    }
+    for (a, b) in into.iter_mut().zip(from) {
+        a.hits += b.hits;
+        a.misses += b.misses;
+        a.contended += b.contended;
+        a.entries += b.entries;
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} workers, {} entry points, {} frames, {} memo hits, {} steals, \
+             {} contended, wall {:.1}ms",
+            self.workers,
+            self.entry_points,
+            self.analysis.frames_analyzed,
+            self.analysis.memo_hits,
+            self.steals,
+            self.contended(),
+            self.wall_nanos as f64 / 1e6,
+        )
+    }
+}
+
+/// One pairwise comparison produced by [`AnalysisEngine::compare_all`].
+#[derive(Debug)]
+pub struct Comparison {
+    /// Indices of the two compared implementations in the input slice.
+    pub pair: (usize, usize),
+    /// Raw differencing output.
+    pub diff: DiffResult,
+    /// Differences grouped by root cause.
+    pub groups: Vec<ReportGroup>,
+}
+
+/// The output of [`AnalysisEngine::compare_all`]: every implementation
+/// analyzed once, compared pairwise.
+#[derive(Debug)]
+pub struct ComparisonSet {
+    /// Full analyses, in input order.
+    pub libraries: Vec<LibraryPolicies>,
+    /// Intraprocedural-ablation analyses (for root-cause classification),
+    /// in input order.
+    pub intra: Vec<LibraryPolicies>,
+    /// All unordered pairings `(i, j)` with `i < j`, in lexicographic
+    /// order.
+    pub comparisons: Vec<Comparison>,
+    /// Statistics accumulated over all the analyses.
+    pub stats: EngineStats,
+}
+
+/// The parallel per-entry-point analysis driver.
+///
+/// See the crate-level documentation for the determinism argument; the
+/// engine's contract is that its output equals
+/// [`Analyzer::analyze_library`]'s for any worker count.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalysisEngine {
+    jobs: usize,
+    shards: usize,
+}
+
+impl Default for AnalysisEngine {
+    /// One worker per available CPU.
+    fn default() -> Self {
+        AnalysisEngine::new(0)
+    }
+}
+
+impl AnalysisEngine {
+    /// Creates an engine with `jobs` workers; `0` means one per available
+    /// CPU.
+    pub fn new(jobs: usize) -> Self {
+        AnalysisEngine { jobs, shards: 16 }
+    }
+
+    /// Overrides the number of summary-store shards (default 16).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The resolved worker count.
+    pub fn jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Analyzes every API entry point of `program` across the worker pool.
+    pub fn analyze_library(
+        &self,
+        program: &Program,
+        name: &str,
+        options: AnalysisOptions,
+    ) -> (LibraryPolicies, EngineStats) {
+        let roots = entry_points(program);
+        self.analyze_entries(program, name, &roots, options)
+    }
+
+    /// Analyzes a chosen set of entry points across the worker pool.
+    pub fn analyze_entries(
+        &self,
+        program: &Program,
+        name: &str,
+        roots: &[MethodId],
+        options: AnalysisOptions,
+    ) -> (LibraryPolicies, EngineStats) {
+        let t0 = Instant::now();
+        let workers = self.jobs().min(roots.len()).max(1);
+        let analyzer = Analyzer::new(program, options);
+
+        // Global scope shares one sharded store pair across all workers;
+        // other scopes get per-root local stores inside the worker, which
+        // reproduces PerEntry's clear-between-roots semantics.
+        let shared: Option<(SharedStore<Dnf>, SharedStore<MustSet>)> = (options.memo
+            == MemoScope::Global)
+            .then(|| (SharedStore::new(self.shards), SharedStore::new(self.shards)));
+
+        // Contiguous blocks per worker: neighbouring roots tend to share
+        // callees, so block ownership maximizes warm memo paths; stealing
+        // from the victim's back preserves what locality remains.
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                Mutex::new(
+                    (0..roots.len())
+                        .filter(|i| i * workers / roots.len().max(1) == w)
+                        .collect(),
+                )
+            })
+            .collect();
+        let steals = AtomicU64::new(0);
+        let results: Mutex<Vec<(usize, String, EntryPolicy, AnalysisStats)>> =
+            Mutex::new(Vec::with_capacity(roots.len()));
+
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let analyzer = &analyzer;
+                let deques = &deques;
+                let steals = &steals;
+                let results = &results;
+                let shared = &shared;
+                s.spawn(move || {
+                    let mut local: Vec<(usize, String, EntryPolicy, AnalysisStats)> = Vec::new();
+                    while let Some(idx) = next_root(w, deques, steals) {
+                        let mut stats = AnalysisStats::default();
+                        let (sig, entry) = match shared {
+                            Some((may, must)) => {
+                                analyzer.analyze_root_with(roots[idx], may, must, &mut stats)
+                            }
+                            None => {
+                                let may = LocalStore::default();
+                                let must = LocalStore::default();
+                                analyzer.analyze_root_with(roots[idx], &may, &must, &mut stats)
+                            }
+                        };
+                        local.push((idx, sig, entry, stats));
+                    }
+                    results.lock().unwrap().append(&mut local);
+                });
+            }
+        });
+
+        let mut results = results.into_inner().unwrap();
+        // Deterministic merge: ascending root index, first root wins on
+        // signature collisions — exactly the serial analyzer's fold.
+        results.sort_by_key(|(idx, ..)| *idx);
+        let mut analysis = AnalysisStats::default();
+        let mut entries = std::collections::BTreeMap::new();
+        for (_, sig, entry, stats) in results {
+            analysis.absorb(&stats);
+            entries.entry(sig).or_insert(entry);
+        }
+
+        let stats = EngineStats {
+            workers,
+            entry_points: roots.len(),
+            analysis,
+            steals: steals.into_inner(),
+            may_shards: shared
+                .as_ref()
+                .map(|(m, _)| m.shard_stats())
+                .unwrap_or_default(),
+            must_shards: shared
+                .as_ref()
+                .map(|(_, m)| m.shard_stats())
+                .unwrap_or_default(),
+            wall_nanos: t0.elapsed().as_nanos(),
+        };
+        let lib = LibraryPolicies {
+            name: name.to_owned(),
+            entries,
+            stats: analysis,
+        };
+        (lib, stats)
+    }
+
+    /// Analyzes every implementation (full and intraprocedural-ablation)
+    /// and differences every unordered pair — the paper's "compare each
+    /// implementation to the other two", driven by the worker pool.
+    pub fn compare_all(
+        &self,
+        implementations: &[(&str, &Program)],
+        options: AnalysisOptions,
+    ) -> ComparisonSet {
+        let mut stats = EngineStats::default();
+        let mut libraries = Vec::with_capacity(implementations.len());
+        let mut intra = Vec::with_capacity(implementations.len());
+        let intra_options = AnalysisOptions {
+            interprocedural: false,
+            ..options
+        };
+        for &(name, program) in implementations {
+            let (lib, s) = self.analyze_library(program, name, options);
+            stats.absorb(&s);
+            libraries.push(lib);
+            let (lib, s) = self.analyze_library(program, name, intra_options);
+            stats.absorb(&s);
+            intra.push(lib);
+        }
+
+        let mut comparisons = Vec::new();
+        for i in 0..implementations.len() {
+            for j in i + 1..implementations.len() {
+                let diff = diff_libraries(&libraries[i], &libraries[j]);
+                let intra_keys = root_keys(&diff_libraries(&intra[i], &intra[j]));
+                let groups = group_differences(&diff, &intra_keys);
+                comparisons.push(Comparison {
+                    pair: (i, j),
+                    diff,
+                    groups,
+                });
+            }
+        }
+        ComparisonSet {
+            libraries,
+            intra,
+            comparisons,
+            stats,
+        }
+    }
+}
+
+/// Pops the next root for worker `w`: front of its own deque, else stolen
+/// from the back of the first non-empty victim.
+fn next_root(w: usize, deques: &[Mutex<VecDeque<usize>>], steals: &AtomicU64) -> Option<usize> {
+    if let Some(idx) = deques[w].lock().unwrap().pop_front() {
+        return Some(idx);
+    }
+    for off in 1..deques.len() {
+        let victim = (w + off) % deques.len();
+        if let Some(idx) = deques[victim].lock().unwrap().pop_back() {
+            steals.fetch_add(1, Ordering::Relaxed);
+            return Some(idx);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> Program {
+        spo_jir::parse_program(
+            r#"
+class java.lang.SecurityManager {
+  method public native void checkRead(java.lang.String file);
+  method public native void checkWrite(java.lang.String file);
+}
+class java.lang.System {
+  field static java.lang.SecurityManager security;
+  method public static java.lang.SecurityManager getSecurityManager() {
+    local java.lang.SecurityManager sm;
+    sm = java.lang.System.security;
+    return sm;
+  }
+}
+class t.A {
+  method public void read() {
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    virtualinvoke sm.checkRead("f");
+    staticinvoke t.A.shared();
+    return;
+  }
+  method public void write() {
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    virtualinvoke sm.checkWrite("f");
+    staticinvoke t.A.shared();
+    return;
+  }
+  method private static void shared() {
+    staticinvoke t.A.op0();
+    return;
+  }
+  method private static native void op0();
+}
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_serial_for_every_memo_scope_and_worker_count() {
+        let program = sample_program();
+        for memo in [MemoScope::None, MemoScope::PerEntry, MemoScope::Global] {
+            let options = AnalysisOptions {
+                memo,
+                ..Default::default()
+            };
+            let serial = Analyzer::new(&program, options).analyze_library("t");
+            for jobs in [1, 2, 8] {
+                let (par, stats) =
+                    AnalysisEngine::new(jobs).analyze_library(&program, "t", options);
+                assert_eq!(par.entries, serial.entries, "memo {memo:?} jobs {jobs}");
+                assert_eq!(stats.entry_points, serial.stats.entry_points);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_store_records_cross_worker_reuse() {
+        let program = sample_program();
+        let (_, stats) =
+            AnalysisEngine::new(2).analyze_library(&program, "t", AnalysisOptions::default());
+        // `t.A.shared` is reached from both entry points with the same
+        // context, so one of the two analyses must hit the global memo.
+        assert!(stats.analysis.memo_hits > 0, "{stats}");
+        let shard_hits: u64 = stats.may_shards.iter().map(|s| s.hits).sum();
+        assert!(shard_hits > 0);
+    }
+
+    #[test]
+    fn workers_capped_by_root_count() {
+        let program = sample_program();
+        let (_, stats) =
+            AnalysisEngine::new(64).analyze_library(&program, "t", AnalysisOptions::default());
+        assert!(
+            stats.workers <= stats.entry_points,
+            "{} workers for {} roots",
+            stats.workers,
+            stats.entry_points
+        );
+    }
+
+    #[test]
+    fn compare_all_self_comparison_is_clean() {
+        let program = sample_program();
+        let set = AnalysisEngine::new(4).compare_all(
+            &[("x", &program), ("y", &program)],
+            AnalysisOptions::default(),
+        );
+        assert_eq!(set.libraries.len(), 2);
+        assert_eq!(set.comparisons.len(), 1);
+        assert!(set.comparisons[0].groups.is_empty());
+        assert!(set.stats.entry_points > 0);
+    }
+}

@@ -62,7 +62,9 @@ impl Body {
         for (i, s) in self.stmts.iter().enumerate() {
             let check_target = |t: usize| {
                 if t >= n {
-                    Err(format!("stmt {i}: branch target {t} out of range ({n} stmts)"))
+                    Err(format!(
+                        "stmt {i}: branch target {t} out of range ({n} stmts)"
+                    ))
                 } else {
                     Ok(())
                 }
@@ -214,7 +216,11 @@ mod tests {
     use crate::stmt::{Cond, Const, Operand};
 
     fn body(stmts: Vec<Stmt>) -> Body {
-        Body { locals: vec![], n_params: 0, stmts }
+        Body {
+            locals: vec![],
+            n_params: 0,
+            stmts,
+        }
     }
 
     #[test]
@@ -235,7 +241,10 @@ mod tests {
         // 3: nop
         // 4: return
         let b = body(vec![
-            Stmt::If { cond: Cond::Truthy(Operand::Const(Const::Bool(true))), target: 3 },
+            Stmt::If {
+                cond: Cond::Truthy(Operand::Const(Const::Bool(true))),
+                target: 3,
+            },
             Stmt::Nop,
             Stmt::Goto { target: 4 },
             Stmt::Nop,
@@ -272,7 +281,10 @@ mod tests {
     #[test]
     fn if_to_next_statement_no_duplicate_edge() {
         let b = body(vec![
-            Stmt::If { cond: Cond::Truthy(Operand::Const(Const::Bool(true))), target: 1 },
+            Stmt::If {
+                cond: Cond::Truthy(Operand::Const(Const::Bool(true))),
+                target: 1,
+            },
             Stmt::Return { value: None },
         ]);
         let cfg = b.cfg();
@@ -287,7 +299,9 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_local() {
-        let b = body(vec![Stmt::Return { value: Some(Operand::Local(LocalId(5))) }]);
+        let b = body(vec![Stmt::Return {
+            value: Some(Operand::Local(LocalId(5))),
+        }]);
         assert!(b.validate().is_err());
     }
 

@@ -29,8 +29,8 @@ use crate::flags::{ClassFlags, FieldFlags, MethodFlags};
 use crate::intern::Symbol;
 use crate::program::{Class, ClassId, Field, Method, Program, ProgramError};
 use crate::stmt::{
-    Call, CmpOp, Cond, Const, Expr, FieldRef, FieldTarget, InvokeKind, LocalId, MethodRef,
-    Operand, Stmt,
+    Call, CmpOp, Cond, Const, Expr, FieldRef, FieldTarget, InvokeKind, LocalId, MethodRef, Operand,
+    Stmt,
 };
 use crate::types::Type;
 
@@ -173,12 +173,20 @@ impl<'a> ClassBuilder<'a> {
     /// Starts a method with a body. Instance methods receive an implicit
     /// `this` parameter typed as the enclosing class; pass
     /// [`MethodFlags::STATIC`] to omit it.
-    pub fn method<'b>(&'b mut self, name: &str, flags: MethodFlags, ret: Type) -> MethodBuilder<'a, 'b> {
+    pub fn method<'b>(
+        &'b mut self,
+        name: &str,
+        flags: MethodFlags,
+        ret: Type,
+    ) -> MethodBuilder<'a, 'b> {
         let name_sym = self.pb.intern(name);
         let mut locals = Vec::new();
         if !flags.contains(MethodFlags::STATIC) {
             let this = self.pb.intern("this");
-            locals.push(LocalDecl { name: this, ty: Type::Ref(self.class.name) });
+            locals.push(LocalDecl {
+                name: this,
+                ty: Type::Ref(self.class.name),
+            });
         }
         MethodBuilder {
             cb: self,
@@ -244,7 +252,10 @@ impl<'a, 'b> MethodBuilder<'a, 'b> {
     /// Panics if statements have already been emitted or a non-parameter
     /// local was already declared.
     pub fn param(&mut self, name: &str, ty: Type) -> LocalId {
-        assert!(self.stmts.is_empty(), "params must be declared before statements");
+        assert!(
+            self.stmts.is_empty(),
+            "params must be declared before statements"
+        );
         let implicit = usize::from(!self.flags.contains(MethodFlags::STATIC));
         assert_eq!(
             self.locals.len(),
@@ -270,7 +281,10 @@ impl<'a, 'b> MethodBuilder<'a, 'b> {
     ///
     /// Panics for static methods.
     pub fn this(&self) -> LocalId {
-        assert!(!self.flags.contains(MethodFlags::STATIC), "static methods have no `this`");
+        assert!(
+            !self.flags.contains(MethodFlags::STATIC),
+            "static methods have no `this`"
+        );
         LocalId(0)
     }
 
@@ -330,23 +344,42 @@ impl<'a, 'b> MethodBuilder<'a, 'b> {
     }
 
     /// `recv.field = value`.
-    pub fn store_field(&mut self, recv: LocalId, class: &str, field: &str, value: impl Into<Operand>) {
+    pub fn store_field(
+        &mut self,
+        recv: LocalId,
+        class: &str,
+        field: &str,
+        value: impl Into<Operand>,
+    ) {
         let fr = self.field_ref(class, field);
-        self.push(Stmt::FieldStore { target: FieldTarget::Instance(recv, fr), value: value.into() });
+        self.push(Stmt::FieldStore {
+            target: FieldTarget::Instance(recv, fr),
+            value: value.into(),
+        });
     }
 
     /// `Class.field = value` (static).
     pub fn store_static(&mut self, class: &str, field: &str, value: impl Into<Operand>) {
         let fr = self.field_ref(class, field);
-        self.push(Stmt::FieldStore { target: FieldTarget::Static(fr), value: value.into() });
+        self.push(Stmt::FieldStore {
+            target: FieldTarget::Static(fr),
+            value: value.into(),
+        });
     }
 
     fn field_ref(&mut self, class: &str, field: &str) -> FieldRef {
-        FieldRef { class: self.intern(class), name: self.intern(field) }
+        FieldRef {
+            class: self.intern(class),
+            name: self.intern(field),
+        }
     }
 
     fn method_ref(&mut self, class: &str, name: &str, argc: usize) -> MethodRef {
-        MethodRef { class: self.intern(class), name: self.intern(name), argc: argc as u32 }
+        MethodRef {
+            class: self.intern(class),
+            name: self.intern(name),
+            argc: argc as u32,
+        }
     }
 
     /// Virtual call `dst = recv.Class::name(args)`.
@@ -361,7 +394,12 @@ impl<'a, 'b> MethodBuilder<'a, 'b> {
         let callee = self.method_ref(class, name, args.len());
         self.push(Stmt::Invoke {
             dst,
-            call: Call { kind: InvokeKind::Virtual, receiver: Some(recv), callee, args },
+            call: Call {
+                kind: InvokeKind::Virtual,
+                receiver: Some(recv),
+                callee,
+                args,
+            },
         });
     }
 
@@ -377,7 +415,12 @@ impl<'a, 'b> MethodBuilder<'a, 'b> {
         let callee = self.method_ref(class, name, args.len());
         self.push(Stmt::Invoke {
             dst,
-            call: Call { kind: InvokeKind::Interface, receiver: Some(recv), callee, args },
+            call: Call {
+                kind: InvokeKind::Interface,
+                receiver: Some(recv),
+                callee,
+                args,
+            },
         });
     }
 
@@ -393,7 +436,12 @@ impl<'a, 'b> MethodBuilder<'a, 'b> {
         let callee = self.method_ref(class, name, args.len());
         self.push(Stmt::Invoke {
             dst,
-            call: Call { kind: InvokeKind::Special, receiver: Some(recv), callee, args },
+            call: Call {
+                kind: InvokeKind::Special,
+                receiver: Some(recv),
+                callee,
+                args,
+            },
         });
     }
 
@@ -408,14 +456,22 @@ impl<'a, 'b> MethodBuilder<'a, 'b> {
         let callee = self.method_ref(class, name, args.len());
         self.push(Stmt::Invoke {
             dst,
-            call: Call { kind: InvokeKind::Static, receiver: None, callee, args },
+            call: Call {
+                kind: InvokeKind::Static,
+                receiver: None,
+                callee,
+                args,
+            },
         });
     }
 
     /// `if cond goto label`.
     pub fn if_cond(&mut self, cond: Cond, label: Label) {
         self.fixups.push((self.stmts.len(), label));
-        self.push(Stmt::If { cond, target: usize::MAX });
+        self.push(Stmt::If {
+            cond,
+            target: usize::MAX,
+        });
     }
 
     /// `if op goto label` (branch when truthy).
@@ -436,7 +492,14 @@ impl<'a, 'b> MethodBuilder<'a, 'b> {
         rhs: impl Into<Operand>,
         label: Label,
     ) {
-        self.if_cond(Cond::Cmp { op, lhs: lhs.into(), rhs: rhs.into() }, label);
+        self.if_cond(
+            Cond::Cmp {
+                op,
+                lhs: lhs.into(),
+                rhs: rhs.into(),
+            },
+            label,
+        );
     }
 
     /// `goto label`.
@@ -452,7 +515,9 @@ impl<'a, 'b> MethodBuilder<'a, 'b> {
 
     /// `return op;`
     pub fn ret_val(&mut self, op: impl Into<Operand>) {
-        self.push(Stmt::Return { value: Some(op.into()) });
+        self.push(Stmt::Return {
+            value: Some(op.into()),
+        });
     }
 
     /// `throw op;`
@@ -518,8 +583,7 @@ impl<'a, 'b> MethodBuilder<'a, 'b> {
         }
         let body = Body {
             locals: self.locals,
-            n_params: self.params.len()
-                + usize::from(!self.flags.contains(MethodFlags::STATIC)),
+            n_params: self.params.len() + usize::from(!self.flags.contains(MethodFlags::STATIC)),
             stmts: self.stmts,
         };
         self.cb.class.methods.push(Method {

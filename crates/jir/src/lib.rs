@@ -55,15 +55,13 @@ mod stmt;
 mod types;
 
 pub use body::{Body, Cfg, LocalDecl};
-pub use dominators::Dominators;
 pub use builder::{ClassBuilder, Label, MethodBuilder, ProgramBuilder};
+pub use dominators::Dominators;
 pub use flags::{ClassFlags, FieldFlags, MethodFlags};
 pub use intern::{Interner, Symbol};
 pub use parse::{lex, parse_into, parse_program, LexError, ParseError, Spanned, Tok};
 pub use printer::{print_class, print_program};
-pub use program::{
-    Class, ClassId, Field, FieldId, Method, MethodId, Program, ProgramError,
-};
+pub use program::{Class, ClassId, Field, FieldId, Method, MethodId, Program, ProgramError};
 pub use stmt::{
     BinOp, Call, CmpOp, Cond, Const, Expr, FieldRef, FieldTarget, InvokeKind, LocalId, MethodRef,
     Operand, Stmt, UnOp,

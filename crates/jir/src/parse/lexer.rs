@@ -219,14 +219,13 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         _ => {
                             // Copy a full UTF-8 scalar.
                             let ch_len = utf8_len(bytes[i]);
-                            s.push_str(
-                                std::str::from_utf8(&bytes[i..i + ch_len])
-                                    .map_err(|_| LexError {
-                                        message: "invalid UTF-8 in string".into(),
-                                        line,
-                                        col,
-                                    })?,
-                            );
+                            s.push_str(std::str::from_utf8(&bytes[i..i + ch_len]).map_err(
+                                |_| LexError {
+                                    message: "invalid UTF-8 in string".into(),
+                                    line,
+                                    col,
+                                },
+                            )?);
                             for _ in 0..ch_len {
                                 advance(&mut i, &mut line, &mut col);
                             }
@@ -236,7 +235,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 if !closed {
                     err!(tl, tc, "unterminated string literal");
                 }
-                out.push(Spanned { tok: Tok::Str(s), line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line: tl,
+                    col: tc,
+                });
             }
             b'0'..=b'9' => {
                 let start = i;
@@ -244,10 +247,16 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     advance(&mut i, &mut line, &mut col);
                 }
                 let text = &src[start..i];
-                let v: i64 = text
-                    .parse()
-                    .map_err(|_| LexError { message: format!("integer `{text}` out of range"), line: tl, col: tc })?;
-                out.push(Spanned { tok: Tok::Int(v), line: tl, col: tc });
+                let v: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer `{text}` out of range"),
+                    line: tl,
+                    col: tc,
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Int(v),
+                    line: tl,
+                    col: tc,
+                });
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' | b'$' => {
                 let start = i;
@@ -256,7 +265,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 {
                     advance(&mut i, &mut line, &mut col);
                 }
-                out.push(Spanned { tok: Tok::Ident(src[start..i].to_owned()), line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::Ident(src[start..i].to_owned()),
+                    line: tl,
+                    col: tc,
+                });
             }
             _ => {
                 let two = |a: u8, b2: u8| i + 1 < bytes.len() && a == b && bytes[i + 1] == b2;
@@ -299,11 +312,19 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 for _ in 0..len {
                     advance(&mut i, &mut line, &mut col);
                 }
-                out.push(Spanned { tok, line: tl, col: tc });
+                out.push(Spanned {
+                    tok,
+                    line: tl,
+                    col: tc,
+                });
             }
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line, col });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
     Ok(out)
 }
 

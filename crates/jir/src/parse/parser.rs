@@ -9,8 +9,8 @@ use crate::body::{Body, LocalDecl};
 use crate::flags::{ClassFlags, FieldFlags, MethodFlags};
 use crate::program::{Class, Field, Method, Program, ProgramError};
 use crate::stmt::{
-    Call, CmpOp, Cond, Const, Expr, FieldRef, FieldTarget, InvokeKind, LocalId, MethodRef,
-    Operand, Stmt,
+    Call, CmpOp, Cond, Const, Expr, FieldRef, FieldTarget, InvokeKind, LocalId, MethodRef, Operand,
+    Stmt,
 };
 use crate::types::Type;
 use std::collections::HashMap;
@@ -37,7 +37,11 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, line: e.line, col: e.col }
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
     }
 }
 
@@ -81,13 +85,21 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
 /// See [`parse_program`].
 pub fn parse_into(src: &str, program: &mut Program) -> Result<(), ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0, program };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        program,
+    };
     while !p.at_eof() {
         let class = p.parse_class()?;
         let (line, col) = p.here();
         p.program
             .add_class(class)
-            .map_err(|e: ProgramError| ParseError { message: e.to_string(), line, col })?;
+            .map_err(|e: ProgramError| ParseError {
+                message: e.to_string(),
+                line,
+                col,
+            })?;
     }
     Ok(())
 }
@@ -105,7 +117,10 @@ struct LocalScope {
 
 impl LocalScope {
     fn new() -> Self {
-        LocalScope { by_name: HashMap::new(), decls: Vec::new() }
+        LocalScope {
+            by_name: HashMap::new(),
+            decls: Vec::new(),
+        }
     }
 
     fn add(&mut self, name: &str, sym: crate::Symbol, ty: Type) -> Option<LocalId> {
@@ -131,7 +146,11 @@ impl<'p> Parser<'p> {
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
         let (line, col) = self.here();
-        Err(ParseError { message: msg.into(), line, col })
+        Err(ParseError {
+            message: msg.into(),
+            line,
+            col,
+        })
     }
 
     fn peek(&self) -> &Tok {
@@ -249,7 +268,10 @@ impl<'p> Parser<'p> {
             self.bump();
             true
         } else {
-            return self.err(format!("expected `class` or `interface`, found {}", self.peek()));
+            return self.err(format!(
+                "expected `class` or `interface`, found {}",
+                self.peek()
+            ));
         };
         let mut flags = ClassFlags::PUBLIC;
         if is_interface {
@@ -313,11 +335,21 @@ impl<'p> Parser<'p> {
             } else if self.at_kw("method") {
                 methods.push(self.parse_method(name)?);
             } else {
-                return self.err(format!("expected `field` or `method`, found {}", self.peek()));
+                return self.err(format!(
+                    "expected `field` or `method`, found {}",
+                    self.peek()
+                ));
             }
         }
         self.expect(&Tok::RBrace)?;
-        Ok(Class { name, superclass, interfaces, flags, fields, methods })
+        Ok(Class {
+            name,
+            superclass,
+            interfaces,
+            flags,
+            fields,
+            methods,
+        })
     }
 
     #[allow(clippy::while_let_loop)] // the loop exits from two depths; while-let obscures that
@@ -399,10 +431,22 @@ impl<'p> Parser<'p> {
             if !flags.contains(MethodFlags::NATIVE) && !flags.contains(MethodFlags::ABSTRACT) {
                 return self.err("body-less method must be `native` or `abstract`");
             }
-            return Ok(Method { name, params, ret, flags, body: None });
+            return Ok(Method {
+                name,
+                params,
+                ret,
+                flags,
+                body: None,
+            });
         }
         let body = self.parse_body(scope, n_params)?;
-        Ok(Method { name, params, ret, flags, body: Some(body) })
+        Ok(Method {
+            name,
+            params,
+            ret,
+            flags,
+            body: Some(body),
+        })
     }
 
     fn parse_body(&mut self, mut scope: LocalScope, n_params: usize) -> Result<Body, ParseError> {
@@ -437,7 +481,11 @@ impl<'p> Parser<'p> {
         // Resolve label fixups.
         for (idx, lname, line, col) in st.fixups {
             let Some(&target) = st.labels.get(&lname) else {
-                return Err(ParseError { message: format!("undefined label `{lname}`"), line, col });
+                return Err(ParseError {
+                    message: format!("undefined label `{lname}`"),
+                    line,
+                    col,
+                });
             };
             match &mut st.stmts[idx] {
                 Stmt::If { target: t, .. } | Stmt::Goto { target: t } => *t = target,
@@ -446,15 +494,17 @@ impl<'p> Parser<'p> {
         }
         // Pad for labels bound at end-of-body and for implicit void return.
         let end = st.stmts.len();
-        let needs_pad = st
-            .stmts
-            .iter()
-            .any(|s| matches!(s, Stmt::If { target, .. } | Stmt::Goto { target } if *target == end))
-            || st.stmts.last().is_none_or(|s| !s.is_terminator());
+        let needs_pad = st.stmts.iter().any(
+            |s| matches!(s, Stmt::If { target, .. } | Stmt::Goto { target } if *target == end),
+        ) || st.stmts.last().is_none_or(|s| !s.is_terminator());
         if needs_pad {
             st.stmts.push(Stmt::Return { value: None });
         }
-        Ok(Body { locals: scope.decls, n_params, stmts: st.stmts })
+        Ok(Body {
+            locals: scope.decls,
+            n_params,
+            stmts: st.stmts,
+        })
     }
 
     fn parse_stmt(&mut self, scope: &LocalScope, st: &mut StmtParser) -> Result<(), ParseError> {
@@ -530,7 +580,10 @@ impl<'p> Parser<'p> {
             let lname = self.ident()?;
             let (line, col) = self.here();
             st.fixups.push((st.stmts.len(), lname, line, col));
-            st.stmts.push(Stmt::If { cond, target: usize::MAX });
+            st.stmts.push(Stmt::If {
+                cond,
+                target: usize::MAX,
+            });
             self.expect(&Tok::Semi)?;
             return Ok(());
         }
@@ -557,7 +610,11 @@ impl<'p> Parser<'p> {
             self.expect(&Tok::Assign)?;
             let value = self.parse_operand(scope)?;
             self.expect(&Tok::Semi)?;
-            st.stmts.push(Stmt::ArrayStore { array, index, value });
+            st.stmts.push(Stmt::ArrayStore {
+                array,
+                index,
+                value,
+            });
             return Ok(());
         }
         if matches!(self.peek(), Tok::Assign) {
@@ -570,7 +627,10 @@ impl<'p> Parser<'p> {
             self.expect(&Tok::Semi)?;
             match value {
                 ParsedExpr::Plain(e) => st.stmts.push(Stmt::Assign { dst, value: e }),
-                ParsedExpr::Invoke(call) => st.stmts.push(Stmt::Invoke { dst: Some(dst), call }),
+                ParsedExpr::Invoke(call) => st.stmts.push(Stmt::Invoke {
+                    dst: Some(dst),
+                    call,
+                }),
             }
             return Ok(());
         }
@@ -645,7 +705,11 @@ impl<'p> Parser<'p> {
             return Ok(Call {
                 kind,
                 receiver: None,
-                callee: MethodRef { class, name, argc: args.len() as u32 },
+                callee: MethodRef {
+                    class,
+                    name,
+                    argc: args.len() as u32,
+                },
                 args,
             });
         }
@@ -664,7 +728,11 @@ impl<'p> Parser<'p> {
         Ok(Call {
             kind,
             receiver: Some(recv),
-            callee: MethodRef { class, name, argc: args.len() as u32 },
+            callee: MethodRef {
+                class,
+                name,
+                argc: args.len() as u32,
+            },
             args,
         })
     }
@@ -801,12 +869,18 @@ impl<'p> Parser<'p> {
         if matches!(self.peek(), Tok::Bang) {
             self.bump();
             let operand = self.parse_operand(scope)?;
-            return Ok(ParsedExpr::Plain(Expr::Unary { op: crate::UnOp::Not, operand }));
+            return Ok(ParsedExpr::Plain(Expr::Unary {
+                op: crate::UnOp::Not,
+                operand,
+            }));
         }
         if matches!(self.peek(), Tok::Minus) && matches!(self.peek2(), Tok::Ident(_)) {
             self.bump();
             let operand = self.parse_operand(scope)?;
-            return Ok(ParsedExpr::Plain(Expr::Unary { op: crate::UnOp::Neg, operand }));
+            return Ok(ParsedExpr::Plain(Expr::Unary {
+                op: crate::UnOp::Neg,
+                operand,
+            }));
         }
         // Identifier chains: field load / array load / plain operand ± binop.
         if let Tok::Ident(first) = self.peek().clone() {
@@ -823,10 +897,8 @@ impl<'p> Parser<'p> {
                 if segs.last().map(String::as_str) == Some("class") {
                     let cls = segs[..segs.len() - 1].join(".");
                     let sym = self.program.intern(&cls);
-                    return self.finish_binary(
-                        scope,
-                        Expr::Operand(Operand::Const(Const::Class(sym))),
-                    );
+                    return self
+                        .finish_binary(scope, Expr::Operand(Operand::Const(Const::Class(sym))));
                 }
                 let target = self.field_target(scope, &segs)?;
                 return Ok(ParsedExpr::Plain(Expr::FieldLoad(target)));

@@ -27,7 +27,11 @@ pub fn print_program(program: &Program) -> String {
 
 /// Renders a single class.
 pub fn print_class(program: &Program, class: &Class, out: &mut String) {
-    let kw = if class.is_interface() { "interface" } else { "class" };
+    let kw = if class.is_interface() {
+        "interface"
+    } else {
+        "class"
+    };
     write!(out, "{kw} {}", program.str(class.name)).unwrap();
     if class.is_interface() {
         if !class.interfaces.is_empty() {
@@ -48,7 +52,11 @@ pub fn print_class(program: &Program, class: &Class, out: &mut String) {
     out.push_str(" {\n");
     for field in &class.fields {
         let mods: Vec<_> = field.flags.words().collect();
-        let mods = if mods.is_empty() { String::new() } else { format!("{} ", mods.join(" ")) };
+        let mods = if mods.is_empty() {
+            String::new()
+        } else {
+            format!("{} ", mods.join(" "))
+        };
         writeln!(
             out,
             "  field {mods}{} {};",
@@ -65,7 +73,11 @@ pub fn print_class(program: &Program, class: &Class, out: &mut String) {
 
 fn print_method(program: &Program, method: &Method, out: &mut String) {
     let mods: Vec<_> = method.flags.words().collect();
-    let mods = if mods.is_empty() { String::new() } else { format!("{} ", mods.join(" ")) };
+    let mods = if mods.is_empty() {
+        String::new()
+    } else {
+        format!("{} ", mods.join(" "))
+    };
     write!(
         out,
         "  method {mods}{} {}(",
@@ -77,7 +89,13 @@ fn print_method(program: &Program, method: &Method, out: &mut String) {
         let implicit = body.n_params - method.params.len();
         let params: Vec<String> = body.locals[implicit..body.n_params]
             .iter()
-            .map(|l| format!("{} {}", l.ty.display(program.interner()), program.str(l.name)))
+            .map(|l| {
+                format!(
+                    "{} {}",
+                    l.ty.display(program.interner()),
+                    program.str(l.name)
+                )
+            })
             .collect();
         write!(out, "{}", params.join(", ")).unwrap();
         out.push_str(") {\n");
@@ -128,13 +146,30 @@ fn print_body(program: &Program, body: &Body, out: &mut String) {
         }
         let line = match s {
             Stmt::Assign { dst, value } => {
-                format!("{} = {}", local_name(*dst), print_expr(program, body, value))
+                format!(
+                    "{} = {}",
+                    local_name(*dst),
+                    print_expr(program, body, value)
+                )
             }
             Stmt::FieldStore { target, value } => {
-                format!("{} = {}", print_field_target(program, body, target), operand(value))
+                format!(
+                    "{} = {}",
+                    print_field_target(program, body, target),
+                    operand(value)
+                )
             }
-            Stmt::ArrayStore { array, index, value } => {
-                format!("{}[{}] = {}", local_name(*array), operand(index), operand(value))
+            Stmt::ArrayStore {
+                array,
+                index,
+                value,
+            } => {
+                format!(
+                    "{}[{}] = {}",
+                    local_name(*array),
+                    operand(index),
+                    operand(value)
+                )
             }
             Stmt::Invoke { dst, call } => {
                 let call_str = print_call(program, body, call);
@@ -255,7 +290,11 @@ fn print_expr(program: &Program, body: &Body, e: &Expr) -> String {
         Expr::FieldLoad(t) => print_field_target(program, body, t),
         Expr::New(c) => format!("new {}", program.str(*c)),
         Expr::NewArray { elem, len } => {
-            format!("newarray {} [{}]", elem.display(program.interner()), operand(len))
+            format!(
+                "newarray {} [{}]",
+                elem.display(program.interner()),
+                operand(len)
+            )
         }
         Expr::ArrayLoad { array, index } => {
             format!(
@@ -268,7 +307,11 @@ fn print_expr(program: &Program, body: &Body, e: &Expr) -> String {
             format!("({}) {}", ty.display(program.interner()), operand(o))
         }
         Expr::InstanceOf { ty, operand: o } => {
-            format!("{} instanceof {}", operand(o), ty.display(program.interner()))
+            format!(
+                "{} instanceof {}",
+                operand(o),
+                ty.display(program.interner())
+            )
         }
     }
 }

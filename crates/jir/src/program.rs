@@ -141,13 +141,21 @@ impl fmt::Display for ProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProgramError::DuplicateClass(c) => write!(f, "duplicate class `{c}`"),
-            ProgramError::DuplicateMethod { class, method, argc } => {
+            ProgramError::DuplicateMethod {
+                class,
+                method,
+                argc,
+            } => {
                 write!(f, "duplicate method `{class}.{method}/{argc}`")
             }
             ProgramError::DuplicateField { class, field } => {
                 write!(f, "duplicate field `{class}.{field}`")
             }
-            ProgramError::InvalidBody { class, method, detail } => {
+            ProgramError::InvalidBody {
+                class,
+                method,
+                detail,
+            } => {
                 write!(f, "invalid body in `{class}.{method}`: {detail}")
             }
         }
@@ -239,7 +247,15 @@ impl Program {
             .methods
             .iter()
             .enumerate()
-            .map(move |(i, m)| (MethodId { class, index: i as u32 }, m))
+            .map(move |(i, m)| {
+                (
+                    MethodId {
+                        class,
+                        index: i as u32,
+                    },
+                    m,
+                )
+            })
     }
 
     /// All methods in the program.
@@ -254,7 +270,10 @@ impl Program {
             .methods
             .iter()
             .position(|m| m.name == name && m.argc() == argc)
-            .map(|i| MethodId { class, index: i as u32 })
+            .map(|i| MethodId {
+                class,
+                index: i as u32,
+            })
     }
 
     /// Finds a field declared directly on `class` by name.
@@ -263,7 +282,10 @@ impl Program {
             .fields
             .iter()
             .position(|f| f.name == name)
-            .map(|i| FieldId { class, index: i as u32 })
+            .map(|i| FieldId {
+                class,
+                index: i as u32,
+            })
     }
 
     /// Human-readable `Class.method` name of a method.
@@ -292,12 +314,19 @@ impl Program {
     /// A [`MethodRef`] naming `id` as a call target.
     pub fn method_ref(&self, id: MethodId) -> MethodRef {
         let m = self.method(id);
-        MethodRef { class: self.class(id.class).name, name: m.name, argc: m.argc() }
+        MethodRef {
+            class: self.class(id.class).name,
+            name: m.name,
+            argc: m.argc(),
+        }
     }
 
     /// A [`FieldRef`] naming `id`.
     pub fn field_ref(&self, id: FieldId) -> FieldRef {
-        FieldRef { class: self.class(id.class).name, name: self.field(id).name }
+        FieldRef {
+            class: self.class(id.class).name,
+            name: self.field(id).name,
+        }
     }
 
     /// Adds a fully-formed class, validating name/member uniqueness and
@@ -309,7 +338,9 @@ impl Program {
     /// that fails [`Body::validate`].
     pub fn add_class(&mut self, class: Class) -> Result<ClassId, ProgramError> {
         if self.class_by_name.contains_key(&class.name) {
-            return Err(ProgramError::DuplicateClass(self.str(class.name).to_owned()));
+            return Err(ProgramError::DuplicateClass(
+                self.str(class.name).to_owned(),
+            ));
         }
         let cname = self.str(class.name).to_owned();
         for (i, m) in class.methods.iter().enumerate() {
@@ -323,11 +354,12 @@ impl Program {
                 }
             }
             if let Some(body) = &m.body {
-                body.validate().map_err(|detail| ProgramError::InvalidBody {
-                    class: cname.clone(),
-                    method: self.str(m.name).to_owned(),
-                    detail,
-                })?;
+                body.validate()
+                    .map_err(|detail| ProgramError::InvalidBody {
+                        class: cname.clone(),
+                        method: self.str(m.name).to_owned(),
+                        detail,
+                    })?;
             }
         }
         for (i, fl) in class.fields.iter().enumerate() {
@@ -386,7 +418,10 @@ mod tests {
         let c1 = simple_class(&mut p, "a.B");
         let c2 = simple_class(&mut p, "a.B");
         p.add_class(c1).unwrap();
-        assert!(matches!(p.add_class(c2), Err(ProgramError::DuplicateClass(_))));
+        assert!(matches!(
+            p.add_class(c2),
+            Err(ProgramError::DuplicateClass(_))
+        ));
     }
 
     #[test]
@@ -471,6 +506,9 @@ mod tests {
                 stmts: vec![crate::Stmt::Goto { target: 42 }],
             }),
         });
-        assert!(matches!(p.add_class(c), Err(ProgramError::InvalidBody { .. })));
+        assert!(matches!(
+            p.add_class(c),
+            Err(ProgramError::InvalidBody { .. })
+        ));
     }
 }

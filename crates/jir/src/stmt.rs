@@ -337,7 +337,10 @@ pub enum Stmt {
 impl Stmt {
     /// Returns `true` if control cannot fall through to the next statement.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Stmt::Goto { .. } | Stmt::Return { .. } | Stmt::Throw { .. })
+        matches!(
+            self,
+            Stmt::Goto { .. } | Stmt::Return { .. } | Stmt::Throw { .. }
+        )
     }
 
     /// The call, if this statement is an invocation.
@@ -376,11 +379,24 @@ impl Stmt {
 
     /// All locals read by this statement, including receivers and arrays.
     pub fn read_locals(&self) -> Vec<LocalId> {
-        let mut out: Vec<LocalId> = self.operands().iter().filter_map(|o| o.as_local()).collect();
+        let mut out: Vec<LocalId> = self
+            .operands()
+            .iter()
+            .filter_map(|o| o.as_local())
+            .collect();
         match self {
-            Stmt::Assign { value: Expr::FieldLoad(FieldTarget::Instance(l, _)), .. } => out.push(*l),
-            Stmt::Assign { value: Expr::ArrayLoad { array, .. }, .. } => out.push(*array),
-            Stmt::FieldStore { target: FieldTarget::Instance(l, _), .. } => out.push(*l),
+            Stmt::Assign {
+                value: Expr::FieldLoad(FieldTarget::Instance(l, _)),
+                ..
+            } => out.push(*l),
+            Stmt::Assign {
+                value: Expr::ArrayLoad { array, .. },
+                ..
+            } => out.push(*array),
+            Stmt::FieldStore {
+                target: FieldTarget::Instance(l, _),
+                ..
+            } => out.push(*l),
             Stmt::ArrayStore { array, .. } => out.push(*array),
             Stmt::Invoke { call, .. } => {
                 if let Some(r) = call.receiver {
@@ -414,9 +430,16 @@ mod tests {
     fn terminators() {
         assert!(Stmt::Goto { target: 0 }.is_terminator());
         assert!(Stmt::Return { value: None }.is_terminator());
-        assert!(Stmt::Throw { value: Operand::Const(Const::Null) }.is_terminator());
+        assert!(Stmt::Throw {
+            value: Operand::Const(Const::Null)
+        }
+        .is_terminator());
         assert!(!Stmt::Nop.is_terminator());
-        assert!(!Stmt::If { cond: Cond::Truthy(l(0).into()), target: 3 }.is_terminator());
+        assert!(!Stmt::If {
+            cond: Cond::Truthy(l(0).into()),
+            target: 3
+        }
+        .is_terminator());
     }
 
     #[test]
@@ -433,7 +456,11 @@ mod tests {
     fn def_and_reads() {
         let s = Stmt::Assign {
             dst: l(2),
-            value: Expr::Binary { op: BinOp::Add, lhs: l(0).into(), rhs: l(1).into() },
+            value: Expr::Binary {
+                op: BinOp::Add,
+                lhs: l(0).into(),
+                rhs: l(1).into(),
+            },
         };
         assert_eq!(s.def_local(), Some(l(2)));
         assert_eq!(s.read_locals(), vec![l(0), l(1)]);
@@ -445,10 +472,17 @@ mod tests {
         let call = Call {
             kind: InvokeKind::Virtual,
             receiver: Some(l(0)),
-            callee: MethodRef { class: i.intern("C"), name: i.intern("m"), argc: 1 },
+            callee: MethodRef {
+                class: i.intern("C"),
+                name: i.intern("m"),
+                argc: 1,
+            },
             args: vec![l(1).into()],
         };
-        let s = Stmt::Invoke { dst: Some(l(2)), call };
+        let s = Stmt::Invoke {
+            dst: Some(l(2)),
+            call,
+        };
         let reads = s.read_locals();
         assert!(reads.contains(&l(0)));
         assert!(reads.contains(&l(1)));

@@ -46,7 +46,13 @@ fn parses_datagram_socket_connect() {
     let m = &class.methods[0];
     assert!(m.flags.contains(MethodFlags::PUBLIC));
     assert!(m.flags.contains(MethodFlags::SYNCHRONIZED));
-    assert_eq!(m.params, vec![Type::Ref(p.interner().get("java.net.InetAddress").unwrap()), Type::Int]);
+    assert_eq!(
+        m.params,
+        vec![
+            Type::Ref(p.interner().get("java.net.InetAddress").unwrap()),
+            Type::Int
+        ]
+    );
     let body = m.body.as_ref().unwrap();
     assert!(body.validate().is_ok());
     // `this` + 2 params.
@@ -59,7 +65,10 @@ fn parses_datagram_socket_connect() {
         .filter(|call| p.str(call.callee.class) == "java.lang.SecurityManager")
         .map(|call| p.str(call.callee.name).to_owned())
         .collect();
-    assert_eq!(check_calls, vec!["checkConnect", "checkAccept", "checkMulticast"]);
+    assert_eq!(
+        check_calls,
+        vec!["checkConnect", "checkAccept", "checkMulticast"]
+    );
 }
 
 #[test]
@@ -121,7 +130,10 @@ class C {
     ));
     assert!(matches!(
         &body.stmts[1],
-        Stmt::FieldStore { target: FieldTarget::Static(_), .. }
+        Stmt::FieldStore {
+            target: FieldTarget::Static(_),
+            ..
+        }
     ));
 }
 
@@ -173,9 +185,18 @@ class C {
     let body = p.class(c).methods[0].body.as_ref().unwrap();
     assert!(matches!(
         body.stmts[0],
-        Stmt::Assign { value: Expr::Operand(Operand::Const(Const::Int(-5))), .. }
+        Stmt::Assign {
+            value: Expr::Operand(Operand::Const(Const::Int(-5))),
+            ..
+        }
     ));
-    assert!(matches!(body.stmts[7], Stmt::If { cond: Cond::Cmp { .. }, .. }));
+    assert!(matches!(
+        body.stmts[7],
+        Stmt::If {
+            cond: Cond::Cmp { .. },
+            ..
+        }
+    ));
 }
 
 #[test]
@@ -195,9 +216,21 @@ class C {
     let p = parse_program(src).unwrap();
     let c = p.class_by_str("C").unwrap();
     let body = p.class(c).methods[0].body.as_ref().unwrap();
-    assert!(matches!(body.stmts[0], Stmt::Assign { value: Expr::NewArray { .. }, .. }));
+    assert!(matches!(
+        body.stmts[0],
+        Stmt::Assign {
+            value: Expr::NewArray { .. },
+            ..
+        }
+    ));
     assert!(matches!(body.stmts[1], Stmt::ArrayStore { .. }));
-    assert!(matches!(body.stmts[2], Stmt::Assign { value: Expr::ArrayLoad { .. }, .. }));
+    assert!(matches!(
+        body.stmts[2],
+        Stmt::Assign {
+            value: Expr::ArrayLoad { .. },
+            ..
+        }
+    ));
 }
 
 #[test]
@@ -218,7 +251,13 @@ class C {
     let p = parse_program(src).unwrap();
     let c = p.class_by_str("C").unwrap();
     let body = p.class(c).methods[0].body.as_ref().unwrap();
-    assert!(matches!(&body.stmts[0], Stmt::Assign { value: Expr::New(_), .. }));
+    assert!(matches!(
+        &body.stmts[0],
+        Stmt::Assign {
+            value: Expr::New(_),
+            ..
+        }
+    ));
     assert!(matches!(
         &body.stmts[1],
         Stmt::Invoke { call, .. } if call.kind == InvokeKind::Special
@@ -295,7 +334,10 @@ class C {
     let p = parse_program(src).unwrap();
     let c = p.class_by_str("C").unwrap();
     let body = p.class(c).methods[0].body.as_ref().unwrap();
-    assert!(matches!(body.stmts.last(), Some(Stmt::Return { value: None })));
+    assert!(matches!(
+        body.stmts.last(),
+        Some(Stmt::Return { value: None })
+    ));
 }
 
 #[test]
@@ -331,7 +373,10 @@ class C {
     let body = p.class(c).methods[0].body.as_ref().unwrap();
     assert!(matches!(
         body.stmts[0],
-        Stmt::Assign { value: Expr::Operand(Operand::Const(Const::Class(_))), .. }
+        Stmt::Assign {
+            value: Expr::Operand(Operand::Const(Const::Class(_))),
+            ..
+        }
     ));
 }
 

@@ -9,9 +9,7 @@ fn reprint(src: &str) -> String {
 
 #[test]
 fn prints_class_header_with_extends_and_implements() {
-    let out = reprint(
-        "interface I { } class Base { } class C extends Base implements I { }",
-    );
+    let out = reprint("interface I { } class Base { } class C extends Base implements I { }");
     assert!(out.contains("interface I {"));
     assert!(out.contains("class C extends Base implements I {"));
     // Default superclass is elided.
@@ -21,7 +19,10 @@ fn prints_class_header_with_extends_and_implements() {
 #[test]
 fn prints_fields_with_modifiers() {
     let out = reprint("class C { field private static final int counter; }");
-    assert!(out.contains("field private static final int counter;"), "{out}");
+    assert!(
+        out.contains("field private static final int counter;"),
+        "{out}"
+    );
 }
 
 #[test]
@@ -147,11 +148,13 @@ fn groups_locals_by_type() {
 
 #[test]
 fn string_escapes_survive_printing() {
-    let out = reprint(r#"class C { method public static void m(java.lang.String s) {
+    let out = reprint(
+        r#"class C { method public static void m(java.lang.String s) {
         local java.lang.String t;
         t = "a\"b\\c\td";
         return;
-    } }"#);
+    } }"#,
+    );
     assert!(out.contains(r#"t = "a\"b\\c\td";"#), "{out}");
 }
 

@@ -1,9 +1,10 @@
 //! Property tests: printer output re-parses, and print∘parse is a fixpoint.
+//!
+//! Randomized over a fixed set of seeds via the in-tree `spo-rng` PRNG so
+//! the suite is fully deterministic and needs no external crates.
 
-use proptest::prelude::*;
-use spo_jir::{
-    parse_program, print_program, Const, MethodFlags, Operand, ProgramBuilder, Type,
-};
+use spo_jir::{parse_program, print_program, Const, MethodFlags, Operand, ProgramBuilder, Type};
+use spo_rng::SmallRng;
 
 /// A miniature statement language used to drive the builder randomly while
 /// guaranteeing structurally valid bodies.
@@ -15,49 +16,95 @@ enum GenStmt {
     Add(u8, u8, i64),
     Copy(u8, u8),
     Nop,
-    CallStatic { class: u8, method: u8, args: Vec<i64>, capture: Option<u8> },
-    Diamond { cond_local: u8, then_len: u8, else_len: u8 },
+    CallStatic {
+        class: u8,
+        method: u8,
+        args: Vec<i64>,
+        capture: Option<u8>,
+    },
+    Diamond {
+        cond_local: u8,
+        then_len: u8,
+        else_len: u8,
+    },
     Privileged(u8),
     SecurityCheck(u8),
-    StoreStaticField { class: u8, field: u8, src: u8 },
+    StoreStaticField {
+        class: u8,
+        field: u8,
+        src: u8,
+    },
 }
 
 const CHECKS: &[&str] = &["checkRead", "checkWrite", "checkConnect", "checkExit"];
 
-fn gen_stmt() -> impl Strategy<Value = GenStmt> {
-    prop_oneof![
-        (0..4u8, any::<i64>()).prop_map(|(l, v)| GenStmt::AssignInt(l, v)),
-        (0..4u8, any::<bool>()).prop_map(|(l, v)| GenStmt::AssignBool(l, v)),
-        (0..4u8, "[a-z 0-9\\\\\"\n\t]{0,12}").prop_map(|(l, s)| GenStmt::AssignStr(l, s)),
-        (0..4u8, 0..4u8, -100..100i64).prop_map(|(d, s, v)| GenStmt::Add(d, s, v)),
-        (0..4u8, 0..4u8).prop_map(|(d, s)| GenStmt::Copy(d, s)),
-        Just(GenStmt::Nop),
-        (0..3u8, 0..3u8, proptest::collection::vec(-5..5i64, 0..3), proptest::option::of(0..4u8))
-            .prop_map(|(class, method, args, capture)| GenStmt::CallStatic {
-                class,
-                method,
-                args,
-                capture
-            }),
-        (0..4u8, 1..3u8, 1..3u8).prop_map(|(c, t, e)| GenStmt::Diamond {
-            cond_local: c,
-            then_len: t,
-            else_len: e
-        }),
-        (0..4u8).prop_map(GenStmt::Privileged),
-        (0..4u8).prop_map(|i| GenStmt::SecurityCheck(i % CHECKS.len() as u8)),
-        (0..3u8, 0..3u8, 0..4u8)
-            .prop_map(|(class, field, src)| GenStmt::StoreStaticField { class, field, src }),
-    ]
+/// Characters allowed in generated string constants: exercises escaping of
+/// backslash, quote, newline and tab in the printer/lexer round trip.
+const STR_CHARS: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z', ' ', '0', '1', '2', '3', '4', '5', '6', '7', '8', '9', '\\',
+    '"', '\n', '\t',
+];
+
+fn gen_string(rng: &mut SmallRng) -> String {
+    let len = rng.gen_range(0..13usize);
+    (0..len).map(|_| *rng.choose(STR_CHARS).unwrap()).collect()
 }
 
-fn gen_method() -> impl Strategy<Value = Vec<GenStmt>> {
-    proptest::collection::vec(gen_stmt(), 0..12)
+fn gen_stmt(rng: &mut SmallRng) -> GenStmt {
+    match rng.gen_range(0..11u32) {
+        0 => GenStmt::AssignInt(rng.gen_range(0..4u8), rng.next_u64() as i64),
+        1 => GenStmt::AssignBool(rng.gen_range(0..4u8), rng.gen_bool(0.5)),
+        2 => GenStmt::AssignStr(rng.gen_range(0..4u8), gen_string(rng)),
+        3 => GenStmt::Add(
+            rng.gen_range(0..4u8),
+            rng.gen_range(0..4u8),
+            rng.gen_range(-100..100i64),
+        ),
+        4 => GenStmt::Copy(rng.gen_range(0..4u8), rng.gen_range(0..4u8)),
+        5 => GenStmt::Nop,
+        6 => {
+            let nargs = rng.gen_range(0..3usize);
+            GenStmt::CallStatic {
+                class: rng.gen_range(0..3u8),
+                method: rng.gen_range(0..3u8),
+                args: (0..nargs).map(|_| rng.gen_range(-5..5i64)).collect(),
+                capture: if rng.gen_bool(0.5) {
+                    Some(rng.gen_range(0..4u8))
+                } else {
+                    None
+                },
+            }
+        }
+        7 => GenStmt::Diamond {
+            cond_local: rng.gen_range(0..4u8),
+            then_len: rng.gen_range(1..3u8),
+            else_len: rng.gen_range(1..3u8),
+        },
+        8 => GenStmt::Privileged(rng.gen_range(0..4u8)),
+        9 => GenStmt::SecurityCheck(rng.gen_range(0..CHECKS.len() as u8)),
+        _ => GenStmt::StoreStaticField {
+            class: rng.gen_range(0..3u8),
+            field: rng.gen_range(0..3u8),
+            src: rng.gen_range(0..4u8),
+        },
+    }
 }
 
-fn gen_program() -> impl Strategy<Value = Vec<Vec<Vec<GenStmt>>>> {
+fn gen_method(rng: &mut SmallRng) -> Vec<GenStmt> {
+    let len = rng.gen_range(0..12usize);
+    (0..len).map(|_| gen_stmt(rng)).collect()
+}
+
+fn gen_program(rng: &mut SmallRng) -> Vec<Vec<Vec<GenStmt>>> {
     // classes -> methods -> stmts
-    proptest::collection::vec(proptest::collection::vec(gen_method(), 1..3), 1..4)
+    let nclasses = rng.gen_range(1..4usize);
+    (0..nclasses)
+        .map(|_| {
+            let nmethods = rng.gen_range(1..3usize);
+            (0..nmethods).map(|_| gen_method(rng)).collect()
+        })
+        .collect()
 }
 
 fn build(spec: &[Vec<Vec<GenStmt>>]) -> String {
@@ -75,11 +122,17 @@ fn build(spec: &[Vec<Vec<GenStmt>>]) -> String {
                 MethodFlags::PUBLIC | MethodFlags::STATIC,
                 Type::Void,
             );
-            let ints: Vec<_> = (0..4).map(|i| mb.local(&format!("x{i}"), Type::Int)).collect();
-            let bools: Vec<_> = (0..4).map(|i| mb.local(&format!("b{i}"), Type::Bool)).collect();
+            let ints: Vec<_> = (0..4)
+                .map(|i| mb.local(&format!("x{i}"), Type::Int))
+                .collect();
+            let bools: Vec<_> = (0..4)
+                .map(|i| mb.local(&format!("b{i}"), Type::Bool))
+                .collect();
             let strs: Vec<_> = {
                 let string_ty = mb.ref_ty("java.lang.String");
-                (0..4).map(|i| mb.local(&format!("s{i}"), string_ty.clone())).collect()
+                (0..4)
+                    .map(|i| mb.local(&format!("s{i}"), string_ty.clone()))
+                    .collect()
             };
             for s in stmts {
                 match s {
@@ -105,7 +158,12 @@ fn build(spec: &[Vec<Vec<GenStmt>>]) -> String {
                     }
                     GenStmt::Copy(d, s2) => mb.copy(ints[*d as usize], ints[*s2 as usize]),
                     GenStmt::Nop => mb.push(spo_jir::Stmt::Nop),
-                    GenStmt::CallStatic { class, method, args, capture } => {
+                    GenStmt::CallStatic {
+                        class,
+                        method,
+                        args,
+                        capture,
+                    } => {
                         let argv: Vec<Operand> =
                             args.iter().map(|v| Const::Int(*v).into()).collect();
                         mb.invoke_static(
@@ -115,7 +173,11 @@ fn build(spec: &[Vec<Vec<GenStmt>>]) -> String {
                             argv,
                         );
                     }
-                    GenStmt::Diamond { cond_local, then_len, else_len } => {
+                    GenStmt::Diamond {
+                        cond_local,
+                        then_len,
+                        else_len,
+                    } => {
                         let then_l = mb.fresh_label();
                         let join = mb.fresh_label();
                         mb.if_truthy(bools[*cond_local as usize], then_l);
@@ -156,31 +218,41 @@ fn build(spec: &[Vec<Vec<GenStmt>>]) -> String {
     print_program(&pb.finish())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Printed programs must re-parse, and printing the re-parsed program
-    /// must reproduce the exact same text (print∘parse fixpoint).
-    #[test]
-    fn print_parse_print_fixpoint(spec in gen_program()) {
+/// Printed programs must re-parse, and printing the re-parsed program
+/// must reproduce the exact same text (print∘parse fixpoint).
+#[test]
+fn print_parse_print_fixpoint() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5eed_0000 + seed);
+        let spec = gen_program(&mut rng);
         let text1 = build(&spec);
-        let program2 = parse_program(&text1)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- source ---\n{text1}"));
+        let program2 = parse_program(&text1).unwrap_or_else(|e| {
+            panic!("reparse failed (seed {seed}): {e}\n--- source ---\n{text1}")
+        });
         let text2 = print_program(&program2);
-        prop_assert_eq!(&text1, &text2, "print-parse-print not a fixpoint");
+        assert_eq!(
+            &text1, &text2,
+            "print-parse-print not a fixpoint (seed {seed})"
+        );
     }
+}
 
-    /// Reparsed bodies keep the same statement counts and validate.
-    #[test]
-    fn reparsed_bodies_validate(spec in gen_program()) {
+/// Reparsed bodies keep the same statement counts and validate.
+#[test]
+fn reparsed_bodies_validate() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xface_0000 + seed);
+        let spec = gen_program(&mut rng);
         let text = build(&spec);
         let program = parse_program(&text).unwrap();
         for (_, m) in program.all_methods() {
             if let Some(body) = &m.body {
-                prop_assert!(body.validate().is_ok());
+                assert!(body.validate().is_ok(), "seed {seed}");
                 // Every body's CFG must have a reachable exit.
                 let cfg = body.cfg();
-                prop_assert!(cfg.reverse_post_order().contains(&0));
+                assert!(cfg.reverse_post_order().contains(&0), "seed {seed}");
             }
         }
     }

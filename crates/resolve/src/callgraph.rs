@@ -12,9 +12,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 pub fn entry_points(program: &Program) -> Vec<MethodId> {
     program
         .all_methods()
-        .filter(|(_, m)| {
-            m.flags.is_entry_visible() && !m.flags.contains(MethodFlags::ABSTRACT)
-        })
+        .filter(|(_, m)| m.flags.is_entry_visible() && !m.flags.contains(MethodFlags::ABSTRACT))
         .map(|(id, _)| id)
         .collect()
 }
@@ -59,7 +57,11 @@ impl CallGraph {
             }
             edges.insert(m, callees);
         }
-        CallGraph { roots, edges, stats }
+        CallGraph {
+            roots,
+            edges,
+            stats,
+        }
     }
 
     /// Builds the call graph rooted at all API entry points of the program.
@@ -159,9 +161,7 @@ class B {
         let p = prog();
         let h = Hierarchy::new(&p);
         let cg = CallGraph::from_entry_points(&h);
-        let helper_reached = cg
-            .reachable()
-            .any(|m| p.method_name(m) == "A.helper");
+        let helper_reached = cg.reachable().any(|m| p.method_name(m) == "A.helper");
         assert!(helper_reached);
         // The external call resolves to Unknown but doesn't break anything.
         assert_eq!(cg.stats().unknown, 1);

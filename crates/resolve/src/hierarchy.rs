@@ -40,7 +40,12 @@ impl<'p> Hierarchy<'p> {
                 }
             }
         }
-        Hierarchy { program, children, superclass, interfaces }
+        Hierarchy {
+            program,
+            children,
+            superclass,
+            interfaces,
+        }
     }
 
     /// The program this hierarchy describes.

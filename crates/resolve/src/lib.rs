@@ -39,6 +39,6 @@ mod rta;
 
 pub use callgraph::{entry_points, CallGraph};
 pub use hierarchy::Hierarchy;
-pub use resolver::{Resolution, ResolutionStats, Resolver};
 pub use lint::{lint_program, Lint, LintKind};
+pub use resolver::{Resolution, ResolutionStats, Resolver};
 pub use rta::Rta;

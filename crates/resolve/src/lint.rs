@@ -70,7 +70,9 @@ pub fn lint_program(program: &Program) -> Vec<Lint> {
     let mut out = Vec::new();
     for (class_id, _) in program.classes() {
         for (mid, method) in program.methods_of(class_id) {
-            let Some(body) = method.body.as_ref() else { continue };
+            let Some(body) = method.body.as_ref() else {
+                continue;
+            };
             for (i, stmt) in body.stmts.iter().enumerate() {
                 lint_stmt(program, &hierarchy, mid, i, stmt, &mut out);
             }
@@ -129,28 +131,28 @@ fn lint_stmt(
                 out.push(Lint {
                     location: location(),
                     stmt: idx,
-                    kind: LintKind::InterfaceCallOnClass(
-                        program.str(call.callee.class).to_owned(),
-                    ),
+                    kind: LintKind::InterfaceCallOnClass(program.str(call.callee.class).to_owned()),
                 });
             }
-            if hierarchy.lookup_method(class, call.callee.name, call.callee.argc).is_none() {
+            if hierarchy
+                .lookup_method(class, call.callee.name, call.callee.argc)
+                .is_none()
+            {
                 out.push(Lint {
                     location: location(),
                     stmt: idx,
                     kind: LintKind::UnknownMethod {
                         class: program.str(call.callee.class).to_owned(),
-                        method: format!(
-                            "{}/{}",
-                            program.str(call.callee.name),
-                            call.callee.argc
-                        ),
+                        method: format!("{}/{}", program.str(call.callee.name), call.callee.argc),
                     },
                 });
             }
         }
         Stmt::FieldStore { target, .. } => lint_field(target, out),
-        Stmt::Assign { value: Expr::FieldLoad(target), .. } => lint_field(target, out),
+        Stmt::Assign {
+            value: Expr::FieldLoad(target),
+            ..
+        } => lint_field(target, out),
         _ => {}
     }
 }
@@ -233,10 +235,8 @@ class Sub extends Base {
 
     #[test]
     fn unknown_field_reported() {
-        let p = parse_program(
-            "class A { method public void m() { this.ghost = 1; return; } }",
-        )
-        .unwrap();
+        let p = parse_program("class A { method public void m() { this.ghost = 1; return; } }")
+            .unwrap();
         let lints = lint_program(&p);
         assert_eq!(lints.len(), 1);
         assert!(matches!(&lints[0].kind, LintKind::UnknownField { field, .. } if field == "ghost"));
@@ -263,7 +263,10 @@ class A {
 
     #[test]
     fn lint_display_is_readable() {
-        let k = LintKind::UnknownMethod { class: "A".into(), method: "f/2".into() };
+        let k = LintKind::UnknownMethod {
+            class: "A".into(),
+            method: "f/2".into(),
+        };
         assert!(k.to_string().contains("f/2"));
     }
 }

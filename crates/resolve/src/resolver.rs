@@ -9,9 +9,9 @@
 //! [`Resolution::Unknown`] otherwise.
 
 use crate::hierarchy::Hierarchy;
-use spo_jir::{Call, ClassFlags, InvokeKind, MethodFlags, MethodId};
 #[cfg(test)]
 use spo_jir::Program;
+use spo_jir::{Call, ClassFlags, InvokeKind, MethodFlags, MethodId};
 use std::collections::BTreeSet;
 
 /// Outcome of resolving one call site.
@@ -104,7 +104,9 @@ impl<'p> Resolver<'p> {
         };
         match call.kind {
             InvokeKind::Static | InvokeKind::Special => {
-                match self.hierarchy.lookup_method(static_class, call.callee.name, call.callee.argc)
+                match self
+                    .hierarchy
+                    .lookup_method(static_class, call.callee.name, call.callee.argc)
                 {
                     Some(m) => Resolution::Unique(m),
                     None => Resolution::Unknown,
@@ -112,7 +114,8 @@ impl<'p> Resolver<'p> {
             }
             InvokeKind::Virtual | InvokeKind::Interface => {
                 let Some(decl) =
-                    self.hierarchy.lookup_method(static_class, call.callee.name, call.callee.argc)
+                    self.hierarchy
+                        .lookup_method(static_class, call.callee.name, call.callee.argc)
                 else {
                     return Resolution::Unknown;
                 };
@@ -120,14 +123,18 @@ impl<'p> Resolver<'p> {
                 // overridden.
                 let decl_method = program.method(decl);
                 if decl_method.flags.contains(MethodFlags::FINAL)
-                    || program.class(static_class).flags.contains(ClassFlags::FINAL)
+                    || program
+                        .class(static_class)
+                        .flags
+                        .contains(ClassFlags::FINAL)
                 {
                     return Resolution::Unique(decl);
                 }
                 let mut targets: BTreeSet<MethodId> = BTreeSet::new();
                 for sub in self.hierarchy.concrete_subtypes(static_class) {
                     if let Some(m) =
-                        self.hierarchy.lookup_method(sub, call.callee.name, call.callee.argc)
+                        self.hierarchy
+                            .lookup_method(sub, call.callee.name, call.callee.argc)
                     {
                         // Skip abstract declarations reached through
                         // interface fallback; they are not callable targets.
@@ -343,8 +350,14 @@ class Caller {
         let mut stats = ResolutionStats::default();
         stats.record(&Resolution::Unknown);
         stats.record(&Resolution::Ambiguous(vec![]));
-        stats.record(&Resolution::Unique(MethodId { class: spo_jir::ClassId(0), index: 0 }));
-        stats.record(&Resolution::Unique(MethodId { class: spo_jir::ClassId(0), index: 0 }));
+        stats.record(&Resolution::Unique(MethodId {
+            class: spo_jir::ClassId(0),
+            index: 0,
+        }));
+        stats.record(&Resolution::Unique(MethodId {
+            class: spo_jir::ClassId(0),
+            index: 0,
+        }));
         assert_eq!(stats.total(), 4);
         assert!((stats.resolved_fraction() - 0.5).abs() < 1e-9);
     }

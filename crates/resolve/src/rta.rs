@@ -42,10 +42,15 @@ impl<'p> Rta<'p> {
             if !reachable.insert(m) {
                 continue;
             }
-            let Some(body) = program.method(m).body.as_ref() else { continue };
+            let Some(body) = program.method(m).body.as_ref() else {
+                continue;
+            };
             for stmt in &body.stmts {
                 match stmt {
-                    Stmt::Assign { value: Expr::New(class), .. } => {
+                    Stmt::Assign {
+                        value: Expr::New(class),
+                        ..
+                    } => {
                         if let Some(cid) = program.class_by_name(*class) {
                             if instantiated.insert(cid) {
                                 // New class: previously deferred calls may
@@ -76,7 +81,11 @@ impl<'p> Rta<'p> {
                 }
             }
         }
-        Rta { hierarchy, instantiated, reachable }
+        Rta {
+            hierarchy,
+            instantiated,
+            reachable,
+        }
     }
 
     fn dispatch(
@@ -98,7 +107,9 @@ impl<'p> Rta<'p> {
                 }
             }
             InvokeKind::Virtual | InvokeKind::Interface => {
-                let Some(class) = program.class_by_name(call.callee.class) else { return };
+                let Some(class) = program.class_by_name(call.callee.class) else {
+                    return;
+                };
                 let mut any = false;
                 for sub in hierarchy.concrete_subtypes(class) {
                     if !instantiated.contains(&sub) {
@@ -139,9 +150,7 @@ impl<'p> Rta<'p> {
     pub fn resolve(&self, call: &Call) -> Resolution {
         let program = self.hierarchy.program();
         match call.kind {
-            InvokeKind::Static | InvokeKind::Special => {
-                Resolver::new(self.hierarchy).resolve(call)
-            }
+            InvokeKind::Static | InvokeKind::Special => Resolver::new(self.hierarchy).resolve(call),
             InvokeKind::Virtual | InvokeKind::Interface => {
                 let Some(class) = program.class_by_name(call.callee.class) else {
                     return Resolution::Unknown;
@@ -152,7 +161,8 @@ impl<'p> Rta<'p> {
                         continue;
                     }
                     if let Some(m) =
-                        self.hierarchy.lookup_method(sub, call.callee.name, call.callee.argc)
+                        self.hierarchy
+                            .lookup_method(sub, call.callee.name, call.callee.argc)
                     {
                         if !program.method(m).flags.contains(MethodFlags::ABSTRACT) {
                             targets.insert(m);
@@ -176,7 +186,9 @@ impl<'p> Rta<'p> {
         let mut cha_stats = ResolutionStats::default();
         let mut rta_stats = ResolutionStats::default();
         for &m in &self.reachable {
-            let Some(body) = program.method(m).body.as_ref() else { continue };
+            let Some(body) = program.method(m).body.as_ref() else {
+                continue;
+            };
             for stmt in &body.stmts {
                 if let Stmt::Invoke { call, .. } = stmt {
                     cha_stats.record(&cha.resolve(call));
@@ -224,7 +236,9 @@ class Caller {
         // (were they entry receivers, clients could instantiate any of
         // them and RTA would rightly stay ambiguous).
         let caller = p.class_by_str("Caller").unwrap();
-        let root = p.find_method(caller, p.interner().get("m").unwrap(), 0).unwrap();
+        let root = p
+            .find_method(caller, p.interner().get("m").unwrap(), 0)
+            .unwrap();
         let rta = Rta::build(&h, &[root]);
         let body = p.class(caller).methods[0].body.as_ref().unwrap();
         let call = body
@@ -271,7 +285,9 @@ class Caller {
         let h = Hierarchy::new(&p);
         // Build with only Caller.m as root: A never instantiated...
         let caller = p.class_by_str("Caller").unwrap();
-        let m = p.find_method(caller, p.interner().get("m").unwrap(), 1).unwrap();
+        let m = p
+            .find_method(caller, p.interner().get("m").unwrap(), 1)
+            .unwrap();
         let rta = Rta::build(&h, &[m]);
         let body = p.class(caller).methods[0].body.as_ref().unwrap();
         let call = body.stmts.iter().find_map(|s| s.as_call()).unwrap();
@@ -342,10 +358,17 @@ class Caller {
         .unwrap();
         let h = Hierarchy::new(&p);
         let caller = p.class_by_str("Caller").unwrap();
-        let m = p.find_method(caller, p.interner().get("m").unwrap(), 1).unwrap();
+        let m = p
+            .find_method(caller, p.interner().get("m").unwrap(), 1)
+            .unwrap();
         let rta = Rta::build(&h, &[m]);
         let marker = p.class_by_str("Marker").unwrap();
-        let hit = p.find_method(marker, p.interner().get("hit").unwrap(), 0).unwrap();
-        assert!(rta.reachable().contains(&hit), "B.run must become reachable");
+        let hit = p
+            .find_method(marker, p.interner().get("hit").unwrap(), 0)
+            .unwrap();
+        assert!(
+            rta.reachable().contains(&hit),
+            "B.run must become reachable"
+        );
     }
 }

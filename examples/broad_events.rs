@@ -17,13 +17,8 @@ fn main() {
     let impl1 = FIGURE3.program(Lib::Jdk);
     let impl2 = FIGURE3.program(Lib::Harmony);
 
-    let narrow = compare_implementations(
-        &impl1,
-        "impl1",
-        &impl2,
-        "impl2",
-        AnalysisOptions::default(),
-    );
+    let narrow =
+        compare_implementations(&impl1, "impl1", &impl2, "impl2", AnalysisOptions::default());
     println!(
         "narrow events (JNI + API returns): {} difference(s) reported",
         narrow.groups.len()
@@ -35,7 +30,10 @@ fn main() {
         "impl1",
         &impl2,
         "impl2",
-        AnalysisOptions { events: EventDef::Broad, ..Default::default() },
+        AnalysisOptions {
+            events: EventDef::Broad,
+            ..Default::default()
+        },
     );
     println!(
         "broad events (+ private variables, parameters): {} difference(s)\n",

@@ -22,8 +22,7 @@ fn main() {
     for (name, program) in [("JDK", &jdk), ("Harmony", &harmony)] {
         let analyzer = Analyzer::new(program, AnalysisOptions::default());
         let lib = analyzer.analyze_library(name);
-        let entry =
-            &lib.entries["java.net.DatagramSocket.connect(java.net.InetAddress,int)"];
+        let entry = &lib.entries["java.net.DatagramSocket.connect(java.net.InetAddress,int)"];
         println!("[{name}]");
         for (event, policy) in &entry.events {
             if matches!(event, EventKey::Native(_) | EventKey::ApiReturn) {
@@ -34,13 +33,8 @@ fn main() {
     }
 
     // Step 2: difference them — the oracle speaks.
-    let report = compare_implementations(
-        &jdk,
-        "jdk",
-        &harmony,
-        "harmony",
-        AnalysisOptions::default(),
-    );
+    let report =
+        compare_implementations(&jdk, "jdk", &harmony, "harmony", AnalysisOptions::default());
     println!("== Oracle report ==\n");
     println!("{}", report.render());
 

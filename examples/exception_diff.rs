@@ -37,9 +37,9 @@ fn main() {
             println!("    only harmony may throw: {:?}", d.only_right);
         }
     }
-    assert!(diffs
-        .iter()
-        .any(|d| d.only_right.contains("java.lang.UnsupportedOperationException")));
+    assert!(diffs.iter().any(|d| d
+        .only_right
+        .contains("java.lang.UnsupportedOperationException")));
     println!(
         "\nJDK exits the VM on a missing charset (the checkExit policy\n\
          difference of Figure 8); Harmony raises an exception instead —\n\

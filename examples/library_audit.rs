@@ -17,7 +17,10 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.1);
-    let corpus = generate(&CorpusConfig { scale, ..Default::default() });
+    let corpus = generate(&CorpusConfig {
+        scale,
+        ..Default::default()
+    });
     println!("generated corpus at scale {scale}:");
     for lib in Lib::ALL {
         println!(

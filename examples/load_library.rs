@@ -54,7 +54,10 @@ fn main() {
         "jdk",
         &classpath,
         "classpath",
-        AnalysisOptions { interprocedural: false, ..Default::default() },
+        AnalysisOptions {
+            interprocedural: false,
+            ..Default::default()
+        },
     );
     println!(
         "\nIntraprocedural-only ablation reports {} difference(s) for this API.",

@@ -17,8 +17,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let jdk = FIGURE1.program(Lib::Jdk);
     let jdk_policies = Analyzer::new(&jdk, AnalysisOptions::default()).analyze_library("jdk");
     let published = export_policies(&jdk_policies);
-    println!("--- vendor 1 publishes {} bytes of policy text, e.g. ---", published.len());
-    for line in published.lines().filter(|l| l.contains("DatagramSocket")).take(4) {
+    println!(
+        "--- vendor 1 publishes {} bytes of policy text, e.g. ---",
+        published.len()
+    );
+    for line in published
+        .lines()
+        .filter(|l| l.contains("DatagramSocket"))
+        .take(4)
+    {
         println!("{line}");
     }
 

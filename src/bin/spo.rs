@@ -12,11 +12,12 @@
 //! Multiple `.jir` files per side are layered into one program (e.g. a
 //! shared runtime prelude plus the implementation).
 
-use security_policy_oracle::compare_implementations;
+use security_policy_oracle::compare_implementations_with;
 use spo_core::{
     diff_libraries, export_policies, group_differences, import_policies, render_reports,
-    AnalysisOptions, Analyzer, EventDef,
+    AnalysisOptions, EventDef,
 };
+use spo_engine::AnalysisEngine;
 use spo_jir::Program;
 use std::process::ExitCode;
 
@@ -48,13 +49,40 @@ const USAGE: &str = "\
 spo — security policy oracle (PLDI 2011 reproduction)
 
 USAGE:
-  spo check <file.jir>... [--lint]
-  spo analyze <file.jir>... [--broad]
-  spo export <file.jir>... [--name NAME]
-  spo diff <left.jir>... --vs <right.jir>... [--no-icp] [--broad] [--intra-only] [--html]
+  spo check <file.jir>... [--lint] [--jobs N]
+  spo analyze <file.jir>... [--broad] [--jobs N]
+  spo export <file.jir>... [--name NAME] [--jobs N]
+  spo diff <left.jir>... --vs <right.jir>... [--no-icp] [--broad] [--intra-only] [--html] [--jobs N]
   spo diff-policies <left-policies.txt> <right-policies.txt>
   spo throws <left.jir>... --vs <right.jir>...
+
+`--jobs N` sets the analysis worker count (default: all CPUs; results are
+identical for any N).
 ";
+
+/// Extracts `--jobs N` / `--jobs=N` from an argument list, returning the
+/// worker count (0 = one per CPU) and the remaining arguments.
+fn extract_jobs(args: &[String]) -> Result<(usize, Vec<String>), String> {
+    let mut jobs = 0usize;
+    let mut rest = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        let value = if a == "--jobs" {
+            Some(iter.next().ok_or("--jobs needs a value")?.as_str())
+        } else {
+            a.strip_prefix("--jobs=")
+        };
+        match value {
+            Some(v) => {
+                jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs: invalid worker count `{v}`"))?
+            }
+            None => rest.push(a.clone()),
+        }
+    }
+    Ok((jobs, rest))
+}
 
 /// Parses a flag set out of an argument list, returning remaining
 /// positional arguments.
@@ -97,8 +125,11 @@ fn options_from(flags: &[&str]) -> Result<AnalysisOptions, String> {
 }
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    // `check` runs no policy analysis; `--jobs` is accepted for interface
+    // uniformity with `analyze`/`diff`.
+    let (_jobs, args) = extract_jobs(args)?;
     let mut flags = Vec::new();
-    let paths = split_flags(args, &mut flags);
+    let paths = split_flags(&args, &mut flags);
     let lint = flags.contains(&"--lint");
     let program = load_program(&paths)?;
     let entries = spo_resolve::entry_points(&program);
@@ -133,11 +164,12 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
+    let (jobs, args) = extract_jobs(args)?;
     let mut flags = Vec::new();
-    let paths = split_flags(args, &mut flags);
+    let paths = split_flags(&args, &mut flags);
     let options = options_from(&flags)?;
     let program = load_program(&paths)?;
-    let lib = Analyzer::new(&program, options).analyze_library("input");
+    let (lib, _stats) = AnalysisEngine::new(jobs).analyze_library(&program, "input", options);
     for (sig, entry) in &lib.entries {
         if entry.has_no_checks() {
             continue;
@@ -158,6 +190,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_export(args: &[String]) -> Result<ExitCode, String> {
+    let (jobs, args) = extract_jobs(args)?;
     let mut flags = Vec::new();
     let mut name = "library".to_owned();
     let mut positional: Vec<&String> = Vec::new();
@@ -173,12 +206,13 @@ fn cmd_export(args: &[String]) -> Result<ExitCode, String> {
     }
     let options = options_from(&flags)?;
     let program = load_program(&positional)?;
-    let lib = Analyzer::new(&program, options).analyze_library(&name);
+    let (lib, _stats) = AnalysisEngine::new(jobs).analyze_library(&program, &name, options);
     print!("{}", export_policies(&lib));
     Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let (jobs, args) = extract_jobs(args)?;
     let vs = args
         .iter()
         .position(|a| a == "--vs")
@@ -191,13 +225,24 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let options = options_from(&flags)?;
     let left = load_program(&left_paths)?;
     let right = load_program(&right_paths)?;
-    let report = compare_implementations(&left, "left", &right, "right", options);
+    let report = compare_implementations_with(
+        &left,
+        "left",
+        &right,
+        "right",
+        options,
+        &AnalysisEngine::new(jobs),
+    );
     if html {
         print!("{}", spo_core::render_html(&report.diff, &report.groups));
     } else {
         print!("{}", report.render());
     }
-    Ok(if report.groups.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+    Ok(if report.groups.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn cmd_throws(args: &[String]) -> Result<ExitCode, String> {
@@ -223,7 +268,11 @@ fn cmd_throws(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     println!("# {} exception-behaviour difference(s)", diffs.len());
-    Ok(if diffs.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+    Ok(if diffs.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn cmd_diff_policies(args: &[String]) -> Result<ExitCode, String> {
@@ -236,5 +285,9 @@ fn cmd_diff_policies(args: &[String]) -> Result<ExitCode, String> {
     let diff = diff_libraries(&left, &right);
     let groups = group_differences(&diff, &Default::default());
     print!("{}", render_reports(&diff, &groups));
-    Ok(if groups.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+    Ok(if groups.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }

@@ -19,8 +19,13 @@
 //! * [`resolve`] — class hierarchy, devirtualization, call graphs;
 //! * [`dataflow`] — the worklist engine, lattices, constant propagation;
 //! * [`core`] — SPDA/ISPA policy extraction and policy differencing;
+//! * [`engine`] — the parallel per-entry-point analysis driver;
 //! * [`corpus`] — the paper-figure scenarios and the synthetic
 //!   three-implementation corpus.
+//!
+//! All analyses run through the [`engine`]'s work-stealing worker pool;
+//! its merge is deterministic, so results are byte-identical to a serial
+//! run regardless of worker count.
 //!
 //! # Examples
 //!
@@ -53,13 +58,12 @@
 pub use spo_core as core;
 pub use spo_corpus as corpus;
 pub use spo_dataflow as dataflow;
+pub use spo_engine as engine;
 pub use spo_jir as jir;
 pub use spo_resolve as resolve;
 
-use spo_core::{
-    diff_libraries, group_differences, root_keys, AnalysisOptions, Analyzer, DiffResult,
-    LibraryPolicies, ReportGroup,
-};
+use spo_core::{AnalysisOptions, DiffResult, LibraryPolicies, ReportGroup};
+use spo_engine::AnalysisEngine;
 use spo_jir::Program;
 
 /// The complete output of one pairwise comparison.
@@ -122,18 +126,36 @@ pub fn compare_all(
     implementations: &[(&str, &Program)],
     options: AnalysisOptions,
 ) -> Vec<PairingEntry> {
-    let mut out = Vec::new();
-    for i in 0..implementations.len() {
-        for j in i + 1..implementations.len() {
-            let (ln, lp) = implementations[i];
-            let (rn, rp) = implementations[j];
-            out.push(PairingEntry {
-                pair: (ln.to_owned(), rn.to_owned()),
-                report: compare_implementations(lp, ln, rp, rn, options),
-            });
-        }
-    }
-    out
+    compare_all_with(implementations, options, &AnalysisEngine::default())
+}
+
+/// [`compare_all`] against a caller-configured [`AnalysisEngine`]. Each
+/// implementation is analyzed once (full and intraprocedural-ablation) and
+/// reused across its pairings.
+pub fn compare_all_with(
+    implementations: &[(&str, &Program)],
+    options: AnalysisOptions,
+    engine: &AnalysisEngine,
+) -> Vec<PairingEntry> {
+    let set = engine.compare_all(implementations, options);
+    set.comparisons
+        .into_iter()
+        .map(|c| {
+            let (i, j) = c.pair;
+            PairingEntry {
+                pair: (
+                    implementations[i].0.to_owned(),
+                    implementations[j].0.to_owned(),
+                ),
+                report: PairingReport {
+                    left: set.libraries[i].clone(),
+                    right: set.libraries[j].clone(),
+                    diff: c.diff,
+                    groups: c.groups,
+                },
+            }
+        })
+        .collect()
 }
 
 /// Runs the full oracle pipeline over two implementations of the same API:
@@ -151,17 +173,37 @@ pub fn compare_implementations(
     right_name: &str,
     options: AnalysisOptions,
 ) -> PairingReport {
-    let left_lib = Analyzer::new(left, options).analyze_library(left_name);
-    let right_lib = Analyzer::new(right, options).analyze_library(right_name);
-    let diff = diff_libraries(&left_lib, &right_lib);
+    compare_implementations_with(
+        left,
+        left_name,
+        right,
+        right_name,
+        options,
+        &AnalysisEngine::default(),
+    )
+}
 
-    // Intraprocedural ablation: which differences would a local-only
-    // analysis still see?
-    let intra_options = AnalysisOptions { interprocedural: false, ..options };
-    let left_intra = Analyzer::new(left, intra_options).analyze_library(left_name);
-    let right_intra = Analyzer::new(right, intra_options).analyze_library(right_name);
-    let intra_keys = root_keys(&diff_libraries(&left_intra, &right_intra));
-
-    let groups = group_differences(&diff, &intra_keys);
-    PairingReport { left: left_lib, right: right_lib, diff, groups }
+/// [`compare_implementations`] against a caller-configured
+/// [`AnalysisEngine`] (e.g. the CLI's `--jobs N`).
+pub fn compare_implementations_with(
+    left: &Program,
+    left_name: &str,
+    right: &Program,
+    right_name: &str,
+    options: AnalysisOptions,
+    engine: &AnalysisEngine,
+) -> PairingReport {
+    let set = engine.compare_all(&[(left_name, left), (right_name, right)], options);
+    let mut libraries = set.libraries.into_iter();
+    let comparison = set
+        .comparisons
+        .into_iter()
+        .next()
+        .expect("two implementations always yield one pairing");
+    PairingReport {
+        left: libraries.next().expect("left analysis"),
+        right: libraries.next().expect("right analysis"),
+        diff: comparison.diff,
+        groups: comparison.groups,
+    }
 }

@@ -21,9 +21,7 @@ fn mediation_verifier_flags_the_correct_jdk_implementation() {
     // checkConnect must dominate the native connect. Both implementations
     // get flagged — a false positive on the correct JDK code, exactly the
     // paper's §2 argument against must-only verification.
-    let policy = MediationPolicy::new(vec![
-        (Check::Connect, EventKey::Native("connect0".into())),
-    ]);
+    let policy = MediationPolicy::new(vec![(Check::Connect, EventKey::Native("connect0".into()))]);
     let jdk = analyze(Lib::Jdk, FIGURE1);
     let harmony = analyze(Lib::Harmony, FIGURE1);
     let jdk_violations = verify_mediation(&jdk, &policy);
@@ -43,7 +41,10 @@ fn mediation_verifier_flags_the_correct_jdk_implementation() {
         AnalysisOptions::default(),
     );
     assert_eq!(report.groups.len(), 1);
-    assert!(report.groups[0].representative.delta.contains(Check::Accept));
+    assert!(report.groups[0]
+        .representative
+        .delta
+        .contains(Check::Accept));
 }
 
 #[test]
@@ -99,8 +100,8 @@ fn lowering_the_threshold_creates_false_positives() {
     // patterns, they may find more bugs, but the number of false positives
     // increases."
     let corpus = generate(&CorpusConfig::test_sized());
-    let jdk = Analyzer::new(corpus.program(Lib::Jdk), AnalysisOptions::default())
-        .analyze_library("jdk");
+    let jdk =
+        Analyzer::new(corpus.program(Lib::Jdk), AnalysisOptions::default()).analyze_library("jdk");
     let strict = mining_deviations(&jdk, &mine_rules(&jdk, 5, 0.95));
     let loose = mining_deviations(&jdk, &mine_rules(&jdk, 2, 0.3));
     assert!(

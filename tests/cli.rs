@@ -76,7 +76,11 @@ fn check_reports_stats() {
     let rt = write_temp("rt.jir", RUNTIME);
     let a = write_temp("a.jir", CHECKED);
     let out = spo(&["check", rt.to_str().unwrap(), a.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("entry points"), "{stdout}");
     assert!(stdout.contains("% resolved"), "{stdout}");
@@ -143,8 +147,15 @@ fn export_then_diff_policies_matches_direct_diff() {
             "--name",
             name,
         ]);
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-        write_temp(&format!("{name}.policies"), &String::from_utf8_lossy(&out.stdout))
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        write_temp(
+            &format!("{name}.policies"),
+            &String::from_utf8_lossy(&out.stdout),
+        )
     };
     let pa = export("vendor-a", &a);
     let pb = export("vendor-b", &b);
@@ -152,6 +163,50 @@ fn export_then_diff_policies_matches_direct_diff() {
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("checkWrite"), "{stdout}");
+}
+
+#[test]
+fn jobs_flag_does_not_change_output() {
+    let rt = write_temp("rt7.jir", RUNTIME);
+    let a = write_temp("a7.jir", CHECKED);
+    let base = spo(&["analyze", rt.to_str().unwrap(), a.to_str().unwrap()]);
+    assert!(base.status.success());
+    for jobs in [&["--jobs", "1"][..], &["--jobs", "3"], &["--jobs=2"]] {
+        let mut args = vec!["analyze", rt.to_str().unwrap(), a.to_str().unwrap()];
+        args.extend_from_slice(jobs);
+        let out = spo(&args);
+        assert!(
+            out.status.success(),
+            "{jobs:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(out.stdout, base.stdout, "{jobs:?} changed the output");
+    }
+}
+
+#[test]
+fn jobs_flag_on_diff_and_bad_values() {
+    let rt = write_temp("rt8.jir", RUNTIME);
+    let a = write_temp("a8.jir", CHECKED);
+    let b = write_temp("b8.jir", UNCHECKED);
+    let out = spo(&[
+        "diff",
+        "--jobs",
+        "2",
+        rt.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "--vs",
+        rt.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("checkWrite"));
+
+    let out = spo(&["analyze", a.to_str().unwrap(), "--jobs", "zero"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
+    let out = spo(&["analyze", a.to_str().unwrap(), "--jobs"]);
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

@@ -112,9 +112,20 @@ fn icp_ablation_eliminates_exactly_the_planned_false_positives() {
         (Lib::Jdk, Lib::Classpath),
     ] {
         let with_icp = run_pairing(&c, a, b, AnalysisOptions::default());
-        let without = run_pairing(&c, a, b, AnalysisOptions { icp: false, ..Default::default() });
-        let on_keys: BTreeSet<&str> =
-            with_icp.groups.iter().map(|g| g.root_key.as_str()).collect();
+        let without = run_pairing(
+            &c,
+            a,
+            b,
+            AnalysisOptions {
+                icp: false,
+                ..Default::default()
+            },
+        );
+        let on_keys: BTreeSet<&str> = with_icp
+            .groups
+            .iter()
+            .map(|g| g.root_key.as_str())
+            .collect();
         let eliminated: Vec<&ReportGroup> = without
             .groups
             .iter()
@@ -170,7 +181,10 @@ fn broad_events_find_no_new_bugs_on_the_corpus() {
         &c,
         Lib::Jdk,
         Lib::Harmony,
-        AnalysisOptions { events: spo_core::EventDef::Broad, ..Default::default() },
+        AnalysisOptions {
+            events: spo_core::EventDef::Broad,
+            ..Default::default()
+        },
     );
     let (_, unmatched) = tally(&c, &broad.groups);
     assert!(

@@ -17,21 +17,27 @@ fn corpus() -> spo_corpus::Corpus {
 #[test]
 fn disjunctive_mode_is_a_superset_of_paper_mode() {
     let c = corpus();
-    let jdk = Analyzer::new(c.program(Lib::Jdk), AnalysisOptions::default())
-        .analyze_library("jdk");
+    let jdk = Analyzer::new(c.program(Lib::Jdk), AnalysisOptions::default()).analyze_library("jdk");
     let harmony = Analyzer::new(c.program(Lib::Harmony), AnalysisOptions::default())
         .analyze_library("harmony");
     let paper = diff_libraries(&jdk, &harmony);
     let strict = diff_libraries_with(&jdk, &harmony, DiffMode::Disjunctive);
     let keys = |d: &[PolicyDifference]| -> BTreeSet<String> {
-        d.iter().map(|x| format!("{}#{:?}", x.signature, x.kind)).collect()
+        d.iter()
+            .map(|x| format!("{}#{:?}", x.signature, x.kind))
+            .collect()
     };
     let pk = keys(&paper.differences);
     let sk = keys(&strict.differences);
     assert!(pk.is_subset(&sk), "strict mode must not lose reports");
     // The implementations differ only at injected bug sites, all of which
     // the paper-mode comparison already catches: no structure-only extras.
-    assert_eq!(pk, sk, "unexpected structure-only differences: {:?}", sk.difference(&pk));
+    assert_eq!(
+        pk,
+        sk,
+        "unexpected structure-only differences: {:?}",
+        sk.difference(&pk)
+    );
 }
 
 #[test]
@@ -75,7 +81,9 @@ fn exception_differencing_over_the_corpus_finds_figure_8() {
     let diffs = diff_throws(&tj, &th);
     let getbytes = diffs.iter().find(|d| d.signature.contains("getBytes"));
     let d = getbytes.expect("Figure 8's exception asymmetry must surface");
-    assert!(d.only_right.contains("java.lang.UnsupportedOperationException"));
+    assert!(d
+        .only_right
+        .contains("java.lang.UnsupportedOperationException"));
     // And everything reported is a genuine behavioural difference: the
     // background mass throws identically (not at all).
     for d in &diffs {

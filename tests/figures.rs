@@ -22,7 +22,10 @@ fn figure_1_harmony_missing_check_accept() {
     assert_eq!(report.groups.len(), 1, "{}", report.render());
     let g = &report.groups[0];
     assert_eq!(g.representative.delta, CheckSet::of(Check::Accept));
-    assert!(matches!(g.representative.kind, DifferenceKind::CheckSetMismatch { .. }));
+    assert!(matches!(
+        g.representative.kind,
+        DifferenceKind::CheckSetMismatch { .. }
+    ));
     // The missing check is detected at the interprocedural level (the
     // checks live in connectInternal, a callee of the entry point).
     assert_eq!(g.cause, RootCause::Interprocedural);
@@ -68,7 +71,10 @@ fn figure_3_needs_broad_events() {
         FIGURE3,
         Lib::Jdk,
         Lib::Harmony,
-        AnalysisOptions { events: EventDef::Broad, ..Default::default() },
+        AnalysisOptions {
+            events: EventDef::Broad,
+            ..Default::default()
+        },
     );
     assert!(!broad.groups.is_empty());
     let found = broad.diff.differences.iter().any(|d| {
@@ -90,7 +96,10 @@ fn figure_4_icp_eliminates_false_positive() {
         FIGURE4,
         Lib::Jdk,
         Lib::Harmony,
-        AnalysisOptions { icp: false, ..Default::default() },
+        AnalysisOptions {
+            icp: false,
+            ..Default::default()
+        },
     );
     assert_eq!(without.groups.len(), 1, "{}", without.render());
     assert_eq!(
@@ -101,14 +110,22 @@ fn figure_4_icp_eliminates_false_positive() {
 
 #[test]
 fn figure_5_jdk_missing_check_read() {
-    let report = run(FIGURE5, Lib::Jdk, Lib::Classpath, AnalysisOptions::default());
+    let report = run(
+        FIGURE5,
+        Lib::Jdk,
+        Lib::Classpath,
+        AnalysisOptions::default(),
+    );
     let vuln = report
         .groups
         .iter()
         .find(|g| g.representative.delta.contains(Check::Read))
         .unwrap_or_else(|| panic!("no checkRead difference:\n{}", report.render()));
     // The culprit is Classpath's loadLib, where the check JDK lacks lives.
-    assert!(vuln.representative.origins.contains("java.lang.RuntimeLib.loadLib"));
+    assert!(vuln
+        .representative
+        .origins
+        .contains("java.lang.RuntimeLib.loadLib"));
     assert_eq!(vuln.cause, RootCause::Interprocedural);
     // JDK is the side missing the check: its may set lacks checkRead.
     assert!(!vuln.representative.left.may.contains(Check::Read));
@@ -123,7 +140,9 @@ fn figure_6_harmony_missing_check_connect_via_api_return() {
     // Harmony performs no checks at all: a case-2 missing policy.
     assert!(matches!(
         g.representative.kind,
-        DifferenceKind::MissingPolicy { checked: Side::Left }
+        DifferenceKind::MissingPolicy {
+            checked: Side::Left
+        }
     ));
     assert!(g.representative.delta.contains(Check::Connect));
     // Detectable by a purely intraprocedural analysis: the checks and the
@@ -133,12 +152,19 @@ fn figure_6_harmony_missing_check_connect_via_api_return() {
 
 #[test]
 fn figure_7_classpath_missing_all_checks() {
-    let report = run(FIGURE7, Lib::Jdk, Lib::Classpath, AnalysisOptions::default());
+    let report = run(
+        FIGURE7,
+        Lib::Jdk,
+        Lib::Classpath,
+        AnalysisOptions::default(),
+    );
     assert_eq!(report.groups.len(), 1, "{}", report.render());
     let g = &report.groups[0];
     assert!(matches!(
         g.representative.kind,
-        DifferenceKind::MissingPolicy { checked: Side::Left }
+        DifferenceKind::MissingPolicy {
+            checked: Side::Left
+        }
     ));
     assert_eq!(g.representative.delta, CheckSet::of(Check::Connect));
     // Harmony agrees with JDK: no report there.
@@ -158,10 +184,17 @@ fn figure_8_check_exit_interop_difference() {
 
 #[test]
 fn false_positive_get_property_reported_as_3a() {
-    let report = run(FP_GET_PROPERTY, Lib::Jdk, Lib::Harmony, AnalysisOptions::default());
+    let report = run(
+        FP_GET_PROPERTY,
+        Lib::Jdk,
+        Lib::Harmony,
+        AnalysisOptions::default(),
+    );
     assert_eq!(report.groups.len(), 1);
     let g = &report.groups[0];
-    let expected: CheckSet = [Check::Permission, Check::SecurityAccess].into_iter().collect();
+    let expected: CheckSet = [Check::Permission, Check::SecurityAccess]
+        .into_iter()
+        .collect();
     assert_eq!(g.representative.delta, expected);
     // This one is visible intraprocedurally (checks inline in the entry).
     assert_eq!(g.cause, RootCause::Intraprocedural);
@@ -174,7 +207,12 @@ fn identical_implementations_are_clean() {
     for fig in [FIGURE1, FIGURE4, FIGURE7, FIGURE8] {
         let p = fig.program(Lib::Jdk);
         let report = compare_implementations(&p, "a", &p, "b", AnalysisOptions::default());
-        assert!(report.groups.is_empty(), "{}: {}", fig.name, report.render());
+        assert!(
+            report.groups.is_empty(),
+            "{}: {}",
+            fig.name,
+            report.render()
+        );
     }
 }
 
@@ -197,9 +235,16 @@ fn section_6_3_charset_provider_interop_difference() {
     // Classpath is the side with the check (case 2: JDK performs none).
     assert!(matches!(
         g.representative.kind,
-        DifferenceKind::MissingPolicy { checked: Side::Right }
+        DifferenceKind::MissingPolicy {
+            checked: Side::Right
+        }
     ));
     // Harmony agrees with JDK: no difference.
-    let jh = run(INTEROP_CHARSET, Lib::Jdk, Lib::Harmony, AnalysisOptions::default());
+    let jh = run(
+        INTEROP_CHARSET,
+        Lib::Jdk,
+        Lib::Harmony,
+        AnalysisOptions::default(),
+    );
     assert!(jh.groups.is_empty());
 }

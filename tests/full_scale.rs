@@ -63,8 +63,7 @@ fn library_shapes_at_scale_one() {
     let corpus = generate(&CorpusConfig::default());
     let mut entry_counts = Vec::new();
     for lib in Lib::ALL {
-        let analyzer =
-            spo_core::Analyzer::new(corpus.program(lib), AnalysisOptions::default());
+        let analyzer = spo_core::Analyzer::new(corpus.program(lib), AnalysisOptions::default());
         let policies = analyzer.analyze_library(lib.name());
         entry_counts.push((lib, policies.stats.entry_points));
         // may > must counting shape, as in Table 1.
@@ -73,8 +72,7 @@ fn library_shapes_at_scale_one() {
             "{lib}"
         );
         // A small fraction of entries carries checks.
-        let frac =
-            policies.entries_with_checks() as f64 / policies.stats.entry_points as f64;
+        let frac = policies.entries_with_checks() as f64 / policies.stats.entry_points as f64;
         assert!(frac < 0.25, "{lib}: {frac}");
     }
     // jdk > harmony > classpath ordering of entry points.
@@ -89,15 +87,27 @@ fn memoization_speedup_shape_at_scale_one() {
     let corpus = generate(&CorpusConfig::default());
     let p = corpus.program(Lib::Jdk);
     let time = |memo| {
-        let lib = Analyzer::new(p, AnalysisOptions { memo, ..Default::default() })
-            .analyze_library("jdk");
-        (lib.stats.may_nanos + lib.stats.must_nanos, lib.stats.frames_analyzed)
+        let lib = Analyzer::new(
+            p,
+            AnalysisOptions {
+                memo,
+                ..Default::default()
+            },
+        )
+        .analyze_library("jdk");
+        (
+            lib.stats.may_nanos + lib.stats.must_nanos,
+            lib.stats.frames_analyzed,
+        )
     };
     let (none_t, none_f) = time(MemoScope::None);
     let (per_t, per_f) = time(MemoScope::PerEntry);
     let (global_t, global_f) = time(MemoScope::Global);
     // Frame counts are deterministic; times should follow on any sane box.
-    assert!(none_f > per_f && per_f > global_f, "{none_f} / {per_f} / {global_f}");
+    assert!(
+        none_f > per_f && per_f > global_f,
+        "{none_f} / {per_f} / {global_f}"
+    );
     assert!(none_t > global_t, "{none_t} vs {global_t}");
     assert!(none_t > per_t, "{none_t} vs {per_t}");
 }
