@@ -2,13 +2,21 @@
 //! entry points, entry points with security checks, and may/must policy
 //! counts per implementation, alongside the paper's values.
 //!
+//! Besides the console table, the binary writes `BENCH_table1.json` into
+//! the current directory: the measured characteristics per library plus
+//! cache-efficiency and fixpoint-cost columns and the full embedded
+//! `spo-stats/1` snapshot from an instrumented run.
+//!
 //! ```text
 //! cargo run -p spo-bench --release --bin table1
 //! ```
 
-use spo_bench::{analyze_all, corpus_from_env, Table};
-use spo_core::AnalysisOptions;
-use spo_corpus::Lib;
+use spo_bench::{
+    analyze_all, corpus_from_env, embed_json, instrumented_stats, scale_from_env, DerivedCosts,
+    Table,
+};
+use spo_core::{AnalysisOptions, LibraryPolicies};
+use spo_corpus::{Corpus, Lib};
 
 /// Paper values: (loc, entry points, entries w/ checks, may, must).
 const PAPER: [(Lib, [usize; 5]); 3] = [
@@ -77,4 +85,58 @@ fn main() {
          Class Library; shape (relative sizes, may > must, small checked\n\
          fraction) is the reproduction target, not absolute values."
     );
+
+    match write_json("BENCH_table1.json", &corpus, &results) {
+        Ok(()) => eprintln!("wrote BENCH_table1.json"),
+        Err(e) => eprintln!("BENCH_table1.json: {e}"),
+    }
+}
+
+fn write_json(
+    path: &str,
+    corpus: &Corpus,
+    results: &[(Lib, LibraryPolicies)],
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"scale\": {},", scale_from_env());
+    let _ = writeln!(out, "  \"stats_schema\": \"{}\",", spo_obs::SCHEMA);
+    out.push_str("  \"libraries\": [\n");
+    for (li, (lib, policies)) in results.iter().enumerate() {
+        let snap = instrumented_stats(corpus, *lib, AnalysisOptions::default(), 0);
+        let costs = DerivedCosts::from_snapshot(&snap);
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"library\": \"{}\",", lib.name());
+        let _ = writeln!(out, "      \"loc\": {},", corpus.loc(*lib));
+        let _ = writeln!(
+            out,
+            "      \"entry_points\": {},",
+            policies.stats.entry_points
+        );
+        let _ = writeln!(
+            out,
+            "      \"entries_with_checks\": {},",
+            policies.entries_with_checks()
+        );
+        let _ = writeln!(
+            out,
+            "      \"may_policies\": {},",
+            policies.may_policy_count()
+        );
+        let _ = writeln!(
+            out,
+            "      \"must_policies\": {},",
+            policies.must_policy_count()
+        );
+        let _ = writeln!(out, "{},", costs.json_fields("      "));
+        let _ = writeln!(out, "      \"stats\": {}", embed_json(&snap.to_json(), 6));
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if li + 1 < results.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
 }

@@ -11,16 +11,23 @@
 //!
 //! Besides the console tables, the binary writes `BENCH_table2.json`
 //! (wall-clock and memo hit rates per configuration, machine-readable)
-//! into the current directory.
+//! into the current directory. The timed runs keep the recorder disabled
+//! so instrumentation can't perturb the published timings; a separate
+//! pair of instrumented global-memo runs (serial and parallel) supplies
+//! the cache-efficiency and fixpoint-cost columns plus full embedded
+//! `spo-stats/1` snapshots.
 //!
 //! ```text
 //! cargo run -p spo-bench --release --bin table2
 //! ```
 
-use spo_bench::{corpus_from_env, scale_from_env, Table};
+use spo_bench::{
+    corpus_from_env, embed_json, instrumented_stats, scale_from_env, DerivedCosts, Table,
+};
 use spo_core::{AnalysisOptions, MemoScope};
 use spo_corpus::Lib;
 use spo_engine::{AnalysisEngine, EngineStats};
+use spo_obs::Snapshot;
 
 /// Paper values in minutes: rows (no-memo, per-entry, global) × (may, must)
 /// per library.
@@ -99,11 +106,54 @@ fn measure(
         .collect()
 }
 
+/// One instrumented (recorder-enabled) global-memo run of one library.
+struct Instrumented {
+    config: &'static str,
+    jobs: usize,
+    lib: Lib,
+    snapshot: Snapshot,
+    costs: DerivedCosts,
+}
+
+fn instrument(corpus: &spo_corpus::Corpus, config: &'static str, jobs: usize) -> Vec<Instrumented> {
+    let options = AnalysisOptions {
+        memo: MemoScope::Global,
+        ..Default::default()
+    };
+    Lib::ALL
+        .iter()
+        .map(|&lib| {
+            let snapshot = instrumented_stats(corpus, lib, options, jobs);
+            let costs = DerivedCosts::from_snapshot(&snapshot);
+            eprintln!(
+                "{config:<28} {lib:<10} store hit rate {:>5.1}%  contended {:>6}  \
+                 transfers/frame {:>6.1}  repass {:>5.1}%",
+                100.0 * costs.store_hit_rate(),
+                costs.store_contended,
+                costs.transfers_per_frame(),
+                100.0 * costs.repass_fraction(),
+            );
+            Instrumented {
+                config,
+                jobs,
+                lib,
+                snapshot,
+                costs,
+            }
+        })
+        .collect()
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn write_json(path: &str, scale: f64, runs: &[Vec<Measurement>]) -> std::io::Result<()> {
+fn write_json(
+    path: &str,
+    scale: f64,
+    runs: &[Vec<Measurement>],
+    instrumented: &[Vec<Instrumented>],
+) -> std::io::Result<()> {
     use std::fmt::Write as _;
     let mut out = String::new();
     out.push_str("{\n");
@@ -136,6 +186,40 @@ fn write_json(path: &str, scale: f64, runs: &[Vec<Measurement>]) -> std::io::Res
         }
         out.push_str("      ]\n");
         let _ = writeln!(out, "    }}{}", if ci + 1 < runs.len() { "," } else { "" });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"stats_schema\": \"{}\",", spo_obs::SCHEMA);
+    out.push_str("  \"instrumented\": [\n");
+    for (ci, inst) in instrumented.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(
+            out,
+            "      \"config\": \"{}\",",
+            json_escape(inst[0].config)
+        );
+        let _ = writeln!(out, "      \"jobs\": {},", inst[0].jobs);
+        out.push_str("      \"libraries\": [\n");
+        for (li, i) in inst.iter().enumerate() {
+            let _ = writeln!(out, "        {{");
+            let _ = writeln!(out, "          \"library\": \"{}\",", i.lib.name());
+            let _ = writeln!(out, "{},", i.costs.json_fields("          "));
+            let _ = writeln!(
+                out,
+                "          \"stats\": {}",
+                embed_json(&i.snapshot.to_json(), 10)
+            );
+            let _ = writeln!(
+                out,
+                "        }}{}",
+                if li + 1 < inst.len() { "," } else { "" }
+            );
+        }
+        out.push_str("      ]\n");
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if ci + 1 < instrumented.len() { "," } else { "" }
+        );
     }
     out.push_str("  ],\n");
     // Headline: parallel global vs serial global, total wall clock.
@@ -247,7 +331,38 @@ fn main() {
     );
     println!("{}", table.render());
 
-    match write_json("BENCH_table2.json", scale, &runs) {
+    // Instrumented (recorder-enabled) global-memo runs — separate from the
+    // timed runs so the recorder can't perturb the timings above.
+    eprintln!("instrumenting global-memo runs (recorder enabled) ...");
+    let instrumented = vec![
+        instrument(&corpus, "Summaries (global)", 1),
+        instrument(&corpus, "Summaries (global, parallel)", 0),
+    ];
+
+    let mut table = Table::new(vec![
+        "configuration",
+        "library",
+        "store hit rate",
+        "contended",
+        "transfers/frame",
+        "repass fraction",
+    ]);
+    for inst in &instrumented {
+        for i in inst {
+            table.row(vec![
+                i.config.to_string(),
+                i.lib.to_string(),
+                format!("{:.1}%", 100.0 * i.costs.store_hit_rate()),
+                i.costs.store_contended.to_string(),
+                format!("{:.1}", i.costs.transfers_per_frame()),
+                format!("{:.1}%", 100.0 * i.costs.repass_fraction()),
+            ]);
+        }
+    }
+    println!("Cache efficiency and fixpoint cost (instrumented runs)\n");
+    println!("{}", table.render());
+
+    match write_json("BENCH_table2.json", scale, &runs, &instrumented) {
         Ok(()) => eprintln!("wrote BENCH_table2.json"),
         Err(e) => eprintln!("BENCH_table2.json: {e}"),
     }

@@ -4,14 +4,21 @@
 //! positives, root-cause breakdown, and the vulnerability/interop tallies
 //! with ground-truth classification.
 //!
+//! Besides the console tables, the binary writes `BENCH_table3.json` into
+//! the current directory: the differencing columns per pairing plus
+//! cache-efficiency and fixpoint-cost columns and the full embedded
+//! `spo-stats/1` snapshot of each pairing's ICP-on comparison.
+//!
 //! ```text
 //! cargo run -p spo-bench --release --bin table3
 //! ```
 
-use security_policy_oracle::compare_implementations;
-use spo_bench::{corpus_from_env, dm, Table};
+use security_policy_oracle::{compare_implementations, compare_implementations_with};
+use spo_bench::{corpus_from_env, dm, embed_json, scale_from_env, DerivedCosts, Table};
 use spo_core::{AnalysisOptions, ReportGroup, RootCause};
 use spo_corpus::{BugCategory, Corpus, Lib};
+use spo_engine::AnalysisEngine;
+use spo_obs::{Recorder, Snapshot};
 use std::collections::BTreeSet;
 
 const PAIRINGS: [(Lib, Lib); 3] = [
@@ -84,15 +91,22 @@ struct MeasuredCol {
     vulns_left: (usize, usize),
     vulns_right: (usize, usize),
     unmatched: usize,
+    /// `spo-stats/1` snapshot of the ICP-on comparison (both sides).
+    snapshot: Snapshot,
 }
 
 fn measure(corpus: &Corpus, a: Lib, b: Lib) -> MeasuredCol {
-    let on = compare_implementations(
+    // The ICP-on comparison runs instrumented; its snapshot feeds the
+    // cache-efficiency and fixpoint-cost columns of BENCH_table3.json.
+    let rec = Recorder::new();
+    let engine = AnalysisEngine::default().with_recorder(rec.clone());
+    let on = compare_implementations_with(
         corpus.program(a),
         a.name(),
         corpus.program(b),
         b.name(),
         AnalysisOptions::default(),
+        &engine,
     );
     let off = compare_implementations(
         corpus.program(a),
@@ -126,6 +140,7 @@ fn measure(corpus: &Corpus, a: Lib, b: Lib) -> MeasuredCol {
         vulns_left: (0, 0),
         vulns_right: (0, 0),
         unmatched: 0,
+        snapshot: rec.snapshot(),
     };
     for g in &on.groups {
         let m = g.manifestation_count();
@@ -285,4 +300,50 @@ fn main() {
     let unmatched: usize = cols.iter().map(|c| c.unmatched).sum();
     println!("\nUnplanned/unclassified reported differences across all pairings: {unmatched}");
     println!("(0 = every report traces to an injected bug: no intrinsic false positives)");
+
+    match write_json("BENCH_table3.json", &cols) {
+        Ok(()) => eprintln!("wrote BENCH_table3.json"),
+        Err(e) => eprintln!("BENCH_table3.json: {e}"),
+    }
+}
+
+fn write_json(path: &str, cols: &[MeasuredCol]) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"scale\": {},", scale_from_env());
+    let _ = writeln!(out, "  \"stats_schema\": \"{}\",", spo_obs::SCHEMA);
+    out.push_str("  \"pairings\": [\n");
+    let pair_json =
+        |(d, m): (usize, usize)| format!("{{ \"distinct\": {d}, \"manifestations\": {m} }}");
+    for (i, ((a, b), col)) in PAIRINGS.iter().zip(cols).enumerate() {
+        let costs = DerivedCosts::from_snapshot(&col.snapshot);
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"left\": \"{}\",", a.name());
+        let _ = writeln!(out, "      \"right\": \"{}\",", b.name());
+        let _ = writeln!(out, "      \"matching_apis\": {},", col.matching);
+        let _ = writeln!(out, "      \"icp_eliminated\": {},", pair_json(col.icp_fp));
+        let _ = writeln!(out, "      \"false_positives\": {},", pair_json(col.fps));
+        let _ = writeln!(out, "      \"intraprocedural\": {},", pair_json(col.intra));
+        let _ = writeln!(out, "      \"interprocedural\": {},", pair_json(col.inter));
+        let _ = writeln!(out, "      \"must_may\": {},", pair_json(col.mustmay));
+        let _ = writeln!(out, "      \"total\": {},", pair_json(col.total));
+        let _ = writeln!(out, "      \"interop\": {},", pair_json(col.interop));
+        let _ = writeln!(out, "      \"vulns_left\": {},", pair_json(col.vulns_left));
+        let _ = writeln!(
+            out,
+            "      \"vulns_right\": {},",
+            pair_json(col.vulns_right)
+        );
+        let _ = writeln!(out, "      \"unclassified\": {},", col.unmatched);
+        let _ = writeln!(out, "{},", costs.json_fields("      "));
+        let _ = writeln!(
+            out,
+            "      \"stats\": {}",
+            embed_json(&col.snapshot.to_json(), 6)
+        );
+        let _ = writeln!(out, "    }}{}", if i + 1 < cols.len() { "," } else { "" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
 }

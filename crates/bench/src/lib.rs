@@ -8,6 +8,7 @@
 use spo_core::{AnalysisOptions, LibraryPolicies};
 use spo_corpus::{generate, Corpus, CorpusConfig, Lib};
 use spo_engine::AnalysisEngine;
+use spo_obs::{Recorder, Snapshot};
 
 /// Reads the corpus scale from `SPO_SCALE` (default 1.0).
 pub fn scale_from_env() -> f64 {
@@ -49,6 +50,142 @@ pub fn analyze_all(corpus: &Corpus, options: AnalysisOptions) -> Vec<(Lib, Libra
             (lib, policies)
         })
         .collect()
+}
+
+/// Analyzes one library with an enabled [`Recorder`] and returns the
+/// `spo-stats/1` snapshot.
+///
+/// The table binaries keep their *timed* runs recorder-disabled (the
+/// disabled recorder is a no-op, but a belt-and-braces guarantee that
+/// instrumentation can't perturb the published timings) and derive
+/// cache-efficiency and fixpoint-cost columns from a separate
+/// instrumented run through this helper.
+pub fn instrumented_stats(
+    corpus: &Corpus,
+    lib: Lib,
+    options: AnalysisOptions,
+    jobs: usize,
+) -> Snapshot {
+    let rec = Recorder::new();
+    let engine = AnalysisEngine::new(jobs).with_recorder(rec.clone());
+    let _ = engine.analyze_library(corpus.program(lib), lib.name(), options);
+    rec.snapshot()
+}
+
+/// Cache-efficiency and fixpoint-cost columns derived from a
+/// `spo-stats/1` snapshot, shared by the `BENCH_*.json` emitters.
+#[derive(Debug, Default)]
+pub struct DerivedCosts {
+    /// Summary-memo hits (`ispa.memo.hits`).
+    pub memo_hits: u64,
+    /// Summary-memo misses (`ispa.memo.misses`).
+    pub memo_misses: u64,
+    /// Shared-store lookup hits, MAY + MUST (`store.*.hits`).
+    pub store_hits: u64,
+    /// Shared-store lookup misses, MAY + MUST (`store.*.misses`).
+    pub store_misses: u64,
+    /// Shared-store contended shard acquisitions (`store.*.contended`).
+    pub store_contended: u64,
+    /// Committed frames (`fixpoint.transfers` observation count).
+    pub frames: u64,
+    /// Total committed statement transfers (`fixpoint.transfers` sum).
+    pub fixpoint_transfers: u64,
+    /// Total committed re-pass transfers (`fixpoint.repasses` sum).
+    pub fixpoint_repasses: u64,
+}
+
+impl DerivedCosts {
+    /// Extracts the derived columns from a snapshot.
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        let work = |k: &str| snap.work.get(k).copied().unwrap_or(0);
+        let hist = |k: &str| snap.histograms.get(k).cloned().unwrap_or_default();
+        let transfers = hist("fixpoint.transfers");
+        DerivedCosts {
+            memo_hits: work("ispa.memo.hits"),
+            memo_misses: work("ispa.memo.misses"),
+            store_hits: work("store.may.hits") + work("store.must.hits"),
+            store_misses: work("store.may.misses") + work("store.must.misses"),
+            store_contended: work("store.may.contended") + work("store.must.contended"),
+            frames: transfers.count,
+            fixpoint_transfers: transfers.sum,
+            fixpoint_repasses: hist("fixpoint.repasses").sum,
+        }
+    }
+
+    /// Memo hit rate in `[0, 1]` (0.0 when no lookups happened).
+    pub fn memo_hit_rate(&self) -> f64 {
+        rate(self.memo_hits, self.memo_misses)
+    }
+
+    /// Shared-store hit rate in `[0, 1]`.
+    pub fn store_hit_rate(&self) -> f64 {
+        rate(self.store_hits, self.store_misses)
+    }
+
+    /// Mean statement transfers per committed fixpoint solve.
+    pub fn transfers_per_frame(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.fixpoint_transfers as f64 / self.frames as f64
+        }
+    }
+
+    /// Fraction of transfers spent re-visiting already-seen statements.
+    pub fn repass_fraction(&self) -> f64 {
+        if self.fixpoint_transfers == 0 {
+            0.0
+        } else {
+            self.fixpoint_repasses as f64 / self.fixpoint_transfers as f64
+        }
+    }
+
+    /// Renders the columns as the body of a JSON object (no braces).
+    pub fn json_fields(&self, indent: &str) -> String {
+        format!(
+            "{indent}\"memo_hits\": {}, \"memo_misses\": {}, \"memo_hit_rate\": {:.4},\n\
+             {indent}\"store_hits\": {}, \"store_misses\": {}, \"store_contended\": {}, \
+             \"store_hit_rate\": {:.4},\n\
+             {indent}\"frames\": {}, \"fixpoint_transfers\": {}, \"fixpoint_repasses\": {}, \
+             \"transfers_per_frame\": {:.2}, \"repass_fraction\": {:.4}",
+            self.memo_hits,
+            self.memo_misses,
+            self.memo_hit_rate(),
+            self.store_hits,
+            self.store_misses,
+            self.store_contended,
+            self.store_hit_rate(),
+            self.frames,
+            self.fixpoint_transfers,
+            self.fixpoint_repasses,
+            self.transfers_per_frame(),
+            self.repass_fraction(),
+        )
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+/// Re-indents a rendered JSON document so it can be embedded as a value
+/// inside a larger hand-rolled document: every line after the first is
+/// prefixed with `indent` spaces, and the trailing newline is dropped.
+pub fn embed_json(json: &str, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let mut out = String::new();
+    for (i, line) in json.trim_end().lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            out.push_str(&pad);
+        }
+        out.push_str(line);
+    }
+    out
 }
 
 /// A fixed-width table printer for paper-style tables.
@@ -123,6 +260,28 @@ mod tests {
     #[test]
     fn dm_format() {
         assert_eq!(dm(6, 23), "6 (23)");
+    }
+
+    #[test]
+    fn embed_json_indents_continuation_lines() {
+        let doc = "{\n  \"a\": 1\n}\n";
+        assert_eq!(embed_json(doc, 4), "{\n      \"a\": 1\n    }");
+        assert_eq!(embed_json("{}", 2), "{}");
+    }
+
+    #[test]
+    fn derived_costs_from_instrumented_run() {
+        let corpus = generate(&CorpusConfig::test_sized());
+        let snap = instrumented_stats(&corpus, Lib::Jdk, AnalysisOptions::default(), 1);
+        let costs = DerivedCosts::from_snapshot(&snap);
+        assert!(costs.frames > 0);
+        assert!(costs.fixpoint_transfers >= costs.frames);
+        assert!(costs.transfers_per_frame() >= 1.0);
+        assert!((0.0..=1.0).contains(&costs.memo_hit_rate()));
+        assert!((0.0..=1.0).contains(&costs.repass_fraction()));
+        let fields = costs.json_fields("  ");
+        assert!(fields.contains("\"transfers_per_frame\""));
+        assert!(fields.contains("\"store_contended\""));
     }
 
     #[test]

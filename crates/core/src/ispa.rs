@@ -13,9 +13,11 @@ use crate::events::{EventDef, EventKey};
 use crate::policy::{AnalysisStats, EntryPolicy, EventPolicy, LibraryPolicies};
 use crate::store::{EventRec, LocalStore, MemoKey, Summary, SummaryStore};
 use spo_dataflow::{
-    run_forward, AbsVal, ConstEnv, Dnf, Flow, ForwardAnalysis, JoinLattice, MustSet,
+    run_forward_traced, AbsVal, ConstEnv, Dnf, FixpointStats, Flow, ForwardAnalysis, JoinLattice,
+    MustSet,
 };
 use spo_jir::{Expr, FieldFlags, FieldRef, FieldTarget, LocalId, MethodId, Program, Stmt};
+use spo_obs::{Counter, Histogram, Recorder};
 use spo_resolve::{entry_points, Hierarchy, Resolution, Resolver};
 use std::collections::HashMap;
 use std::fmt::Debug;
@@ -171,17 +173,33 @@ pub struct Analyzer<'p> {
     program: &'p Program,
     hierarchy: Hierarchy<'p>,
     options: AnalysisOptions,
+    recorder: Recorder,
 }
 
 impl<'p> Analyzer<'p> {
-    /// Creates an analyzer (builds the class hierarchy).
+    /// Creates an analyzer (builds the class hierarchy). Metrics are off;
+    /// use [`Analyzer::with_recorder`] to collect them.
     pub fn new(program: &'p Program, options: AnalysisOptions) -> Self {
         let hierarchy = Hierarchy::new(program);
         Analyzer {
             program,
             hierarchy,
             options,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder: spans, counters, and fixpoint
+    /// histograms from every subsequent analysis land in it. Pass
+    /// [`Recorder::disabled`] (the default) for zero-overhead runs.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached recorder (disabled unless set).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The program under analysis.
@@ -250,10 +268,17 @@ impl<'p> Analyzer<'p> {
         let t0 = Instant::now();
         let may = self.run_pass::<Dnf>(roots, &mut stats, may_store);
         stats.may_nanos = t0.elapsed().as_nanos();
+        self.recorder
+            .duration("ispa.pass.may")
+            .record(stats.may_nanos as u64);
 
         let t1 = Instant::now();
         let must = self.run_pass::<MustSet>(roots, &mut stats, must_store);
         stats.must_nanos = t1.elapsed().as_nanos();
+        self.recorder
+            .duration("ispa.pass.must")
+            .record(stats.must_nanos as u64);
+        stats.record_into(&self.recorder);
 
         let mut entries = std::collections::BTreeMap::new();
         for (sig, raw_may) in may {
@@ -281,15 +306,36 @@ impl<'p> Analyzer<'p> {
         must_store: &dyn SummaryStore<MustSet>,
         stats: &mut AnalysisStats,
     ) -> (String, EntryPolicy) {
+        self.analyze_root_traced(root, may_store, must_store, stats, &self.recorder)
+    }
+
+    /// Like [`Analyzer::analyze_root_with`], recording metrics into an
+    /// explicit recorder instead of the analyzer's own — the parallel
+    /// engine hands each worker a private recorder here and merges them in
+    /// worker-id order afterwards.
+    ///
+    /// [`Analyzer::analyze_root_with`]: Analyzer::analyze_root_with
+    pub fn analyze_root_traced(
+        &self,
+        root: MethodId,
+        may_store: &dyn SummaryStore<Dnf>,
+        must_store: &dyn SummaryStore<MustSet>,
+        stats: &mut AnalysisStats,
+        rec: &Recorder,
+    ) -> (String, EntryPolicy) {
         stats.entry_points += 1;
 
         let t0 = Instant::now();
-        let raw_may = self.root_pass::<Dnf>(root, stats, may_store);
-        stats.may_nanos += t0.elapsed().as_nanos();
+        let raw_may = self.root_pass::<Dnf>(root, stats, may_store, rec);
+        let may_nanos = t0.elapsed().as_nanos();
+        stats.may_nanos += may_nanos;
+        rec.duration("ispa.root.may").record(may_nanos as u64);
 
         let t1 = Instant::now();
-        let raw_must = self.root_pass::<MustSet>(root, stats, must_store);
-        stats.must_nanos += t1.elapsed().as_nanos();
+        let raw_must = self.root_pass::<MustSet>(root, stats, must_store, rec);
+        let must_nanos = t1.elapsed().as_nanos();
+        stats.must_nanos += must_nanos;
+        rec.duration("ispa.root.must").record(must_nanos as u64);
 
         let sig = self.program.method_signature(root);
         let entry = combine_raw(sig.clone(), raw_may, Some(&raw_must));
@@ -312,6 +358,7 @@ impl<'p> Analyzer<'p> {
             stack: Vec::new(),
             taint_floor: usize::MAX,
             stats,
+            obs: PassObs::new(&self.recorder),
         };
         let mut out = std::collections::BTreeMap::new();
         for &root in roots {
@@ -334,6 +381,7 @@ impl<'p> Analyzer<'p> {
         root: MethodId,
         stats: &mut AnalysisStats,
         store: &dyn SummaryStore<P>,
+        rec: &Recorder,
     ) -> RawEntry<P> {
         let resolver = Resolver::new(&self.hierarchy);
         let mut pass = Pass {
@@ -344,6 +392,7 @@ impl<'p> Analyzer<'p> {
             stack: Vec::new(),
             taint_floor: usize::MAX,
             stats,
+            obs: PassObs::new(rec),
         };
         pass.analyze_entry(root)
     }
@@ -381,6 +430,86 @@ struct RawEntry<P> {
     check_origins: std::collections::BTreeMap<u8, crate::policy::Origins>,
 }
 
+/// Pre-resolved metric handles for one pass, so per-frame recording is a
+/// handful of atomic adds (or no-ops when the recorder is disabled).
+///
+/// Frame metrics are split by *commit status* to keep the deterministic
+/// sections independent of worker count and schedule:
+///
+/// - **committed** frames — the top frame, any frame with memoization off,
+///   or the frame whose clean summary newly entered the store — flush to
+///   deterministic counters/histograms. The set of inserted memo keys is
+///   schedule-independent (a clean summary is a pure function of its key),
+///   so these totals are byte-identical for `--jobs 1` and `--jobs 8`.
+/// - **speculative** frames lost an insert race: a parallel worker
+///   recomputed work another worker committed first. Work counters only.
+/// - **tainted** frames were cut by recursion; how often they are recomputed
+///   depends on memo state and schedule. Work counters only.
+struct PassObs {
+    rec: Recorder,
+    frames: Counter,
+    transfers: Counter,
+    cfg_edges: Counter,
+    calls_resolved: Counter,
+    calls_unresolved: Counter,
+    hist_transfers: Histogram,
+    hist_repasses: Histogram,
+    spec_frames: Counter,
+    spec_transfers: Counter,
+    tainted_frames: Counter,
+    tainted_transfers: Counter,
+}
+
+impl PassObs {
+    fn new(rec: &Recorder) -> Self {
+        PassObs {
+            rec: rec.clone(),
+            frames: rec.counter("ispa.frames"),
+            transfers: rec.counter("dataflow.transfers"),
+            cfg_edges: rec.counter("ispa.cfg.edges"),
+            calls_resolved: rec.counter("ispa.calls.resolved"),
+            calls_unresolved: rec.counter("ispa.calls.unresolved"),
+            hist_transfers: rec.histogram("fixpoint.transfers"),
+            hist_repasses: rec.histogram("fixpoint.repasses"),
+            spec_frames: rec.work_counter("ispa.speculative.frames"),
+            spec_transfers: rec.work_counter("ispa.speculative.transfers"),
+            tainted_frames: rec.work_counter("ispa.tainted.frames"),
+            tainted_transfers: rec.work_counter("ispa.tainted.transfers"),
+        }
+    }
+
+    fn flush_committed(&self, f: &FrameObs) {
+        self.frames.incr();
+        self.transfers.add(f.fx.transfers);
+        self.cfg_edges.add(f.cfg_edges);
+        self.calls_resolved.add(f.resolved);
+        self.calls_unresolved.add(f.unresolved);
+        self.hist_transfers.record(f.fx.transfers);
+        self.hist_repasses
+            .record(f.fx.transfers.saturating_sub(f.fx.visited));
+    }
+
+    fn flush_speculative(&self, f: &FrameObs) {
+        self.spec_frames.incr();
+        self.spec_transfers.add(f.fx.transfers);
+    }
+
+    fn flush_tainted(&self, f: &FrameObs) {
+        self.tainted_frames.incr();
+        self.tainted_transfers.add(f.fx.transfers);
+    }
+}
+
+/// Metrics one frame collects about itself, flushed at frame end through
+/// the [`PassObs`] commit protocol.
+#[derive(Default)]
+struct FrameObs {
+    fx: FixpointStats,
+    cfg_edges: u64,
+    resolved: u64,
+    unresolved: u64,
+}
+
 /// Mutable state of one pass over one library.
 struct Pass<'a, 'p, P: PolicyDomain> {
     program: &'p Program,
@@ -393,6 +522,7 @@ struct Pass<'a, 'p, P: PolicyDomain> {
     /// (their summaries depend on the outer stack).
     taint_floor: usize,
     stats: &'a mut AnalysisStats,
+    obs: PassObs,
 }
 
 impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
@@ -517,7 +647,7 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
             );
         }
 
-        let cfg = body.cfg();
+        let cfg = body.cfg_traced(&self.obs.rec);
         let mut spda = Spda {
             pass: self,
             boundary: SpState {
@@ -527,8 +657,17 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
             },
             call_cache: HashMap::new(),
         };
-        let results = run_forward(body, &cfg, &mut spda);
+        let (results, fx) = run_forward_traced(body, &cfg, &mut spda);
         let call_cache = spda.call_cache;
+        let mut fobs = FrameObs {
+            fx,
+            cfg_edges: if self.obs.rec.is_enabled() {
+                cfg.edge_count() as u64
+            } else {
+                0
+            },
+            ..Default::default()
+        };
 
         // Post-pass: exit value, events, and check origins at the fixpoint.
         let mut exit: Option<P> = None;
@@ -554,6 +693,7 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
                     }
                     match self.resolver.resolve(call) {
                         Resolution::Unique(target) => {
+                            fobs.resolved += 1;
                             let tm = program.method(target);
                             if tm.is_native() {
                                 events.push(EventRec {
@@ -584,6 +724,7 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
                         }
                         Resolution::Ambiguous(_) | Resolution::Unknown => {
                             self.stats.unresolved_calls += 1;
+                            fobs.unresolved += 1;
                         }
                     }
                 }
@@ -648,9 +789,21 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
         let clean = self.taint_floor >= depth;
         if clean {
             self.taint_floor = usize::MAX;
-            if !top && memo_on {
-                self.store.insert(key, Arc::clone(&summary));
+        }
+        // Commit protocol: only committed frames (top frame, memo off, or
+        // the insert that newly entered the store) flush to deterministic
+        // metrics; race losers and recursion-tainted frames flush to
+        // scheduling-dependent work counters. See [`PassObs`].
+        if top || !memo_on {
+            self.obs.flush_committed(&fobs);
+        } else if clean {
+            if self.store.insert(key, Arc::clone(&summary)) {
+                self.obs.flush_committed(&fobs);
+            } else {
+                self.obs.flush_speculative(&fobs);
             }
+        } else {
+            self.obs.flush_tainted(&fobs);
         }
         summary
     }
@@ -1346,6 +1499,68 @@ class t.Y {
             may_of(&lib, "t.Y.m(bool)", &ev),
             [Check::Read, Check::Write].into_iter().collect()
         );
+    }
+
+    #[test]
+    fn recorder_collects_deterministic_pass_metrics() {
+        let src = r#"
+class t.O {
+  method public void a() {
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    virtualinvoke sm.checkExit(0);
+    staticinvoke t.O.shared(1);
+    return;
+  }
+  method public void b() {
+    staticinvoke t.O.shared(1);
+    return;
+  }
+  method private static void shared(int x) {
+    staticinvoke t.O.op0();
+    return;
+  }
+  method private static native void op0();
+}
+"#;
+        let mut program = spo_jir::parse_program(PRELUDE).unwrap();
+        spo_jir::parse_into(src, &mut program).unwrap();
+        let run = || {
+            let rec = Recorder::new();
+            let analyzer =
+                Analyzer::new(&program, AnalysisOptions::default()).with_recorder(rec.clone());
+            let lib = analyzer.analyze_library("test");
+            (lib, rec.snapshot())
+        };
+        let (lib, snap) = run();
+        // Both passes commit each distinct frame once: committed frames are
+        // bounded by computed frames (bodyless native roots never commit).
+        assert!(snap.counters["ispa.frames"] > 0);
+        assert!(snap.counters["ispa.frames"] <= lib.stats.frames_analyzed as u64);
+        assert!(snap.counters["dataflow.transfers"] > 0);
+        assert!(snap.counters["ispa.cfg.edges"] > 0);
+        assert!(snap.counters["ispa.calls.resolved"] > 0);
+        assert_eq!(
+            snap.histograms["fixpoint.transfers"].count,
+            snap.counters["ispa.frames"]
+        );
+        // Work counters mirror AnalysisStats.
+        assert_eq!(snap.work["ispa.memo.hits"], lib.stats.memo_hits as u64);
+        assert_eq!(
+            snap.work["ispa.frames_analyzed"],
+            lib.stats.frames_analyzed as u64
+        );
+        // Pass durations were recorded.
+        assert_eq!(snap.durations["ispa.pass.may"].count, 1);
+        assert_eq!(snap.durations["ispa.pass.must"].count, 1);
+        // Deterministic sections are stable across reruns.
+        let (_, snap2) = run();
+        assert_eq!(snap.deterministic_json(), snap2.deterministic_json());
+        // A recorder-less run produces identical analysis results.
+        let plain = Analyzer::new(&program, AnalysisOptions::default()).analyze_library("test");
+        for (sig, entry) in &plain.entries {
+            assert_eq!(&lib.entries[sig].events, &entry.events, "{sig}");
+        }
     }
 
     #[test]

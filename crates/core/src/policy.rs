@@ -184,6 +184,27 @@ pub struct AnalysisStats {
 }
 
 impl AnalysisStats {
+    /// Records these counters into an observability recorder as `work`
+    /// metrics. They are scheduling-dependent — memo hits and misses depend
+    /// on which worker computed a summary first — so they never land in the
+    /// deterministic `counters` section. Durations are recorded at their
+    /// measurement sites, not here.
+    pub fn record_into(&self, rec: &spo_obs::Recorder) {
+        if !rec.is_enabled() {
+            return;
+        }
+        rec.work_counter("ispa.entry_points")
+            .add(self.entry_points as u64);
+        rec.work_counter("ispa.frames_analyzed")
+            .add(self.frames_analyzed as u64);
+        rec.work_counter("ispa.memo.hits")
+            .add(self.memo_hits as u64);
+        rec.work_counter("ispa.memo.misses")
+            .add(self.memo_misses as u64);
+        rec.work_counter("ispa.unresolved_sites")
+            .add(self.unresolved_calls as u64);
+    }
+
     /// Accumulates another run's counters (the parallel engine sums
     /// per-worker statistics this way).
     pub fn absorb(&mut self, other: &AnalysisStats) {

@@ -59,8 +59,12 @@ pub trait SummaryStore<P: PolicyDomain> {
     /// Looks up the summary for `key`, if one was recorded.
     fn get(&self, key: &MemoKey<P>) -> Option<Arc<Summary<P>>>;
 
-    /// Records the summary computed for `key`.
-    fn insert(&self, key: MemoKey<P>, summary: Arc<Summary<P>>);
+    /// Records the summary computed for `key`. Returns `true` if the key
+    /// was newly inserted, `false` if another computation (a concurrent
+    /// worker, in the shared store) got there first — the signal the
+    /// observability layer uses to count each memoized frame exactly once
+    /// regardless of worker count.
+    fn insert(&self, key: MemoKey<P>, summary: Arc<Summary<P>>) -> bool;
 
     /// Drops all recorded summaries ([`MemoScope::PerEntry`] runs clear
     /// between entry points).
@@ -96,8 +100,8 @@ impl<P: PolicyDomain> SummaryStore<P> for LocalStore<P> {
         self.map.borrow().get(key).map(Arc::clone)
     }
 
-    fn insert(&self, key: MemoKey<P>, summary: Arc<Summary<P>>) {
-        self.map.borrow_mut().insert(key, summary);
+    fn insert(&self, key: MemoKey<P>, summary: Arc<Summary<P>>) -> bool {
+        self.map.borrow_mut().insert(key, summary).is_none()
     }
 
     fn clear(&self) {
@@ -204,7 +208,7 @@ impl<P: PolicyDomain> SummaryStore<P> for SharedStore<P> {
         hit
     }
 
-    fn insert(&self, key: MemoKey<P>, summary: Arc<Summary<P>>) {
+    fn insert(&self, key: MemoKey<P>, summary: Arc<Summary<P>>) -> bool {
         let shard = self.shard(&key);
         let mut map = match shard.map.try_write() {
             Ok(guard) => guard,
@@ -214,7 +218,15 @@ impl<P: PolicyDomain> SummaryStore<P> for SharedStore<P> {
             }
             Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
         };
-        map.insert(key, summary);
+        // First writer wins: a racing worker's identical summary is
+        // discarded so `true` is returned for exactly one insert per key.
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(summary);
+                true
+            }
+        }
     }
 
     fn clear(&self) {
@@ -287,6 +299,48 @@ mod tests {
         assert!(stats.iter().filter(|s| s.entries > 0).count() > 1);
         store.clear();
         assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn insert_reports_newness() {
+        let local = LocalStore::default();
+        assert!(local.insert(key(1), summary()));
+        assert!(!local.insert(key(1), summary()));
+        assert!(local.insert(key(2), summary()));
+
+        let shared: SharedStore<Dnf> = SharedStore::default();
+        assert!(shared.insert(key(1), summary()));
+        assert!(!shared.insert(key(1), summary()));
+        assert_eq!(shared.len(), 1);
+    }
+
+    #[test]
+    fn shared_store_counts_contention_under_concurrent_access() {
+        // A single shard forces every key onto one lock; two threads
+        // hammering it must observe at least one contended acquisition.
+        // Scheduling is non-deterministic, so retry a few rounds rather
+        // than assert on a single racy window.
+        for round in 0..20 {
+            let store: SharedStore<Dnf> = SharedStore::new(1);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for i in 0..2000 {
+                        store.insert(key(i), summary());
+                    }
+                });
+                s.spawn(|| {
+                    for i in 0..2000 {
+                        let _ = store.get(&key(i));
+                    }
+                });
+            });
+            let contended: u64 = store.shard_stats().iter().map(|s| s.contended).sum();
+            if contended > 0 {
+                return;
+            }
+            eprintln!("round {round}: no contention observed, retrying");
+        }
+        panic!("no contention observed in 20 rounds of concurrent access");
     }
 
     #[test]

@@ -50,6 +50,7 @@ use spo_core::{
 };
 use spo_dataflow::{Dnf, MustSet};
 use spo_jir::{MethodId, Program};
+use spo_obs::Recorder;
 use spo_resolve::entry_points;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -161,10 +162,11 @@ pub struct ComparisonSet {
 /// See the crate-level documentation for the determinism argument; the
 /// engine's contract is that its output equals
 /// [`Analyzer::analyze_library`]'s for any worker count.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct AnalysisEngine {
     jobs: usize,
     shards: usize,
+    recorder: Recorder,
 }
 
 impl Default for AnalysisEngine {
@@ -178,13 +180,31 @@ impl AnalysisEngine {
     /// Creates an engine with `jobs` workers; `0` means one per available
     /// CPU.
     pub fn new(jobs: usize) -> Self {
-        AnalysisEngine { jobs, shards: 16 }
+        AnalysisEngine {
+            jobs,
+            shards: 16,
+            recorder: Recorder::disabled(),
+        }
     }
 
     /// Overrides the number of summary-store shards (default 16).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
         self
+    }
+
+    /// Attaches an observability recorder. Each worker records into a
+    /// private child recorder; the engine absorbs them in worker-id order
+    /// after the pool joins, so the merged deterministic sections do not
+    /// depend on thread interleaving.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached recorder (disabled unless set).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The resolved worker count.
@@ -244,25 +264,33 @@ impl AnalysisEngine {
         let results: Mutex<Vec<(usize, String, EntryPolicy, AnalysisStats)>> =
             Mutex::new(Vec::with_capacity(roots.len()));
 
+        // Each worker records into a private child recorder; absorbing them
+        // in worker-id order below keeps the merged output independent of
+        // thread interleaving.
+        let worker_recs: Vec<Recorder> = (0..workers).map(|_| self.recorder.child()).collect();
+
         std::thread::scope(|s| {
-            for w in 0..workers {
+            for (w, rec) in worker_recs.iter().enumerate() {
                 let analyzer = &analyzer;
                 let deques = &deques;
                 let steals = &steals;
                 let results = &results;
                 let shared = &shared;
                 s.spawn(move || {
+                    let worker_roots = rec.work_counter(&format!("engine.worker{w:02}.roots"));
                     let mut local: Vec<(usize, String, EntryPolicy, AnalysisStats)> = Vec::new();
                     while let Some(idx) = next_root(w, deques, steals) {
+                        worker_roots.incr();
                         let mut stats = AnalysisStats::default();
                         let (sig, entry) = match shared {
                             Some((may, must)) => {
-                                analyzer.analyze_root_with(roots[idx], may, must, &mut stats)
+                                analyzer.analyze_root_traced(roots[idx], may, must, &mut stats, rec)
                             }
                             None => {
                                 let may = LocalStore::default();
                                 let must = LocalStore::default();
-                                analyzer.analyze_root_with(roots[idx], &may, &must, &mut stats)
+                                analyzer
+                                    .analyze_root_traced(roots[idx], &may, &must, &mut stats, rec)
                             }
                         };
                         local.push((idx, sig, entry, stats));
@@ -271,6 +299,10 @@ impl AnalysisEngine {
                 });
             }
         });
+
+        for wrec in &worker_recs {
+            self.recorder.absorb(wrec);
+        }
 
         let mut results = results.into_inner().unwrap();
         // Deterministic merge: ascending root index, first root wins on
@@ -298,12 +330,47 @@ impl AnalysisEngine {
                 .unwrap_or_default(),
             wall_nanos: t0.elapsed().as_nanos(),
         };
+        self.record_stats(&stats);
         let lib = LibraryPolicies {
             name: name.to_owned(),
             entries,
             stats: analysis,
         };
         (lib, stats)
+    }
+
+    /// Records one run's engine-level statistics into the attached
+    /// recorder: pool shape, store shard totals, and the run's wall clock.
+    /// All of it is scheduling-dependent, so everything lands in `work`
+    /// counters (or `durations`).
+    fn record_stats(&self, stats: &EngineStats) {
+        let rec = &self.recorder;
+        if !rec.is_enabled() {
+            return;
+        }
+        stats.analysis.record_into(rec);
+        rec.work_counter("engine.workers").add(stats.workers as u64);
+        rec.work_counter("engine.roots")
+            .add(stats.entry_points as u64);
+        rec.work_counter("engine.steals").add(stats.steals);
+        for (prefix, shards) in [
+            ("store.may", &stats.may_shards),
+            ("store.must", &stats.must_shards),
+        ] {
+            if shards.is_empty() {
+                continue;
+            }
+            rec.work_counter(&format!("{prefix}.hits"))
+                .add(shards.iter().map(|s| s.hits).sum());
+            rec.work_counter(&format!("{prefix}.misses"))
+                .add(shards.iter().map(|s| s.misses).sum());
+            rec.work_counter(&format!("{prefix}.contended"))
+                .add(shards.iter().map(|s| s.contended).sum());
+            rec.work_counter(&format!("{prefix}.entries"))
+                .add(shards.iter().map(|s| s.entries as u64).sum());
+        }
+        rec.duration("engine.analyze")
+            .record(stats.wall_nanos as u64);
     }
 
     /// Analyzes every implementation (full and intraprocedural-ablation)
@@ -454,6 +521,35 @@ class t.A {
             stats.workers,
             stats.entry_points
         );
+    }
+
+    #[test]
+    fn deterministic_metrics_identical_across_worker_counts() {
+        let program = sample_program();
+        let run = |jobs: usize| {
+            let rec = Recorder::new();
+            let engine = AnalysisEngine::new(jobs).with_recorder(rec.clone());
+            let (lib, _) = engine.analyze_library(&program, "t", AnalysisOptions::default());
+            (lib, rec.snapshot())
+        };
+        let (lib1, snap1) = run(1);
+        let baseline = snap1.deterministic_json();
+        assert!(snap1.counters["ispa.frames"] > 0);
+        assert!(snap1.work["store.may.entries"] > 0);
+        assert_eq!(snap1.work["engine.workers"], 1);
+        assert_eq!(
+            snap1.work["ispa.frames_analyzed"],
+            lib1.stats.frames_analyzed as u64
+        );
+        assert_eq!(snap1.durations["engine.analyze"].count, 1);
+        for jobs in [2, 8] {
+            let (_, snap) = run(jobs);
+            assert_eq!(
+                snap.deterministic_json(),
+                baseline,
+                "deterministic sections diverged at jobs={jobs}"
+            );
+        }
     }
 
     #[test]

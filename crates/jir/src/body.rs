@@ -86,6 +86,23 @@ impl Body {
     pub fn cfg(&self) -> Cfg {
         Cfg::new(self)
     }
+
+    /// Builds the control-flow graph, recording construction metrics into
+    /// `rec`: the `jir.cfg` duration span plus `jir.cfg.built` /
+    /// `jir.cfg.edges` work counters (raw builds — an analysis may build
+    /// the same body's CFG more than once, so these are scheduling-
+    /// dependent work, not deterministic program size).
+    pub fn cfg_traced(&self, rec: &spo_obs::Recorder) -> Cfg {
+        if !rec.is_enabled() {
+            return Cfg::new(self);
+        }
+        let _span = rec.span("jir.cfg");
+        let cfg = Cfg::new(self);
+        rec.work_counter("jir.cfg.built").incr();
+        rec.work_counter("jir.cfg.edges")
+            .add(cfg.edge_count() as u64);
+        cfg
+    }
 }
 
 /// Per-statement successor/predecessor control-flow graph.
@@ -163,6 +180,11 @@ impl Cfg {
     /// Returns `true` for an empty body.
     pub fn is_empty(&self) -> bool {
         self.succs.is_empty()
+    }
+
+    /// Total number of control-flow edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
     }
 
     /// Statement indices in reverse post-order from the entry — the optimal

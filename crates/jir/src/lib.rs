@@ -59,7 +59,9 @@ pub use builder::{ClassBuilder, Label, MethodBuilder, ProgramBuilder};
 pub use dominators::Dominators;
 pub use flags::{ClassFlags, FieldFlags, MethodFlags};
 pub use intern::{Interner, Symbol};
-pub use parse::{lex, parse_into, parse_program, LexError, ParseError, Spanned, Tok};
+pub use parse::{
+    lex, parse_into, parse_into_traced, parse_program, LexError, ParseError, Spanned, Tok,
+};
 pub use printer::{print_class, print_program};
 pub use program::{Class, ClassId, Field, FieldId, Method, MethodId, Program, ProgramError};
 pub use stmt::{

@@ -4,4 +4,4 @@ mod lexer;
 mod parser;
 
 pub use lexer::{lex, LexError, Spanned, Tok};
-pub use parser::{parse_into, parse_program, ParseError};
+pub use parser::{parse_into, parse_into_traced, parse_program, ParseError};

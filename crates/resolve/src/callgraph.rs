@@ -70,6 +70,42 @@ impl CallGraph {
         Self::build(hierarchy, roots)
     }
 
+    /// Like [`CallGraph::build`], recording construction metrics into
+    /// `rec`: a `resolve.callgraph` span plus deterministic counters for
+    /// graph size (`resolve.callgraph.roots`/`.methods`/`.edges`) and
+    /// resolution precision (`resolve.calls.unique`/`.ambiguous`/
+    /// `.unknown`). Construction is a serial BFS over ordered maps, so
+    /// every count is schedule-independent.
+    pub fn build_traced(
+        hierarchy: &Hierarchy<'_>,
+        roots: Vec<MethodId>,
+        rec: &spo_obs::Recorder,
+    ) -> Self {
+        let span = rec.span("resolve.callgraph");
+        let cg = Self::build(hierarchy, roots);
+        drop(span);
+        rec.counter("resolve.callgraph.roots")
+            .add(cg.roots.len() as u64);
+        rec.counter("resolve.callgraph.methods")
+            .add(cg.reachable_count() as u64);
+        rec.counter("resolve.callgraph.edges")
+            .add(cg.edge_count() as u64);
+        rec.counter("resolve.calls.unique")
+            .add(cg.stats.unique as u64);
+        rec.counter("resolve.calls.ambiguous")
+            .add(cg.stats.ambiguous as u64);
+        rec.counter("resolve.calls.unknown")
+            .add(cg.stats.unknown as u64);
+        cg
+    }
+
+    /// Like [`CallGraph::from_entry_points`], recording construction
+    /// metrics into `rec` (see [`CallGraph::build_traced`]).
+    pub fn from_entry_points_traced(hierarchy: &Hierarchy<'_>, rec: &spo_obs::Recorder) -> Self {
+        let roots = entry_points(hierarchy.program());
+        Self::build_traced(hierarchy, roots, rec)
+    }
+
     /// The root methods.
     pub fn roots(&self) -> &[MethodId] {
         &self.roots
@@ -88,6 +124,11 @@ impl CallGraph {
     /// Number of reachable methods.
     pub fn reachable_count(&self) -> usize {
         self.edges.len()
+    }
+
+    /// Number of unique-target call edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
     }
 
     /// Resolution precision counters accumulated during construction.
@@ -185,6 +226,33 @@ class B {
         assert!(names.contains(&"A.helper".to_owned()));
         assert!(names.contains(&"B.leaf".to_owned()));
         assert!(!names.contains(&"A.prot".to_owned()));
+    }
+
+    #[test]
+    fn traced_build_records_graph_and_resolution_counters() {
+        let p = prog();
+        let h = Hierarchy::new(&p);
+        let rec = spo_obs::Recorder::new();
+        let cg = CallGraph::from_entry_points_traced(&h, &rec);
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.counters["resolve.callgraph.roots"],
+            cg.roots().len() as u64
+        );
+        assert_eq!(
+            snap.counters["resolve.callgraph.methods"],
+            cg.reachable_count() as u64
+        );
+        assert_eq!(
+            snap.counters["resolve.callgraph.edges"],
+            cg.edge_count() as u64
+        );
+        assert_eq!(snap.counters["resolve.calls.unknown"], 1);
+        assert_eq!(snap.durations["resolve.callgraph"].count, 1);
+        // Traced and untraced construction agree.
+        let plain = CallGraph::from_entry_points(&h);
+        assert_eq!(plain.reachable_count(), cg.reachable_count());
+        assert_eq!(plain.edge_count(), cg.edge_count());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! shared runtime prelude plus the implementation).
 
 use security_policy_oracle::compare_implementations_with;
+use security_policy_oracle::obs::{self, Recorder};
 use spo_core::{
     diff_libraries, export_policies, group_differences, import_policies, render_reports,
     AnalysisOptions, EventDef,
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
         Some("diff") => cmd_diff(&args[1..]),
         Some("diff-policies") => cmd_diff_policies(&args[1..]),
         Some("throws") => cmd_throws(&args[1..]),
+        Some("stats-validate") => cmd_stats_validate(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -49,19 +51,24 @@ const USAGE: &str = "\
 spo — security policy oracle (PLDI 2011 reproduction)
 
 USAGE:
-  spo check <file.jir>... [--lint] [--jobs N]
-  spo analyze <file.jir>... [--broad] [--jobs N]
-  spo export <file.jir>... [--name NAME] [--jobs N]
-  spo diff <left.jir>... --vs <right.jir>... [--no-icp] [--broad] [--intra-only] [--html] [--jobs N]
+  spo check <file.jir>... [--lint] [--jobs N] [--stats] [--stats-json PATH]
+  spo analyze <file.jir>... [--broad] [--jobs N] [--stats] [--stats-json PATH]
+  spo export <file.jir>... [--name NAME] [--jobs N] [--stats] [--stats-json PATH]
+  spo diff <left.jir>... --vs <right.jir>... [--no-icp] [--broad] [--intra-only] [--html] [--jobs N] [--stats] [--stats-json PATH]
   spo diff-policies <left-policies.txt> <right-policies.txt>
   spo throws <left.jir>... --vs <right.jir>...
+  spo stats-validate <stats.json>
 
 `--jobs N` sets the analysis worker count (default: all CPUs; results are
-identical for any N).
+identical for any N). `--stats` prints a metrics summary to stderr;
+`--stats-json PATH` writes the versioned machine-readable snapshot
+(`-` for stdout). `stats-validate` checks a snapshot against the
+spo-stats/1 schema.
 ";
 
 /// Extracts `--jobs N` / `--jobs=N` from an argument list, returning the
-/// worker count (0 = one per CPU) and the remaining arguments.
+/// worker count (0 = one per CPU, the flag-absent default) and the
+/// remaining arguments.
 fn extract_jobs(args: &[String]) -> Result<(usize, Vec<String>), String> {
     let mut jobs = 0usize;
     let mut rest = Vec::new();
@@ -74,14 +81,93 @@ fn extract_jobs(args: &[String]) -> Result<(usize, Vec<String>), String> {
         };
         match value {
             Some(v) => {
-                jobs = v
-                    .parse()
-                    .map_err(|_| format!("--jobs: invalid worker count `{v}`"))?
+                jobs = v.parse().map_err(|_| {
+                    format!("--jobs: invalid worker count `{v}` (expected a positive integer)")
+                })?;
+                if jobs == 0 {
+                    return Err(
+                        "--jobs: worker count must be at least 1 (omit the flag to use all CPUs)"
+                            .to_owned(),
+                    );
+                }
             }
             None => rest.push(a.clone()),
         }
     }
     Ok((jobs, rest))
+}
+
+/// Observability flags shared by the analysis commands.
+#[derive(Debug)]
+struct StatsOpts {
+    /// `--stats`: render the human-readable summary to stderr.
+    human: bool,
+    /// `--stats-json PATH`: write the `spo-stats/1` snapshot (`-` = stdout).
+    json_path: Option<String>,
+}
+
+impl StatsOpts {
+    fn enabled(&self) -> bool {
+        self.human || self.json_path.is_some()
+    }
+
+    /// An enabled recorder when any stats output was requested, else the
+    /// zero-overhead disabled recorder.
+    fn recorder(&self) -> Recorder {
+        if self.enabled() {
+            Recorder::new()
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    /// Emits the requested outputs from the recorder's final snapshot.
+    fn emit(&self, rec: &Recorder) -> Result<(), String> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        let snap = rec.snapshot();
+        if self.human {
+            eprint!("{}", snap.render());
+        }
+        if let Some(path) = &self.json_path {
+            let mut json = snap.to_json();
+            json.push('\n');
+            if path == "-" {
+                print!("{json}");
+            } else {
+                std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Extracts `--stats` and `--stats-json PATH` / `--stats-json=PATH`,
+/// returning the options and the remaining arguments.
+fn extract_stats(args: &[String]) -> Result<(StatsOpts, Vec<String>), String> {
+    let mut opts = StatsOpts {
+        human: false,
+        json_path: None,
+    };
+    let mut rest = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--stats" {
+            opts.human = true;
+            continue;
+        }
+        let value = if a == "--stats-json" {
+            Some(iter.next().ok_or("--stats-json needs a file path")?.clone())
+        } else {
+            a.strip_prefix("--stats-json=").map(str::to_owned)
+        };
+        match value {
+            Some(p) => opts.json_path = Some(p),
+            None => rest.push(a.clone()),
+        }
+    }
+    Ok((opts, rest))
 }
 
 /// Parses a flag set out of an argument list, returning remaining
@@ -98,14 +184,14 @@ fn split_flags<'a>(args: &'a [String], flags: &mut Vec<&'a str>) -> Vec<&'a Stri
     positional
 }
 
-fn load_program(paths: &[&String]) -> Result<Program, String> {
+fn load_program(paths: &[&String], rec: &Recorder) -> Result<Program, String> {
     if paths.is_empty() {
         return Err("no input files".to_owned());
     }
     let mut program = Program::new();
     for path in paths {
         let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        spo_jir::parse_into(&src, &mut program).map_err(|e| format!("{path}:{e}"))?;
+        spo_jir::parse_into_traced(&src, &mut program, rec).map_err(|e| format!("{path}:{e}"))?;
     }
     Ok(program)
 }
@@ -128,13 +214,15 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     // `check` runs no policy analysis; `--jobs` is accepted for interface
     // uniformity with `analyze`/`diff`.
     let (_jobs, args) = extract_jobs(args)?;
+    let (stats_opts, args) = extract_stats(&args)?;
+    let rec = stats_opts.recorder();
     let mut flags = Vec::new();
     let paths = split_flags(&args, &mut flags);
     let lint = flags.contains(&"--lint");
-    let program = load_program(&paths)?;
+    let program = load_program(&paths, &rec)?;
     let entries = spo_resolve::entry_points(&program);
     let hierarchy = spo_resolve::Hierarchy::new(&program);
-    let cg = spo_resolve::CallGraph::from_entry_points(&hierarchy);
+    let cg = spo_resolve::CallGraph::from_entry_points_traced(&hierarchy, &rec);
     let stats = cg.stats();
     println!(
         "{} classes, {} statements, {} entry points, {} reachable methods",
@@ -157,19 +245,24 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         }
         println!("{} lint finding(s)", lints.len());
         if !lints.is_empty() {
+            stats_opts.emit(&rec)?;
             return Ok(ExitCode::FAILURE);
         }
     }
+    stats_opts.emit(&rec)?;
     Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let (jobs, args) = extract_jobs(args)?;
+    let (stats_opts, args) = extract_stats(&args)?;
+    let rec = stats_opts.recorder();
     let mut flags = Vec::new();
     let paths = split_flags(&args, &mut flags);
     let options = options_from(&flags)?;
-    let program = load_program(&paths)?;
-    let (lib, _stats) = AnalysisEngine::new(jobs).analyze_library(&program, "input", options);
+    let program = load_program(&paths, &rec)?;
+    let engine = AnalysisEngine::new(jobs).with_recorder(rec.clone());
+    let (lib, _stats) = engine.analyze_library(&program, "input", options);
     for (sig, entry) in &lib.entries {
         if entry.has_no_checks() {
             continue;
@@ -186,11 +279,14 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
         lib.may_policy_count(),
         lib.must_policy_count(),
     );
+    stats_opts.emit(&rec)?;
     Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_export(args: &[String]) -> Result<ExitCode, String> {
     let (jobs, args) = extract_jobs(args)?;
+    let (stats_opts, args) = extract_stats(&args)?;
+    let rec = stats_opts.recorder();
     let mut flags = Vec::new();
     let mut name = "library".to_owned();
     let mut positional: Vec<&String> = Vec::new();
@@ -205,14 +301,18 @@ fn cmd_export(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let options = options_from(&flags)?;
-    let program = load_program(&positional)?;
-    let (lib, _stats) = AnalysisEngine::new(jobs).analyze_library(&program, &name, options);
+    let program = load_program(&positional, &rec)?;
+    let engine = AnalysisEngine::new(jobs).with_recorder(rec.clone());
+    let (lib, _stats) = engine.analyze_library(&program, &name, options);
     print!("{}", export_policies(&lib));
+    stats_opts.emit(&rec)?;
     Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let (jobs, args) = extract_jobs(args)?;
+    let (stats_opts, args) = extract_stats(&args)?;
+    let rec = stats_opts.recorder();
     let vs = args
         .iter()
         .position(|a| a == "--vs")
@@ -223,21 +323,16 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let html = flags.contains(&"--html");
     let flags: Vec<&str> = flags.into_iter().filter(|f| *f != "--html").collect();
     let options = options_from(&flags)?;
-    let left = load_program(&left_paths)?;
-    let right = load_program(&right_paths)?;
-    let report = compare_implementations_with(
-        &left,
-        "left",
-        &right,
-        "right",
-        options,
-        &AnalysisEngine::new(jobs),
-    );
+    let left = load_program(&left_paths, &rec)?;
+    let right = load_program(&right_paths, &rec)?;
+    let engine = AnalysisEngine::new(jobs).with_recorder(rec.clone());
+    let report = compare_implementations_with(&left, "left", &right, "right", options, &engine);
     if html {
         print!("{}", spo_core::render_html(&report.diff, &report.groups));
     } else {
         print!("{}", report.render());
     }
+    stats_opts.emit(&rec)?;
     Ok(if report.groups.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -253,8 +348,9 @@ fn cmd_throws(args: &[String]) -> Result<ExitCode, String> {
     let mut flags = Vec::new();
     let left_paths = split_flags(&args[..vs], &mut flags);
     let right_paths = split_flags(&args[vs + 1..], &mut flags);
-    let left = load_program(&left_paths)?;
-    let right = load_program(&right_paths)?;
+    let off = Recorder::disabled();
+    let left = load_program(&left_paths, &off)?;
+    let right = load_program(&right_paths, &off)?;
     let lt = spo_core::ThrowsAnalyzer::new(&left).analyze_library("left");
     let rt = spo_core::ThrowsAnalyzer::new(&right).analyze_library("right");
     let diffs = spo_core::diff_throws(&lt, &rt);
@@ -275,6 +371,16 @@ fn cmd_throws(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+fn cmd_stats_validate(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err("stats-validate needs exactly one stats JSON file".to_owned());
+    };
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    obs::json::validate_stats(&src).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: valid {} snapshot", obs::SCHEMA);
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_diff_policies(args: &[String]) -> Result<ExitCode, String> {
     let [left_path, right_path] = args else {
         return Err("diff-policies needs exactly two policy files".to_owned());
@@ -290,4 +396,85 @@ fn cmd_diff_policies(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn extract_jobs_space_form() {
+        let (jobs, rest) = extract_jobs(&argv(&["a.jir", "--jobs", "4", "--lint"])).unwrap();
+        assert_eq!(jobs, 4);
+        assert_eq!(rest, argv(&["a.jir", "--lint"]));
+    }
+
+    #[test]
+    fn extract_jobs_equals_form() {
+        let (jobs, rest) = extract_jobs(&argv(&["--jobs=2", "a.jir"])).unwrap();
+        assert_eq!(jobs, 2);
+        assert_eq!(rest, argv(&["a.jir"]));
+    }
+
+    #[test]
+    fn extract_jobs_absent_defaults_to_all_cpus() {
+        let (jobs, rest) = extract_jobs(&argv(&["a.jir"])).unwrap();
+        assert_eq!(jobs, 0);
+        assert_eq!(rest, argv(&["a.jir"]));
+    }
+
+    #[test]
+    fn extract_jobs_missing_value_is_an_error() {
+        let err = extract_jobs(&argv(&["a.jir", "--jobs"])).unwrap_err();
+        assert!(err.contains("--jobs needs a value"), "{err}");
+    }
+
+    #[test]
+    fn extract_jobs_rejects_zero() {
+        for form in [&["--jobs", "0"][..], &["--jobs=0"][..]] {
+            let err = extract_jobs(&argv(form)).unwrap_err();
+            assert!(err.contains("at least 1"), "{err}");
+        }
+    }
+
+    #[test]
+    fn extract_jobs_rejects_non_numeric() {
+        for bad in ["many", "-3", "2.5", ""] {
+            let err = extract_jobs(&argv(&["--jobs", bad])).unwrap_err();
+            assert!(err.contains("invalid worker count"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn extract_stats_both_forms() {
+        let (opts, rest) =
+            extract_stats(&argv(&["a.jir", "--stats", "--stats-json", "out.json"])).unwrap();
+        assert!(opts.human);
+        assert_eq!(opts.json_path.as_deref(), Some("out.json"));
+        assert!(opts.enabled());
+        assert_eq!(rest, argv(&["a.jir"]));
+
+        let (opts, rest) = extract_stats(&argv(&["--stats-json=x.json", "a.jir"])).unwrap();
+        assert!(!opts.human);
+        assert_eq!(opts.json_path.as_deref(), Some("x.json"));
+        assert_eq!(rest, argv(&["a.jir"]));
+    }
+
+    #[test]
+    fn extract_stats_absent_is_disabled() {
+        let (opts, rest) = extract_stats(&argv(&["a.jir", "--lint"])).unwrap();
+        assert!(!opts.enabled());
+        assert!(!opts.recorder().is_enabled());
+        assert_eq!(rest, argv(&["a.jir", "--lint"]));
+    }
+
+    #[test]
+    fn extract_stats_missing_path_is_an_error() {
+        let err = extract_stats(&argv(&["--stats-json"])).unwrap_err();
+        assert!(err.contains("needs a file path"), "{err}");
+    }
 }

@@ -20,6 +20,9 @@
 //! * [`dataflow`] — the worklist engine, lattices, constant propagation;
 //! * [`core`] — SPDA/ISPA policy extraction and policy differencing;
 //! * [`engine`] — the parallel per-entry-point analysis driver;
+//! * [`obs`] — std-only observability: spans, counters, histograms, and
+//!   the versioned `spo-stats/1` JSON snapshot behind the CLI's
+//!   `--stats`/`--stats-json`;
 //! * [`corpus`] — the paper-figure scenarios and the synthetic
 //!   three-implementation corpus.
 //!
@@ -60,6 +63,7 @@ pub use spo_corpus as corpus;
 pub use spo_dataflow as dataflow;
 pub use spo_engine as engine;
 pub use spo_jir as jir;
+pub use spo_obs as obs;
 pub use spo_resolve as resolve;
 
 use spo_core::{AnalysisOptions, DiffResult, LibraryPolicies, ReportGroup};

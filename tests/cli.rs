@@ -299,3 +299,112 @@ fn diff_html_emits_escaped_document() {
     assert!(stdout.starts_with("<!DOCTYPE html>"), "{stdout}");
     assert!(stdout.contains("checkWrite"));
 }
+
+#[test]
+fn stats_flag_prints_summary_without_changing_stdout() {
+    let rt = write_temp("rt9.jir", RUNTIME);
+    let a = write_temp("a9.jir", CHECKED);
+    let base = spo(&["analyze", rt.to_str().unwrap(), a.to_str().unwrap()]);
+    assert!(base.status.success());
+    let out = spo(&[
+        "analyze",
+        rt.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "--stats",
+    ]);
+    assert!(out.status.success());
+    assert_eq!(out.stdout, base.stdout, "--stats changed stdout");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("spo stats"), "{stderr}");
+    assert!(stderr.contains("jir.parse.stmts"), "{stderr}");
+    assert!(stderr.contains("ispa.frames"), "{stderr}");
+    assert!(stderr.contains("store.may.entries"), "{stderr}");
+}
+
+#[test]
+fn stats_json_is_schema_valid_and_validates_via_subcommand() {
+    let rt = write_temp("rt10.jir", RUNTIME);
+    let a = write_temp("a10.jir", CHECKED);
+    let json_path = std::env::temp_dir().join("spo-cli-tests/analyze-stats.json");
+    let out = spo(&[
+        "analyze",
+        rt.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "--stats-json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"schema\": \"spo-stats/1\""), "{json}");
+    security_policy_oracle::obs::json::validate_stats(&json).expect("schema-valid snapshot");
+    let out = spo(&["stats-validate", json_path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("valid spo-stats/1"));
+}
+
+#[test]
+fn stats_validate_rejects_invalid_input() {
+    let bad = write_temp("bad-stats.json", "{\"schema\": \"nope/9\"}");
+    let out = spo(&["stats-validate", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("schema"));
+}
+
+/// Acceptance: `spo diff --stats-json` on the committed Figure 1 examples
+/// emits parse/fixpoint/ISPA timings plus cache counters, and the
+/// deterministic sections are byte-identical across `--jobs 1` and
+/// `--jobs 8`.
+#[test]
+fn diff_stats_json_deterministic_sections_match_across_jobs() {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let jdk = manifest.join("examples/jir/figure1_jdk.jir");
+    let harmony = manifest.join("examples/jir/figure1_harmony.jir");
+    let run = |jobs: &str| {
+        let json_path = std::env::temp_dir().join(format!("spo-cli-tests/diff-stats-{jobs}.json"));
+        let out = spo(&[
+            "diff",
+            jdk.to_str().unwrap(),
+            "--vs",
+            harmony.to_str().unwrap(),
+            "--jobs",
+            jobs,
+            "--stats-json",
+            json_path.to_str().unwrap(),
+        ]);
+        // Figure 1's missing checkAccept is found => exit code 1.
+        assert_eq!(out.status.code(), Some(1), "jobs {jobs}");
+        std::fs::read_to_string(&json_path).unwrap()
+    };
+    let one = run("1");
+    let eight = run("8");
+    for json in [&one, &eight] {
+        security_policy_oracle::obs::json::validate_stats(json).expect("valid snapshot");
+        for field in [
+            "jir.parse",
+            "fixpoint.transfers",
+            "ispa.root.may",
+            "ispa.root.must",
+            "engine.analyze",
+            "store.may.hits",
+            "store.may.misses",
+            "store.may.contended",
+            "ispa.memo.hits",
+        ] {
+            assert!(json.contains(&format!("\"{field}\"")), "missing {field}");
+        }
+    }
+    let deterministic = |src: &str| {
+        let v = security_policy_oracle::obs::json::parse(src).unwrap();
+        let obj = |k: &str| format!("{:?}", v.get(k));
+        (obj("counters"), obj("histograms"))
+    };
+    assert_eq!(
+        deterministic(&one),
+        deterministic(&eight),
+        "counters/histograms diverged between --jobs 1 and --jobs 8"
+    );
+}

@@ -1,0 +1,105 @@
+//! Property: the deterministic sections of the observability snapshot —
+//! `counters` and `histograms` — are byte-identical for any worker count.
+//!
+//! The engine's contract is that analysis *results* don't depend on the
+//! worker count; the observability layer extends that contract to its
+//! deterministic metrics via the frame-commit protocol (only frames whose
+//! summary newly entered the store, plus top frames, count — race losers
+//! and recursion-tainted frames land in the scheduling-dependent `work`
+//! section). This suite runs the same corpus under `--jobs 1/2/8` and
+//! compares [`Snapshot::deterministic_json`] byte-for-byte.
+//!
+//! [`Snapshot::deterministic_json`]: spo_obs::Snapshot::deterministic_json
+
+use spo_core::{AnalysisOptions, MemoScope};
+use spo_corpus::{generate, CorpusConfig, Lib};
+use spo_engine::AnalysisEngine;
+use spo_obs::Recorder;
+
+/// Corpus seeds, same spread as `tests/properties.rs`.
+const SEEDS: [u64; 4] = [0, 131, 598, 923];
+
+const JOBS: [usize; 3] = [1, 2, 8];
+
+fn snapshot_for(
+    program: &spo_jir::Program,
+    jobs: usize,
+    options: AnalysisOptions,
+) -> spo_obs::Snapshot {
+    let rec = Recorder::new();
+    let engine = AnalysisEngine::new(jobs).with_recorder(rec.clone());
+    let (_, _) = engine.analyze_library(program, "corpus", options);
+    rec.snapshot()
+}
+
+#[test]
+fn deterministic_stats_identical_across_jobs() {
+    for seed in SEEDS {
+        let corpus = generate(&CorpusConfig { seed, scale: 0.004 });
+        let program = corpus.program(Lib::Jdk);
+        let baseline = snapshot_for(program, 1, AnalysisOptions::default());
+        let expected = baseline.deterministic_json();
+        assert!(
+            !baseline.counters.is_empty(),
+            "seed {seed}: no counters recorded"
+        );
+        for jobs in &JOBS[1..] {
+            let snap = snapshot_for(program, *jobs, AnalysisOptions::default());
+            assert_eq!(
+                snap.deterministic_json(),
+                expected,
+                "seed {seed}: counters/histograms diverged at jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn deterministic_stats_identical_across_jobs_for_every_memo_scope() {
+    let corpus = generate(&CorpusConfig {
+        seed: 262,
+        scale: 0.004,
+    });
+    let program = corpus.program(Lib::Harmony);
+    for memo in [MemoScope::None, MemoScope::PerEntry, MemoScope::Global] {
+        let options = AnalysisOptions {
+            memo,
+            ..Default::default()
+        };
+        let expected = snapshot_for(program, 1, options).deterministic_json();
+        for jobs in &JOBS[1..] {
+            let snap = snapshot_for(program, *jobs, options);
+            assert_eq!(
+                snap.deterministic_json(),
+                expected,
+                "memo {memo:?}: counters/histograms diverged at jobs={jobs}"
+            );
+        }
+    }
+}
+
+/// The work section is allowed to vary between runs, but its totals must
+/// stay consistent with the deterministic sections: committed + speculative
+/// + tainted frames account for every frame the analysis computed.
+#[test]
+fn work_section_accounts_for_all_computed_frames() {
+    let corpus = generate(&CorpusConfig {
+        seed: 417,
+        scale: 0.004,
+    });
+    let program = corpus.program(Lib::Classpath);
+    for jobs in JOBS {
+        let snap = snapshot_for(program, jobs, AnalysisOptions::default());
+        let committed = snap.counters["ispa.frames"];
+        let speculative = snap.work["ispa.speculative.frames"];
+        let tainted = snap.work["ispa.tainted.frames"];
+        let computed = snap.work["ispa.frames_analyzed"];
+        // `frames_analyzed` also counts bodyless (native/abstract) frames,
+        // which never reach the commit protocol.
+        assert!(
+            committed + speculative + tainted <= computed,
+            "jobs {jobs}: {committed} + {speculative} + {tainted} > {computed}"
+        );
+        assert!(committed > 0, "jobs {jobs}: nothing committed");
+    }
+}
