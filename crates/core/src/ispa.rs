@@ -13,9 +13,10 @@ use crate::events::{EventDef, EventKey};
 use crate::policy::{AnalysisStats, EntryPolicy, EventPolicy, LibraryPolicies};
 use crate::store::{EventRec, LocalStore, MemoKey, Summary, SummaryStore};
 use spo_dataflow::{
-    run_forward_traced, AbsVal, ConstEnv, Dnf, FixpointStats, Flow, ForwardAnalysis, JoinLattice,
+    run_forward_governed, AbsVal, ConstEnv, Dnf, FixpointStats, Flow, ForwardAnalysis, JoinLattice,
     MustSet,
 };
+use spo_guard::Governor;
 use spo_jir::{Expr, FieldFlags, FieldRef, FieldTarget, LocalId, MethodId, Program, Stmt};
 use spo_obs::{Counter, Histogram, Recorder};
 use spo_resolve::{entry_points, Hierarchy, Resolution, Resolver};
@@ -289,6 +290,7 @@ impl<'p> Analyzer<'p> {
             name: name.to_owned(),
             entries,
             stats,
+            degraded: std::collections::BTreeMap::new(),
         }
     }
 
@@ -323,16 +325,43 @@ impl<'p> Analyzer<'p> {
         stats: &mut AnalysisStats,
         rec: &Recorder,
     ) -> (String, EntryPolicy) {
+        self.analyze_root_governed(
+            root,
+            may_store,
+            must_store,
+            stats,
+            rec,
+            &Governor::unlimited(),
+        )
+    }
+
+    /// Like [`Analyzer::analyze_root_traced`], under a per-root
+    /// [`Governor`]: every method-frame entry and worklist transfer is
+    /// checked against the governor's budget and cancel token. Exhaustion
+    /// raises an [`Interrupt`](spo_guard::Interrupt) unwind — callers with
+    /// a non-trivial budget must run this inside
+    /// [`quarantine`](spo_guard::quarantine), as the parallel engine does.
+    ///
+    /// [`Analyzer::analyze_root_traced`]: Analyzer::analyze_root_traced
+    pub fn analyze_root_governed(
+        &self,
+        root: MethodId,
+        may_store: &dyn SummaryStore<Dnf>,
+        must_store: &dyn SummaryStore<MustSet>,
+        stats: &mut AnalysisStats,
+        rec: &Recorder,
+        governor: &Governor,
+    ) -> (String, EntryPolicy) {
         stats.entry_points += 1;
 
         let t0 = Instant::now();
-        let raw_may = self.root_pass::<Dnf>(root, stats, may_store, rec);
+        let raw_may = self.root_pass::<Dnf>(root, stats, may_store, rec, governor);
         let may_nanos = t0.elapsed().as_nanos();
         stats.may_nanos += may_nanos;
         rec.duration("ispa.root.may").record(may_nanos as u64);
 
         let t1 = Instant::now();
-        let raw_must = self.root_pass::<MustSet>(root, stats, must_store, rec);
+        let raw_must = self.root_pass::<MustSet>(root, stats, must_store, rec, governor);
         let must_nanos = t1.elapsed().as_nanos();
         stats.must_nanos += must_nanos;
         rec.duration("ispa.root.must").record(must_nanos as u64);
@@ -350,6 +379,7 @@ impl<'p> Analyzer<'p> {
         store: &dyn SummaryStore<P>,
     ) -> std::collections::BTreeMap<String, RawEntry<P>> {
         let resolver = Resolver::new(&self.hierarchy);
+        let governor = Governor::unlimited();
         let mut pass = Pass {
             program: self.program,
             resolver,
@@ -359,6 +389,7 @@ impl<'p> Analyzer<'p> {
             taint_floor: usize::MAX,
             stats,
             obs: PassObs::new(&self.recorder),
+            governor: &governor,
         };
         let mut out = std::collections::BTreeMap::new();
         for &root in roots {
@@ -382,6 +413,7 @@ impl<'p> Analyzer<'p> {
         stats: &mut AnalysisStats,
         store: &dyn SummaryStore<P>,
         rec: &Recorder,
+        governor: &Governor,
     ) -> RawEntry<P> {
         let resolver = Resolver::new(&self.hierarchy);
         let mut pass = Pass {
@@ -393,6 +425,7 @@ impl<'p> Analyzer<'p> {
             taint_floor: usize::MAX,
             stats,
             obs: PassObs::new(rec),
+            governor,
         };
         pass.analyze_entry(root)
     }
@@ -523,6 +556,9 @@ struct Pass<'a, 'p, P: PolicyDomain> {
     taint_floor: usize,
     stats: &'a mut AnalysisStats,
     obs: PassObs,
+    /// Per-root budget and cancellation state; trips (unwinds) on
+    /// exhaustion. Unlimited for ungoverned runs.
+    governor: &'a Governor,
 }
 
 impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
@@ -606,6 +642,10 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
         privileged: bool,
         top: bool,
     ) -> Arc<Summary<P>> {
+        // Frame budget: counted before the memo lookup so the count is a
+        // pure function of the root's call tree, independent of which
+        // worker populated the shared store first.
+        self.governor.enter_frame();
         let memo_on = self.options.memo != MemoScope::None;
         let key = MemoKey {
             method,
@@ -648,6 +688,7 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
         }
 
         let cfg = body.cfg_traced(&self.obs.rec);
+        let governor = self.governor;
         let mut spda = Spda {
             pass: self,
             boundary: SpState {
@@ -657,7 +698,7 @@ impl<'a, 'p, P: PolicyDomain> Pass<'a, 'p, P> {
             },
             call_cache: HashMap::new(),
         };
-        let (results, fx) = run_forward_traced(body, &cfg, &mut spda);
+        let (results, fx) = run_forward_governed(body, &cfg, &mut spda, governor);
         let call_cache = spda.call_cache;
         let mut fobs = FrameObs {
             fx,

@@ -103,6 +103,25 @@ impl EntryPolicy {
     pub fn nonempty_must_count(&self) -> usize {
         self.events.values().filter(|p| !p.must.is_empty()).count()
     }
+
+    /// The sound top element of the policy lattice for a degraded entry:
+    /// every check *may* precede the API return (so no check can ever be
+    /// reported missing from this side), none *must* (so nothing is
+    /// guaranteed). Diffing a top policy against any real policy can only
+    /// under-report, never fabricate, differences.
+    pub fn top(signature: String) -> Self {
+        let all: CheckSet = crate::checks::ALL_CHECKS.iter().copied().collect();
+        let mut entry = EntryPolicy::new(signature);
+        entry.events.insert(
+            EventKey::ApiReturn,
+            EventPolicy {
+                must: CheckSet::empty(),
+                may: all,
+                may_paths: Dnf::of(all.bits()),
+            },
+        );
+        entry
+    }
 }
 
 /// All entry-point policies of one library implementation, plus analysis
@@ -112,9 +131,17 @@ pub struct LibraryPolicies {
     /// Human-readable library name (e.g. `jdk`).
     pub name: String,
     /// Policies keyed by entry-point signature.
+    ///
+    /// Degraded roots do **not** appear here: the surviving entries are
+    /// byte-identical to a clean run restricted to them. Consumers that
+    /// need a conservative stand-in for a degraded root should use
+    /// [`EntryPolicy::top`].
     pub entries: BTreeMap<String, EntryPolicy>,
     /// Analysis statistics.
     pub stats: AnalysisStats,
+    /// Roots whose analysis was quarantined (panic, budget, cancellation),
+    /// keyed by signature. Empty on a clean run.
+    pub degraded: BTreeMap<String, spo_guard::Diagnostic>,
 }
 
 impl LibraryPolicies {

@@ -7,6 +7,7 @@
 //! ([`Flow::Branch`] with a `None` side).
 
 use crate::lattice::JoinLattice;
+use spo_guard::Governor;
 use spo_jir::{Body, Cfg, Stmt};
 use std::collections::VecDeque;
 
@@ -113,6 +114,22 @@ pub fn run_forward_traced<A: ForwardAnalysis>(
     cfg: &Cfg,
     analysis: &mut A,
 ) -> (DataflowResults<A::State>, FixpointStats) {
+    run_forward_governed(body, cfg, analysis, &Governor::unlimited())
+}
+
+/// Like [`run_forward_traced`], under a [`Governor`]: every worklist pop
+/// checks the solve-local transfer count against the step budget (and,
+/// periodically, the cancel token and deadline). Exhaustion *trips* — it
+/// raises an [`Interrupt`](spo_guard::Interrupt) unwind that the caller's
+/// per-root [`quarantine`](spo_guard::quarantine) boundary converts into a
+/// structured fault — so a pathological fixpoint degrades one root instead
+/// of hanging the run.
+pub fn run_forward_governed<A: ForwardAnalysis>(
+    body: &Body,
+    cfg: &Cfg,
+    analysis: &mut A,
+    governor: &Governor,
+) -> (DataflowResults<A::State>, FixpointStats) {
     let n = body.stmts.len();
     let mut stats = FixpointStats {
         stmts: n as u64,
@@ -155,6 +172,7 @@ pub fn run_forward_traced<A: ForwardAnalysis>(
 
     while let Some(i) = pop_min_rank(&mut queue, &rank) {
         queued[i] = false;
+        governor.check_step(stats.transfers);
         stats.transfers += 1;
         let input = inputs[i].clone().expect("queued statement must have input");
         let flow = analysis.transfer(i, &body.stmts[i], &input);

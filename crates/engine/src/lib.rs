@@ -49,6 +49,7 @@ use spo_core::{
     SharedStore,
 };
 use spo_dataflow::{Dnf, MustSet};
+use spo_guard::{quarantine, Diagnostic, Fault, GuardConfig};
 use spo_jir::{MethodId, Program};
 use spo_obs::Recorder;
 use spo_resolve::entry_points;
@@ -76,6 +77,9 @@ pub struct EngineStats {
     pub must_shards: Vec<ShardStats>,
     /// Wall-clock time of the whole run, in nanoseconds.
     pub wall_nanos: u128,
+    /// Roots quarantined by the guard layer (panic, budget exhaustion, or
+    /// cancellation) instead of producing a policy.
+    pub roots_degraded: u64,
 }
 
 impl EngineStats {
@@ -96,6 +100,7 @@ impl EngineStats {
         self.analysis.absorb(&other.analysis);
         self.steals += other.steals;
         self.wall_nanos += other.wall_nanos;
+        self.roots_degraded += other.roots_degraded;
         absorb_shards(&mut self.may_shards, &other.may_shards);
         absorb_shards(&mut self.must_shards, &other.must_shards);
     }
@@ -167,6 +172,7 @@ pub struct AnalysisEngine {
     jobs: usize,
     shards: usize,
     recorder: Recorder,
+    guard: GuardConfig,
 }
 
 impl Default for AnalysisEngine {
@@ -184,7 +190,24 @@ impl AnalysisEngine {
             jobs,
             shards: 16,
             recorder: Recorder::disabled(),
+            guard: GuardConfig::default(),
         }
+    }
+
+    /// Attaches a guard configuration: per-root budgets, the shared cancel
+    /// token, and (in tests) the fault-injection plan. Roots that exhaust
+    /// the budget, observe cancellation, or panic are quarantined into
+    /// [`LibraryPolicies::degraded`] diagnostics instead of killing the
+    /// run; the surviving entries are byte-identical to a clean run
+    /// restricted to them.
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// The attached guard configuration (inert unless set).
+    pub fn guard(&self) -> &GuardConfig {
+        &self.guard
     }
 
     /// Overrides the number of summary-store shards (default 16).
@@ -263,6 +286,7 @@ impl AnalysisEngine {
         let steals = AtomicU64::new(0);
         let results: Mutex<Vec<(usize, String, EntryPolicy, AnalysisStats)>> =
             Mutex::new(Vec::with_capacity(roots.len()));
+        let faults: Mutex<Vec<(usize, String, Fault)>> = Mutex::new(Vec::new());
 
         // Each worker records into a private child recorder; absorbing them
         // in worker-id order below keeps the merged output independent of
@@ -275,27 +299,49 @@ impl AnalysisEngine {
                 let deques = &deques;
                 let steals = &steals;
                 let results = &results;
+                let faults = &faults;
                 let shared = &shared;
+                let guard = &self.guard;
                 s.spawn(move || {
                     let worker_roots = rec.work_counter(&format!("engine.worker{w:02}.roots"));
                     let mut local: Vec<(usize, String, EntryPolicy, AnalysisStats)> = Vec::new();
+                    let mut local_faults: Vec<(usize, String, Fault)> = Vec::new();
                     while let Some(idx) = next_root(w, deques, steals) {
                         worker_roots.incr();
+                        let sig = program.method_signature(roots[idx]);
                         let mut stats = AnalysisStats::default();
-                        let (sig, entry) = match shared {
-                            Some((may, must)) => {
-                                analyzer.analyze_root_traced(roots[idx], may, must, &mut stats, rec)
+                        // Fault-isolation boundary: a panic, budget trip, or
+                        // observed cancellation inside this root degrades
+                        // this root alone. Once a run is cancelled, roots
+                        // not yet started drain through the governor's
+                        // first check point, so the pool joins promptly.
+                        let governor = guard.governor();
+                        let outcome = quarantine(|| {
+                            guard.maybe_inject(&sig);
+                            governor.check_point();
+                            match shared {
+                                Some((may, must)) => analyzer.analyze_root_governed(
+                                    roots[idx], may, must, &mut stats, rec, &governor,
+                                ),
+                                None => {
+                                    let may = LocalStore::default();
+                                    let must = LocalStore::default();
+                                    analyzer.analyze_root_governed(
+                                        roots[idx], &may, &must, &mut stats, rec, &governor,
+                                    )
+                                }
                             }
-                            None => {
-                                let may = LocalStore::default();
-                                let must = LocalStore::default();
-                                analyzer
-                                    .analyze_root_traced(roots[idx], &may, &must, &mut stats, rec)
-                            }
-                        };
-                        local.push((idx, sig, entry, stats));
+                        });
+                        match outcome {
+                            // The quarantined root's partial stats are
+                            // dropped so the surviving roots' totals match
+                            // a clean run restricted to them.
+                            Ok((sig, entry)) => local.push((idx, sig, entry, stats)),
+                            Err(fault) => local_faults.push((idx, sig, fault)),
+                        }
                     }
                     results.lock().unwrap().append(&mut local);
+                    faults.lock().unwrap().append(&mut local_faults);
                 });
             }
         });
@@ -315,6 +361,19 @@ impl AnalysisEngine {
             entries.entry(sig).or_insert(entry);
         }
 
+        // Degraded roots merge in the same deterministic order; a root
+        // never appears both as an entry and as a diagnostic (a signature
+        // collision between a clean root and a degraded one keeps both
+        // records, each under its own surface).
+        let mut fault_list = faults.into_inner().unwrap();
+        fault_list.sort_by_key(|(idx, ..)| *idx);
+        let mut degraded = std::collections::BTreeMap::new();
+        for (_, sig, fault) in fault_list {
+            degraded
+                .entry(sig.clone())
+                .or_insert_with(|| Diagnostic::degraded_root(sig, &fault));
+        }
+
         let stats = EngineStats {
             workers,
             entry_points: roots.len(),
@@ -329,12 +388,25 @@ impl AnalysisEngine {
                 .map(|(_, m)| m.shard_stats())
                 .unwrap_or_default(),
             wall_nanos: t0.elapsed().as_nanos(),
+            roots_degraded: degraded.len() as u64,
         };
         self.record_stats(&stats);
+        if self.recorder.is_enabled() {
+            for diag in degraded.values() {
+                self.recorder.diagnostic(
+                    &diag.severity.to_string(),
+                    &diag.phase.to_string(),
+                    &diag.root,
+                    diag.cause.label(),
+                    &diag.message,
+                );
+            }
+        }
         let lib = LibraryPolicies {
             name: name.to_owned(),
             entries,
             stats: analysis,
+            degraded,
         };
         (lib, stats)
     }
@@ -353,6 +425,8 @@ impl AnalysisEngine {
         rec.work_counter("engine.roots")
             .add(stats.entry_points as u64);
         rec.work_counter("engine.steals").add(stats.steals);
+        rec.work_counter("guard.roots_degraded")
+            .add(stats.roots_degraded);
         for (prefix, shards) in [
             ("store.may", &stats.may_shards),
             ("store.must", &stats.must_shards),
@@ -550,6 +624,135 @@ class t.A {
                 "deterministic sections diverged at jobs={jobs}"
             );
         }
+    }
+
+    #[test]
+    fn injected_panic_degrades_only_that_root() {
+        use spo_guard::Cause;
+        let program = sample_program();
+        let options = AnalysisOptions::default();
+        let clean = Analyzer::new(&program, options).analyze_library("t");
+        for jobs in [1, 2, 8] {
+            let guard = GuardConfig {
+                inject_panics: vec!["t.A.read".to_owned()],
+                ..Default::default()
+            };
+            let (lib, stats) = AnalysisEngine::new(jobs)
+                .with_guard(guard)
+                .analyze_library(&program, "t", options);
+            assert_eq!(stats.roots_degraded, 1, "jobs {jobs}");
+            assert_eq!(lib.degraded.len(), 1);
+            let (sig, diag) = lib.degraded.iter().next().unwrap();
+            assert_eq!(sig, "t.A.read()");
+            assert_eq!(diag.cause, Cause::Panic);
+            assert!(diag.message.contains("injected fault"), "{}", diag.message);
+            // Every surviving root's policy is identical to the clean run's.
+            assert!(!lib.entries.contains_key("t.A.read()"));
+            for (sig, entry) in &lib.entries {
+                assert_eq!(Some(entry), clean.entries.get(sig), "{sig} jobs {jobs}");
+            }
+            assert_eq!(lib.entries.len(), clean.entries.len() - 1);
+        }
+    }
+
+    /// Entry points whose CFGs branch, so a fixpoint solve takes more than
+    /// one worklist step and a tiny step budget reliably trips.
+    fn branching_program() -> Program {
+        spo_jir::parse_program(
+            r#"
+class t.B {
+  method public void spin() {
+    local int i;
+    i = 0;
+  loop:
+    i = i + 1;
+    if i < 10 goto loop;
+    return;
+  }
+  method public void wobble() {
+    local int j;
+    j = 100;
+  again:
+    j = j - 1;
+    if j > 0 goto again;
+    return;
+  }
+}
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn step_budget_trips_every_root_identically() {
+        use spo_guard::{Budget, Cause};
+        let program = branching_program();
+        let options = AnalysisOptions::default();
+        let run = |jobs: usize| {
+            let guard = GuardConfig {
+                budget: Budget::default().steps(1),
+                ..Default::default()
+            };
+            AnalysisEngine::new(jobs)
+                .with_guard(guard)
+                .analyze_library(&program, "t", options)
+        };
+        let (lib1, stats1) = run(1);
+        assert!(lib1.entries.is_empty(), "a 1-step budget degrades all");
+        assert_eq!(stats1.roots_degraded, lib1.degraded.len() as u64);
+        for diag in lib1.degraded.values() {
+            assert_eq!(diag.cause, Cause::StepBudget);
+        }
+        for jobs in [2, 8] {
+            let (lib, _) = run(jobs);
+            assert_eq!(lib.degraded, lib1.degraded, "jobs {jobs}");
+            assert_eq!(lib.entries, lib1.entries);
+        }
+    }
+
+    #[test]
+    fn cancelled_token_degrades_all_roots_with_partial_output() {
+        use spo_guard::{CancelToken, Cause};
+        let program = sample_program();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let guard = GuardConfig {
+            cancel,
+            ..Default::default()
+        };
+        let (lib, stats) = AnalysisEngine::new(2).with_guard(guard).analyze_library(
+            &program,
+            "t",
+            AnalysisOptions::default(),
+        );
+        assert!(lib.entries.is_empty());
+        assert!(stats.roots_degraded > 0);
+        for diag in lib.degraded.values() {
+            assert_eq!(diag.cause, Cause::Cancelled);
+        }
+    }
+
+    #[test]
+    fn degraded_roots_reported_in_stats_snapshot() {
+        let program = sample_program();
+        let rec = Recorder::new();
+        let guard = GuardConfig {
+            inject_panics: vec!["t.A.write".to_owned()],
+            ..Default::default()
+        };
+        let engine = AnalysisEngine::new(2)
+            .with_recorder(rec.clone())
+            .with_guard(guard);
+        let (_, stats) = engine.analyze_library(&program, "t", AnalysisOptions::default());
+        assert_eq!(stats.roots_degraded, 1);
+        let snap = rec.snapshot();
+        assert_eq!(snap.work["guard.roots_degraded"], 1);
+        assert_eq!(snap.diagnostics.len(), 1);
+        assert_eq!(snap.diagnostics[0].root, "t.A.write()");
+        assert_eq!(snap.diagnostics[0].cause, "panic");
+        let json = snap.to_json();
+        assert!(json.contains("\"diagnostics\""), "{json}");
+        assert!(spo_obs::json::validate_stats(&json).is_ok());
     }
 
     #[test]

@@ -60,7 +60,8 @@ pub use dominators::Dominators;
 pub use flags::{ClassFlags, FieldFlags, MethodFlags};
 pub use intern::{Interner, Symbol};
 pub use parse::{
-    lex, parse_into, parse_into_traced, parse_program, LexError, ParseError, Spanned, Tok,
+    lex, parse_into, parse_into_recovering, parse_into_recovering_traced, parse_into_traced,
+    parse_program, LexError, ParseDiagnostic, ParseError, Recovery, Spanned, Tok,
 };
 pub use printer::{print_class, print_program};
 pub use program::{Class, ClassId, Field, FieldId, Method, MethodId, Program, ProgramError};

@@ -4,4 +4,7 @@ mod lexer;
 mod parser;
 
 pub use lexer::{lex, LexError, Spanned, Tok};
-pub use parser::{parse_into, parse_into_traced, parse_program, ParseError};
+pub use parser::{
+    parse_into, parse_into_recovering, parse_into_recovering_traced, parse_into_traced,
+    parse_program, ParseDiagnostic, ParseError, Recovery,
+};

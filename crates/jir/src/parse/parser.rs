@@ -131,6 +131,139 @@ pub fn parse_into_traced(
     Ok(())
 }
 
+/// One recovered-from parse problem: what went wrong, where, and which
+/// syntactic unit was dropped to move past it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseDiagnostic {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based line of the offending construct.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The unit dropped to recover: `field`, `method`, `class`,
+    /// `` class `N` ``, or `file`.
+    pub dropped: String,
+}
+
+impl fmt::Display for ParseDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} (dropped {})",
+            self.line, self.col, self.message, self.dropped
+        )
+    }
+}
+
+/// The outcome of a recovering parse: every problem encountered, in source
+/// order. Empty means the input parsed cleanly.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Recovery {
+    /// Recovered-from problems, in source order.
+    pub diagnostics: Vec<ParseDiagnostic>,
+}
+
+impl Recovery {
+    /// Returns `true` if the input parsed without dropping anything.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Parses `.jir` source with error recovery, adding what parses to
+/// `program` and collecting a [`ParseDiagnostic`] per problem instead of
+/// bailing on the first error.
+///
+/// Recovery granularity: a malformed field or method body drops only that
+/// member (resynchronizing on `;` / balanced braces); a malformed class
+/// header, duplicate class, or unclosed class body drops that class
+/// (resynchronizing on the next top-level `class`/`interface`); a lexical
+/// error drops the whole file. Everything that does parse is added, so one
+/// corrupt file in a library-scale corpus degrades — never aborts — the
+/// load.
+pub fn parse_into_recovering(src: &str, program: &mut Program) -> Recovery {
+    let mut recovery = Recovery::default();
+    let tokens = match lex(src) {
+        Ok(t) => t,
+        Err(e) => {
+            recovery.diagnostics.push(ParseDiagnostic {
+                message: e.message,
+                line: e.line,
+                col: e.col,
+                dropped: "file".to_owned(),
+            });
+            return recovery;
+        }
+    };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        program,
+    };
+    while !p.at_eof() {
+        let start = p.pos;
+        match p.parse_class_with(Some(&mut recovery)) {
+            Ok(class) => {
+                let cname = p.program.str(class.name).to_owned();
+                let (line, col) = p.here();
+                if let Err(e) = p.program.add_class(class) {
+                    recovery.diagnostics.push(ParseDiagnostic {
+                        message: e.to_string(),
+                        line,
+                        col,
+                        dropped: format!("class `{cname}`"),
+                    });
+                }
+            }
+            Err(e) => {
+                recovery.diagnostics.push(ParseDiagnostic {
+                    message: e.message,
+                    line: e.line,
+                    col: e.col,
+                    dropped: "class".to_owned(),
+                });
+                p.recover_to_class(start);
+            }
+        }
+    }
+    recovery
+}
+
+/// Like [`parse_into_recovering`], recording the same parse metrics as
+/// [`parse_into_traced`] plus a `jir.parse.recovered` counter and one
+/// `diagnostics` record per dropped unit. Parsing is deterministic and
+/// serial, so the counters land in the deterministic section.
+pub fn parse_into_recovering_traced(
+    src: &str,
+    program: &mut Program,
+    rec: &spo_obs::Recorder,
+) -> Recovery {
+    let size = |p: &Program| (p.class_count(), p.all_methods().count(), p.stmt_count());
+    let _span = rec.span("jir.parse");
+    let (classes0, methods0, stmts0) = size(program);
+    let recovery = parse_into_recovering(src, program);
+    let (classes1, methods1, stmts1) = size(program);
+    rec.counter("jir.parse.bytes").add(src.len() as u64);
+    rec.counter("jir.parse.classes")
+        .add((classes1 - classes0) as u64);
+    rec.counter("jir.parse.methods")
+        .add((methods1 - methods0) as u64);
+    rec.counter("jir.parse.stmts").add((stmts1 - stmts0) as u64);
+    rec.counter("jir.parse.recovered")
+        .add(recovery.diagnostics.len() as u64);
+    for d in &recovery.diagnostics {
+        rec.diagnostic(
+            "error",
+            "parse",
+            &format!("{}:{}", d.line, d.col),
+            "parse",
+            &format!("{} (dropped {})", d.message, d.dropped),
+        );
+    }
+    recovery
+}
+
 struct Parser<'p> {
     tokens: Vec<Spanned>,
     pos: usize,
@@ -288,6 +421,85 @@ impl<'p> Parser<'p> {
     }
 
     fn parse_class(&mut self) -> Result<Class, ParseError> {
+        self.parse_class_with(None)
+    }
+
+    /// Skips past a malformed class member, leaving the class's own closing
+    /// `}` unconsumed. The member ends at a `;` at brace depth 0 (field or
+    /// abstract method), or at the `}` that closes the member's first brace
+    /// block (method body). Always consumes at least one token unless at
+    /// end of input, so recovery makes progress on arbitrary garbage.
+    fn skip_member(&mut self) {
+        let mut depth = 0usize;
+        let mut consumed = 0usize;
+        loop {
+            match self.peek() {
+                Tok::Eof => return,
+                Tok::Semi if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                Tok::LBrace => {
+                    depth += 1;
+                    self.bump();
+                    consumed += 1;
+                }
+                Tok::RBrace => {
+                    if depth == 0 {
+                        // The class's closing brace; leave it for the
+                        // member loop. `consumed` is always >= 1 here
+                        // because the loop guard excludes `}` as a
+                        // member's first token.
+                        debug_assert!(consumed >= 1);
+                        return;
+                    }
+                    depth -= 1;
+                    self.bump();
+                    consumed += 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                _ => {
+                    self.bump();
+                    consumed += 1;
+                }
+            }
+        }
+    }
+
+    /// Resynchronizes after a failed class parse: rewinds to `start` and
+    /// skips forward to the next top-level `class`/`interface` keyword
+    /// (brace depth 0) or end of input, consuming at least one token.
+    fn recover_to_class(&mut self, start: usize) {
+        self.pos = start;
+        let mut depth = 0usize;
+        let mut first = true;
+        loop {
+            if self.at_eof() {
+                return;
+            }
+            if !first && depth == 0 && (self.at_kw("class") || self.at_kw("interface")) {
+                return;
+            }
+            match self.peek() {
+                Tok::LBrace => depth += 1,
+                Tok::RBrace => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            self.bump();
+            first = false;
+        }
+    }
+
+    /// Parses one class. With `recovery` set, a malformed member records a
+    /// diagnostic and drops only that member (resynchronizing on `;` /
+    /// balanced braces); header and class-assembly errors still propagate
+    /// so the caller can drop the whole class.
+    fn parse_class_with(
+        &mut self,
+        mut recovery: Option<&mut Recovery>,
+    ) -> Result<Class, ParseError> {
         let is_interface = if self.at_kw("class") {
             self.bump();
             false
@@ -356,16 +568,37 @@ impl<'p> Parser<'p> {
         self.expect(&Tok::LBrace)?;
         let mut fields = Vec::new();
         let mut methods = Vec::new();
-        while !matches!(self.peek(), Tok::RBrace) {
-            if self.at_kw("field") {
-                fields.push(self.parse_field()?);
+        while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
+            let member_start = self.pos;
+            let outcome = if self.at_kw("field") {
+                self.parse_field().map(|f| fields.push(f))
             } else if self.at_kw("method") {
-                methods.push(self.parse_method(name)?);
+                self.parse_method(name).map(|m| methods.push(m))
             } else {
-                return self.err(format!(
+                self.err(format!(
                     "expected `field` or `method`, found {}",
                     self.peek()
-                ));
+                ))
+            };
+            if let Err(e) = outcome {
+                match recovery.as_deref_mut() {
+                    Some(rec) => {
+                        let dropped = match self.tokens[member_start].tok {
+                            Tok::Ident(ref s) if s == "field" => "field",
+                            Tok::Ident(ref s) if s == "method" => "method",
+                            _ => "member",
+                        };
+                        rec.diagnostics.push(ParseDiagnostic {
+                            message: e.message,
+                            line: e.line,
+                            col: e.col,
+                            dropped: dropped.to_owned(),
+                        });
+                        self.pos = member_start;
+                        self.skip_member();
+                    }
+                    None => return Err(e),
+                }
             }
         }
         self.expect(&Tok::RBrace)?;
@@ -817,16 +1050,11 @@ impl<'p> Parser<'p> {
                 }
                 _ => {
                     // Could be a local or a class literal `pkg.Class.class`.
-                    if scope.get(&s).is_some() && !matches!(self.peek2(), Tok::Dot) {
+                    // A local followed by a dot is still consumed as the
+                    // local; the caller errors on the stray dot.
+                    if let Some(&(id, _)) = scope.get(&s) {
                         self.bump();
-                        let (id, _) = scope.get(&s).unwrap();
-                        return Ok(Operand::Local(*id));
-                    }
-                    if scope.get(&s).is_some() {
-                        // Local followed by dot is not a valid operand.
-                        self.bump();
-                        let (id, _) = scope.get(&s).unwrap();
-                        return Ok(Operand::Local(*id));
+                        return Ok(Operand::Local(id));
                     }
                     let qn = self.qname()?;
                     if let Some(stripped) = qn.strip_suffix(".class") {
@@ -930,13 +1158,14 @@ impl<'p> Parser<'p> {
                 let target = self.field_target(scope, &segs)?;
                 return Ok(ParsedExpr::Plain(Expr::FieldLoad(target)));
             }
-            if is_local && matches!(self.peek2(), Tok::LBracket) {
-                let (array, _) = *scope.get(&first).unwrap();
-                self.bump(); // ident
-                self.bump(); // [
-                let index = self.parse_operand(scope)?;
-                self.expect(&Tok::RBracket)?;
-                return Ok(ParsedExpr::Plain(Expr::ArrayLoad { array, index }));
+            if matches!(self.peek2(), Tok::LBracket) {
+                if let Some(&(array, _)) = scope.get(&first) {
+                    self.bump(); // ident
+                    self.bump(); // [
+                    let index = self.parse_operand(scope)?;
+                    self.expect(&Tok::RBracket)?;
+                    return Ok(ParsedExpr::Plain(Expr::ArrayLoad { array, index }));
+                }
             }
         }
         let lhs = self.parse_operand(scope)?;

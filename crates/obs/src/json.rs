@@ -362,6 +362,32 @@ pub fn validate_stats(input: &str) -> Result<(), String> {
     check_counter_section(&doc, "work")?;
     check_histogram_section(&doc, "histograms")?;
     check_histogram_section(&doc, "durations")?;
+    check_diagnostics_section(&doc)?;
+    Ok(())
+}
+
+/// Validates the optional `diagnostics` section: an array of objects, each
+/// carrying the five string fields of one degradation record. Documents
+/// written before the section existed simply omit it.
+fn check_diagnostics_section(doc: &Value) -> Result<(), String> {
+    let Some(section) = doc.get("diagnostics") else {
+        return Ok(());
+    };
+    let Value::Array(items) = section else {
+        return Err("section \"diagnostics\" is not an array".to_owned());
+    };
+    for (i, item) in items.iter().enumerate() {
+        let obj = item
+            .as_object()
+            .ok_or(format!("diagnostics[{i}] is not an object"))?;
+        for field in ["severity", "phase", "root", "cause", "message"] {
+            if !matches!(obj.get(field), Some(Value::Str(_))) {
+                return Err(format!(
+                    "diagnostics[{i}] is missing string field \"{field}\""
+                ));
+            }
+        }
+    }
     Ok(())
 }
 

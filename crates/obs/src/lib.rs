@@ -140,6 +140,25 @@ struct Registry {
     work: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<String, Arc<HistCell>>>,
     durations: Mutex<BTreeMap<String, Arc<HistCell>>>,
+    diagnostics: Mutex<Vec<DiagRecord>>,
+}
+
+/// One degradation event recorded into the snapshot's `diagnostics`
+/// section: a quarantined root, an exhausted budget, a recovered parse
+/// error. All fields are plain strings so the schema stays independent of
+/// the guard layer's types.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub struct DiagRecord {
+    /// Pipeline stage (`parse`, `analysis`) — primary sort key.
+    pub phase: String,
+    /// The degraded unit: entry-point signature, file, or class.
+    pub root: String,
+    /// Degradation cause label (`panic`, `budget-steps`, `cancel`, …).
+    pub cause: String,
+    /// `warning` or `error`.
+    pub severity: String,
+    /// Human-readable detail.
+    pub message: String,
 }
 
 fn counter_cell(map: &Mutex<BTreeMap<String, Arc<AtomicU64>>>, name: &str) -> Arc<AtomicU64> {
@@ -326,11 +345,30 @@ impl Recorder {
         }
     }
 
+    /// Records one degradation event into the `diagnostics` section. The
+    /// snapshot sorts records, so emission order (and hence scheduling)
+    /// does not leak into the serialized output.
+    pub fn diagnostic(&self, severity: &str, phase: &str, root: &str, cause: &str, message: &str) {
+        if let Some(r) = &self.inner {
+            r.diagnostics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(DiagRecord {
+                    phase: phase.to_owned(),
+                    root: root.to_owned(),
+                    cause: cause.to_owned(),
+                    severity: severity.to_owned(),
+                    message: message.to_owned(),
+                });
+        }
+    }
+
     /// Merges another recorder's current values into this one (counter
-    /// sums, histogram bucket sums). Merging is commutative, but callers
-    /// that hold several per-worker recorders should absorb them in
-    /// worker-id order so any future non-commutative extension stays
-    /// deterministic.
+    /// sums, histogram bucket sums, appended diagnostics). Merging is
+    /// commutative up to diagnostic order, which the snapshot re-sorts;
+    /// callers that hold several per-worker recorders should still absorb
+    /// them in worker-id order so any future non-commutative extension
+    /// stays deterministic.
     pub fn absorb(&self, other: &Recorder) {
         let (Some(into), Some(_)) = (&self.inner, &other.inner) else {
             return;
@@ -347,6 +385,12 @@ impl Recorder {
         }
         for (name, h) in &snap.durations {
             hist_cell(&into.durations, name).absorb(h);
+        }
+        if !snap.diagnostics.is_empty() {
+            into.diagnostics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend(snap.diagnostics);
         }
     }
 
@@ -370,11 +414,18 @@ impl Recorder {
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect()
         };
+        let mut diagnostics = r
+            .diagnostics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        diagnostics.sort();
         Snapshot {
             counters: counters(&r.counters),
             work: counters(&r.work),
             histograms: hists(&r.histograms),
             durations: hists(&r.durations),
+            diagnostics,
         }
     }
 }
@@ -420,6 +471,11 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, HistSnapshot>,
     /// Wall-clock span histograms (nanoseconds).
     pub durations: BTreeMap<String, HistSnapshot>,
+    /// Degradation events, sorted by (phase, root, cause, severity,
+    /// message). Empty on a clean run. Budget- and panic-caused records are
+    /// deterministic; deadline/cancel records depend on wall clock, which
+    /// is why the section stays out of [`Snapshot::deterministic_json`].
+    pub diagnostics: Vec<DiagRecord>,
 }
 
 fn json_hist(out: &mut String, indent: &str, h: &HistSnapshot) {
@@ -464,6 +520,23 @@ fn json_hist_section(
     out.push_str(if last { "  }\n" } else { "  },\n" });
 }
 
+fn json_diag_section(out: &mut String, diags: &[DiagRecord]) {
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        out.push_str(&format!(
+            "{{ \"severity\": \"{}\", \"phase\": \"{}\", \"root\": \"{}\", \
+             \"cause\": \"{}\", \"message\": \"{}\" }}",
+            json::escape(&d.severity),
+            json::escape(&d.phase),
+            json::escape(&d.root),
+            json::escape(&d.cause),
+            json::escape(&d.message),
+        ));
+    }
+    out.push_str(if diags.is_empty() { "]\n" } else { "\n  ]\n" });
+}
+
 impl Snapshot {
     /// Serializes the snapshot to the versioned JSON stats schema
     /// ([`SCHEMA`]). Output is byte-deterministic: sections and keys are
@@ -475,7 +548,8 @@ impl Snapshot {
         json_counter_section(&mut out, "counters", &self.counters, false);
         json_hist_section(&mut out, "histograms", &self.histograms, false);
         json_counter_section(&mut out, "work", &self.work, false);
-        json_hist_section(&mut out, "durations", &self.durations, true);
+        json_hist_section(&mut out, "durations", &self.durations, false);
+        json_diag_section(&mut out, &self.diagnostics);
         out.push_str("}\n");
         out
     }
@@ -536,6 +610,15 @@ impl Snapshot {
                     h.count,
                     h.sum as f64 / 1e6,
                     h.mean() / 1e6,
+                ));
+            }
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("diagnostics (degradations):\n");
+            for d in &self.diagnostics {
+                out.push_str(&format!(
+                    "  {} [{}] {}: {}: {}\n",
+                    d.severity, d.phase, d.root, d.cause, d.message
                 ));
             }
         }

@@ -169,10 +169,13 @@ impl<'p> Rta<'p> {
                         }
                     }
                 }
-                match targets.len() {
-                    0 => Resolution::Unknown,
-                    1 => Resolution::Unique(targets.into_iter().next().expect("len checked")),
-                    _ => Resolution::Ambiguous(targets.into_iter().collect()),
+                let mut it = targets.into_iter();
+                match (it.next(), it.next()) {
+                    (None, _) => Resolution::Unknown,
+                    (Some(only), None) => Resolution::Unique(only),
+                    (Some(a), Some(b)) => {
+                        Resolution::Ambiguous([a, b].into_iter().chain(it).collect())
+                    }
                 }
             }
         }

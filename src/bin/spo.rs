@@ -13,6 +13,7 @@
 //! shared runtime prelude plus the implementation).
 
 use security_policy_oracle::compare_implementations_with;
+use security_policy_oracle::guard::{CancelToken, Cause, Diagnostic, GuardConfig, Phase, Severity};
 use security_policy_oracle::obs::{self, Recorder};
 use spo_core::{
     diff_libraries, export_policies, group_differences, import_policies, render_reports,
@@ -21,6 +22,16 @@ use spo_core::{
 use spo_engine::AnalysisEngine;
 use spo_jir::Program;
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Exit codes: 0 = clean, 1 = semantic findings (policy differences, lint
+/// or throws findings), 2 = completed but degraded (parse recovery,
+/// panic-quarantined or budget/cancel-tripped roots), 3 = fatal error.
+/// Degradation takes precedence over findings: a degraded run's findings
+/// are a lower bound, not the full answer.
+const EXIT_FINDINGS: u8 = 1;
+const EXIT_DEGRADED: u8 = 2;
+const EXIT_FATAL: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,7 +53,7 @@ fn main() -> ExitCode {
         Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
-            ExitCode::from(2)
+            ExitCode::from(EXIT_FATAL)
         }
     }
 }
@@ -52,7 +63,7 @@ spo — security policy oracle (PLDI 2011 reproduction)
 
 USAGE:
   spo check <file.jir>... [--lint] [--jobs N] [--stats] [--stats-json PATH]
-  spo analyze <file.jir>... [--broad] [--jobs N] [--stats] [--stats-json PATH]
+  spo analyze <file.jir>... [--broad] [--jobs N] [--budget-steps N] [--budget-frames N] [--deadline SECS] [--stats] [--stats-json PATH]
   spo export <file.jir>... [--name NAME] [--jobs N] [--stats] [--stats-json PATH]
   spo diff <left.jir>... --vs <right.jir>... [--no-icp] [--broad] [--intra-only] [--html] [--jobs N] [--stats] [--stats-json PATH]
   spo diff-policies <left-policies.txt> <right-policies.txt>
@@ -64,6 +75,19 @@ identical for any N). `--stats` prints a metrics summary to stderr;
 `--stats-json PATH` writes the versioned machine-readable snapshot
 (`-` for stdout). `stats-validate` checks a snapshot against the
 spo-stats/1 schema.
+
+`analyze`, `export`, and `diff` accept degraded-mode limits:
+`--budget-steps N` caps worklist steps per fixpoint solve,
+`--budget-frames N` caps method frames per root, `--deadline SECS` sets a
+wall-clock limit. A root exceeding a limit (or hitting Ctrl-C) is dropped
+from the report and surfaced as a stderr diagnostic.
+
+EXIT CODES:
+  0  clean
+  1  findings (policy differences, lint or throws findings)
+  2  completed degraded (parse recovery, panicked/over-budget/cancelled
+     roots); stdout for surviving roots matches a clean run
+  3  fatal error (bad usage, unreadable input)
 ";
 
 /// Extracts `--jobs N` / `--jobs=N` from an argument list, returning the
@@ -95,6 +119,112 @@ fn extract_jobs(args: &[String]) -> Result<(usize, Vec<String>), String> {
         }
     }
     Ok((jobs, rest))
+}
+
+/// Pulls `name VALUE` / `name=VALUE` off the argument stream.
+fn flag_value(
+    a: &str,
+    name: &str,
+    iter: &mut std::slice::Iter<'_, String>,
+) -> Result<Option<String>, String> {
+    if a == name {
+        Ok(Some(
+            iter.next().ok_or(format!("{name} needs a value"))?.clone(),
+        ))
+    } else if let Some(v) = a.strip_prefix(name).and_then(|v| v.strip_prefix('=')) {
+        Ok(Some(v.to_owned()))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Extracts the degraded-mode flags — `--budget-steps N`,
+/// `--budget-frames N`, `--deadline SECS`, plus the undocumented
+/// fault-injection test hooks `--inject-panic SUBSTR` (repeatable) and
+/// `--inject-sleep-ms N` — returning the [`GuardConfig`] (wired to the
+/// process-wide Ctrl-C token) and the remaining arguments.
+fn extract_guard(args: &[String]) -> Result<(GuardConfig, Vec<String>), String> {
+    let mut guard = GuardConfig::default();
+    let mut rest = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if let Some(v) = flag_value(a, "--budget-steps", &mut iter)? {
+            let n: u64 = v
+                .parse()
+                .map_err(|_| format!("--budget-steps: invalid step count `{v}`"))?;
+            guard.budget = guard.budget.steps(n);
+        } else if let Some(v) = flag_value(a, "--budget-frames", &mut iter)? {
+            let n: u64 = v
+                .parse()
+                .map_err(|_| format!("--budget-frames: invalid frame count `{v}`"))?;
+            guard.budget = guard.budget.frames(n);
+        } else if let Some(v) = flag_value(a, "--deadline", &mut iter)? {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| format!("--deadline: invalid seconds `{v}`"))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(format!("--deadline: invalid seconds `{v}`"));
+            }
+            guard.budget = guard.budget.deadline_in(Duration::from_secs_f64(secs));
+        } else if let Some(v) = flag_value(a, "--inject-panic", &mut iter)? {
+            guard.inject_panics.push(v);
+        } else if let Some(v) = flag_value(a, "--inject-sleep-ms", &mut iter)? {
+            guard.inject_sleep_ms = v
+                .parse()
+                .map_err(|_| format!("--inject-sleep-ms: invalid milliseconds `{v}`"))?;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    guard.cancel = cancel_token();
+    Ok((guard, rest))
+}
+
+/// The process-wide cancellation token. On unix the first call installs a
+/// SIGINT handler that flips it, so Ctrl-C drains the analysis workers and
+/// the command still emits its partial report, diagnostics, and stats
+/// snapshot (exit code 2) instead of dying mid-write.
+fn cancel_token() -> CancelToken {
+    static TOKEN: std::sync::OnceLock<CancelToken> = std::sync::OnceLock::new();
+    TOKEN
+        .get_or_init(|| {
+            let token = CancelToken::new();
+            #[cfg(unix)]
+            sigint::install(token.clone());
+            token
+        })
+        .clone()
+}
+
+#[cfg(unix)]
+mod sigint {
+    use super::CancelToken;
+    use std::sync::OnceLock;
+
+    static SIGINT_TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Async-signal-safe: cancelling is one relaxed atomic store.
+    extern "C" fn on_sigint(_signum: i32) {
+        if let Some(token) = SIGINT_TOKEN.get() {
+            token.cancel();
+        }
+    }
+
+    pub fn install(token: CancelToken) {
+        const SIGINT: i32 = 2;
+        if SIGINT_TOKEN.set(token).is_ok() {
+            let handler: extern "C" fn(i32) = on_sigint;
+            // SAFETY: installing a handler that only touches a lock-free
+            // atomic, the async-signal-safe subset of the C API.
+            unsafe {
+                signal(SIGINT, handler as usize);
+            }
+        }
+    }
 }
 
 /// Observability flags shared by the analysis commands.
@@ -184,16 +314,55 @@ fn split_flags<'a>(args: &'a [String], flags: &mut Vec<&'a str>) -> Vec<&'a Stri
     positional
 }
 
-fn load_program(paths: &[&String], rec: &Recorder) -> Result<Program, String> {
+/// Loads and layers the given `.jir` files with parse recovery: a
+/// malformed member or class is dropped and reported as a diagnostic
+/// instead of failing the load. Only I/O errors are fatal.
+fn load_program(
+    paths: &[&String],
+    rec: &Recorder,
+    diags: &mut Vec<Diagnostic>,
+) -> Result<Program, String> {
     if paths.is_empty() {
         return Err("no input files".to_owned());
     }
     let mut program = Program::new();
     for path in paths {
         let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        spo_jir::parse_into_traced(&src, &mut program, rec).map_err(|e| format!("{path}:{e}"))?;
+        let recovery = spo_jir::parse_into_recovering_traced(&src, &mut program, rec);
+        for d in recovery.diagnostics {
+            diags.push(Diagnostic {
+                severity: Severity::Warning,
+                phase: Phase::Parse,
+                root: format!("{path}:{}:{}", d.line, d.col),
+                cause: Cause::Parse,
+                message: format!("{} (dropped {})", d.message, d.dropped),
+            });
+        }
     }
     Ok(program)
+}
+
+/// Prints every diagnostic to stderr — stdout carries only the report, so
+/// a degraded run's surviving output stays byte-identical to a clean run
+/// restricted to the same roots — and folds them into the exit code:
+/// degraded (2) beats findings (1) beats clean (0).
+fn finish(diags: &[Diagnostic], findings: bool) -> ExitCode {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort();
+    for d in sorted {
+        eprintln!("{d}");
+    }
+    if !diags.is_empty() {
+        eprintln!(
+            "# {} degradation(s); results are a lower bound",
+            diags.len()
+        );
+        ExitCode::from(EXIT_DEGRADED)
+    } else if findings {
+        ExitCode::from(EXIT_FINDINGS)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn options_from(flags: &[&str]) -> Result<AnalysisOptions, String> {
@@ -219,7 +388,8 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let mut flags = Vec::new();
     let paths = split_flags(&args, &mut flags);
     let lint = flags.contains(&"--lint");
-    let program = load_program(&paths, &rec)?;
+    let mut diags = Vec::new();
+    let program = load_program(&paths, &rec, &mut diags)?;
     let entries = spo_resolve::entry_points(&program);
     let hierarchy = spo_resolve::Hierarchy::new(&program);
     let cg = spo_resolve::CallGraph::from_entry_points_traced(&hierarchy, &rec);
@@ -238,30 +408,32 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         stats.unknown,
         stats.resolved_fraction() * 100.0,
     );
+    let mut findings = false;
     if lint {
         let lints = spo_resolve::lint_program(&program);
         for l in &lints {
             println!("lint: {} (stmt {}): {}", l.location, l.stmt, l.kind);
         }
         println!("{} lint finding(s)", lints.len());
-        if !lints.is_empty() {
-            stats_opts.emit(&rec)?;
-            return Ok(ExitCode::FAILURE);
-        }
+        findings = !lints.is_empty();
     }
     stats_opts.emit(&rec)?;
-    Ok(ExitCode::SUCCESS)
+    Ok(finish(&diags, findings))
 }
 
 fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let (jobs, args) = extract_jobs(args)?;
     let (stats_opts, args) = extract_stats(&args)?;
+    let (guard, args) = extract_guard(&args)?;
     let rec = stats_opts.recorder();
     let mut flags = Vec::new();
     let paths = split_flags(&args, &mut flags);
     let options = options_from(&flags)?;
-    let program = load_program(&paths, &rec)?;
-    let engine = AnalysisEngine::new(jobs).with_recorder(rec.clone());
+    let mut diags = Vec::new();
+    let program = load_program(&paths, &rec, &mut diags)?;
+    let engine = AnalysisEngine::new(jobs)
+        .with_recorder(rec.clone())
+        .with_guard(guard);
     let (lib, _stats) = engine.analyze_library(&program, "input", options);
     for (sig, entry) in &lib.entries {
         if entry.has_no_checks() {
@@ -279,13 +451,15 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
         lib.may_policy_count(),
         lib.must_policy_count(),
     );
+    diags.extend(lib.degraded.values().cloned());
     stats_opts.emit(&rec)?;
-    Ok(ExitCode::SUCCESS)
+    Ok(finish(&diags, false))
 }
 
 fn cmd_export(args: &[String]) -> Result<ExitCode, String> {
     let (jobs, args) = extract_jobs(args)?;
     let (stats_opts, args) = extract_stats(&args)?;
+    let (guard, args) = extract_guard(&args)?;
     let rec = stats_opts.recorder();
     let mut flags = Vec::new();
     let mut name = "library".to_owned();
@@ -301,17 +475,22 @@ fn cmd_export(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let options = options_from(&flags)?;
-    let program = load_program(&positional, &rec)?;
-    let engine = AnalysisEngine::new(jobs).with_recorder(rec.clone());
+    let mut diags = Vec::new();
+    let program = load_program(&positional, &rec, &mut diags)?;
+    let engine = AnalysisEngine::new(jobs)
+        .with_recorder(rec.clone())
+        .with_guard(guard);
     let (lib, _stats) = engine.analyze_library(&program, &name, options);
     print!("{}", export_policies(&lib));
+    diags.extend(lib.degraded.values().cloned());
     stats_opts.emit(&rec)?;
-    Ok(ExitCode::SUCCESS)
+    Ok(finish(&diags, false))
 }
 
 fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let (jobs, args) = extract_jobs(args)?;
     let (stats_opts, args) = extract_stats(&args)?;
+    let (guard, args) = extract_guard(&args)?;
     let rec = stats_opts.recorder();
     let vs = args
         .iter()
@@ -323,21 +502,24 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let html = flags.contains(&"--html");
     let flags: Vec<&str> = flags.into_iter().filter(|f| *f != "--html").collect();
     let options = options_from(&flags)?;
-    let left = load_program(&left_paths, &rec)?;
-    let right = load_program(&right_paths, &rec)?;
-    let engine = AnalysisEngine::new(jobs).with_recorder(rec.clone());
+    let mut diags = Vec::new();
+    let left = load_program(&left_paths, &rec, &mut diags)?;
+    let right = load_program(&right_paths, &rec, &mut diags)?;
+    let engine = AnalysisEngine::new(jobs)
+        .with_recorder(rec.clone())
+        .with_guard(guard);
     let report = compare_implementations_with(&left, "left", &right, "right", options, &engine);
     if html {
         print!("{}", spo_core::render_html(&report.diff, &report.groups));
     } else {
         print!("{}", report.render());
     }
+    // A degraded root on either side is excluded from that side's entries,
+    // so the diff silently skips it; surface the exclusion instead.
+    diags.extend(report.left.degraded.values().cloned());
+    diags.extend(report.right.degraded.values().cloned());
     stats_opts.emit(&rec)?;
-    Ok(if report.groups.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    })
+    Ok(finish(&diags, !report.groups.is_empty()))
 }
 
 fn cmd_throws(args: &[String]) -> Result<ExitCode, String> {
@@ -349,8 +531,9 @@ fn cmd_throws(args: &[String]) -> Result<ExitCode, String> {
     let left_paths = split_flags(&args[..vs], &mut flags);
     let right_paths = split_flags(&args[vs + 1..], &mut flags);
     let off = Recorder::disabled();
-    let left = load_program(&left_paths, &off)?;
-    let right = load_program(&right_paths, &off)?;
+    let mut diags = Vec::new();
+    let left = load_program(&left_paths, &off, &mut diags)?;
+    let right = load_program(&right_paths, &off, &mut diags)?;
     let lt = spo_core::ThrowsAnalyzer::new(&left).analyze_library("left");
     let rt = spo_core::ThrowsAnalyzer::new(&right).analyze_library("right");
     let diffs = spo_core::diff_throws(&lt, &rt);
@@ -364,11 +547,7 @@ fn cmd_throws(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     println!("# {} exception-behaviour difference(s)", diffs.len());
-    Ok(if diffs.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    })
+    Ok(finish(&diags, !diffs.is_empty()))
 }
 
 fn cmd_stats_validate(args: &[String]) -> Result<ExitCode, String> {

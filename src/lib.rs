@@ -62,6 +62,7 @@ pub use spo_core as core;
 pub use spo_corpus as corpus;
 pub use spo_dataflow as dataflow;
 pub use spo_engine as engine;
+pub use spo_guard as guard;
 pub use spo_jir as jir;
 pub use spo_obs as obs;
 pub use spo_resolve as resolve;

@@ -68,7 +68,7 @@ fn help_prints_usage() {
 #[test]
 fn unknown_command_fails() {
     let out = spo(&["frobnicate"]);
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(3));
 }
 
 #[test]
@@ -203,16 +203,16 @@ fn jobs_flag_on_diff_and_bad_values() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("checkWrite"));
 
     let out = spo(&["analyze", a.to_str().unwrap(), "--jobs", "zero"]);
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(3));
     assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
     let out = spo(&["analyze", a.to_str().unwrap(), "--jobs"]);
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(3));
 }
 
 #[test]
 fn missing_file_is_a_clean_error() {
     let out = spo(&["analyze", "/nonexistent/zzz.jir"]);
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(3));
     assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
 }
 
@@ -350,7 +350,7 @@ fn stats_json_is_schema_valid_and_validates_via_subcommand() {
 fn stats_validate_rejects_invalid_input() {
     let bad = write_temp("bad-stats.json", "{\"schema\": \"nope/9\"}");
     let out = spo(&["stats-validate", bad.to_str().unwrap()]);
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(3));
     assert!(String::from_utf8_lossy(&out.stderr).contains("schema"));
 }
 
@@ -407,4 +407,239 @@ fn diff_stats_json_deterministic_sections_match_across_jobs() {
         deterministic(&eight),
         "counters/histograms diverged between --jobs 1 and --jobs 8"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-mode robustness: exit code 2, restricted byte-identity, Ctrl-C.
+
+/// A `deg.W` method with the standard checkWrite guard: small CFG, cheap
+/// fixpoint, appears in `analyze` output.
+fn checked_method(name: &str) -> String {
+    format!(
+        r#"
+  method public void {name}(java.lang.String p) {{
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto go;
+    virtualinvoke sm.checkWrite(p);
+  go:
+    staticinvoke deg.W.write0(p);
+    return;
+  }}"#
+    )
+}
+
+/// Like [`checked_method`] but prefixed with a long chain of conditionals,
+/// so its fixpoint solve takes far more worklist steps and a small
+/// `--budget-steps` trips it while the small methods complete.
+fn heavy_method(name: &str) -> String {
+    let mut chain = String::new();
+    for i in 0..12 {
+        chain.push_str(&format!(
+            "    if i == {i} goto a{i};\n  a{i}:\n    i = i + 1;\n"
+        ));
+    }
+    format!(
+        r#"
+  method public void {name}(java.lang.String p) {{
+    local java.lang.SecurityManager sm;
+    local int i;
+    i = 0;
+{chain}    sm = staticinvoke java.lang.System.getSecurityManager();
+    if sm == null goto go;
+    virtualinvoke sm.checkWrite(p);
+  go:
+    staticinvoke deg.W.write0(p);
+    return;
+  }}"#
+    )
+}
+
+/// Seven entry points: three to panic-inject, two to budget-trip, two
+/// survivors.
+fn degraded_fixture() -> String {
+    let mut src = String::from(RUNTIME);
+    src.push_str("class deg.W {");
+    for n in ["panicky1", "panicky2", "panicky3"] {
+        src.push_str(&checked_method(n));
+    }
+    for n in ["heavy1", "heavy2"] {
+        src.push_str(&heavy_method(n));
+    }
+    for n in ["ok1", "ok2"] {
+        src.push_str(&checked_method(n));
+    }
+    src.push_str("\n  method private static native void write0(java.lang.String p);\n}\n");
+    src
+}
+
+/// Splits `analyze` stdout into per-entry blocks keyed by signature.
+fn entry_blocks(stdout: &str) -> std::collections::BTreeMap<String, String> {
+    let mut map = std::collections::BTreeMap::new();
+    let mut cur: Option<(String, String)> = None;
+    for line in stdout.lines() {
+        if let Some(sig) = line.strip_prefix("entry ") {
+            if let Some((k, v)) = cur.take() {
+                map.insert(k, v);
+            }
+            cur = Some((sig.to_owned(), String::new()));
+        } else if line.starts_with('#') {
+            if let Some((k, v)) = cur.take() {
+                map.insert(k, v);
+            }
+        } else if let Some((_, v)) = cur.as_mut() {
+            v.push_str(line);
+            v.push('\n');
+        }
+    }
+    if let Some((k, v)) = cur {
+        map.insert(k, v);
+    }
+    map
+}
+
+/// Acceptance: with panics injected into 3 of 7 entry points and a step
+/// budget tripping 2 more, `spo analyze` exits 2, reports exactly 5
+/// diagnostics on stderr, and the surviving roots' report blocks are
+/// byte-identical to the clean run's — deterministically across
+/// `--jobs 1/2/8`.
+#[test]
+fn degraded_analyze_exits_2_restricted_report_deterministic() {
+    let f = write_temp("degraded.jir", &degraded_fixture());
+    let path = f.to_str().unwrap();
+    let clean = spo(&["analyze", path]);
+    assert!(
+        clean.status.success(),
+        "{}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    let clean_blocks = entry_blocks(&String::from_utf8_lossy(&clean.stdout));
+    assert_eq!(clean_blocks.len(), 7, "{clean_blocks:?}");
+
+    let run = |jobs: &str| {
+        spo(&[
+            "analyze",
+            path,
+            "--jobs",
+            jobs,
+            "--inject-panic",
+            "deg.W.panicky",
+            "--budget-steps",
+            "8",
+        ])
+    };
+    let base = run("1");
+    assert_eq!(base.status.code(), Some(2), "degraded run exits 2");
+    let stderr = String::from_utf8_lossy(&base.stderr);
+    let warnings: Vec<&str> = stderr
+        .lines()
+        .filter(|l| l.starts_with("warning"))
+        .collect();
+    assert_eq!(warnings.len(), 5, "{stderr}");
+    assert_eq!(stderr.matches("panic:").count(), 3, "{stderr}");
+    assert_eq!(stderr.matches("budget-steps:").count(), 2, "{stderr}");
+
+    let degraded_blocks = entry_blocks(&String::from_utf8_lossy(&base.stdout));
+    let surviving: Vec<&String> = degraded_blocks.keys().collect();
+    assert_eq!(degraded_blocks.len(), 2, "{surviving:?}");
+    for (sig, block) in &degraded_blocks {
+        assert_eq!(
+            Some(block),
+            clean_blocks.get(sig),
+            "surviving root {sig} diverged from the clean run"
+        );
+    }
+    for jobs in ["2", "8"] {
+        let out = run(jobs);
+        assert_eq!(out.status.code(), Some(2), "jobs {jobs}");
+        assert_eq!(out.stdout, base.stdout, "jobs {jobs} changed the report");
+    }
+}
+
+/// A degraded run's `--stats-json` snapshot carries the diagnostics
+/// section and still passes `spo stats-validate`.
+#[test]
+fn degraded_stats_json_validates() {
+    let f = write_temp("degraded-stats.jir", &degraded_fixture());
+    let json_path = std::env::temp_dir().join("spo-cli-tests/degraded-stats.json");
+    let out = spo(&[
+        "analyze",
+        f.to_str().unwrap(),
+        "--inject-panic",
+        "deg.W.panicky",
+        "--stats-json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"diagnostics\""), "{json}");
+    assert!(json.contains("guard.roots_degraded"), "{json}");
+    assert!(json.contains("\"cause\": \"panic\""), "{json}");
+    let out = spo(&["stats-validate", json_path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// A file with one malformed method still analyzes: the member is dropped
+/// with a parse diagnostic, everything else is reported, exit code 2.
+#[test]
+fn parse_recovery_degrades_instead_of_failing() {
+    let src = format!(
+        "{RUNTIME}\nclass deg.W {{{}\n  method public void broken(java.lang.String p) {{\n    p = = nonsense;\n  }}{}\n  method private static native void write0(java.lang.String p);\n}}\n",
+        checked_method("ok1"),
+        checked_method("ok2"),
+    );
+    let f = write_temp("recovered.jir", &src);
+    let out = spo(&["analyze", f.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warning [parse]"), "{stderr}");
+    assert!(stderr.contains("dropped method"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("deg.W.ok1"), "{stdout}");
+    assert!(stdout.contains("deg.W.ok2"), "{stdout}");
+}
+
+/// Ctrl-C mid-run: the workers drain, the partial report and a
+/// schema-valid stats snapshot are still written, exit code 2.
+#[cfg(unix)]
+#[test]
+fn sigint_yields_partial_report_and_valid_stats() {
+    use std::process::Stdio;
+    let f = write_temp("sigint.jir", &degraded_fixture());
+    let json_path = std::env::temp_dir().join("spo-cli-tests/sigint-stats.json");
+    let child = Command::new(env!("CARGO_BIN_EXE_spo"))
+        .args([
+            "analyze",
+            f.to_str().unwrap(),
+            "--jobs",
+            "1",
+            "--inject-sleep-ms",
+            "300",
+            "--stats-json",
+            json_path.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(450));
+    let _ = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "SIGINT completes degraded");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cancel"), "{stderr}");
+    // The report and summary still reached stdout.
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("entry points"),
+        "partial report missing"
+    );
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    security_policy_oracle::obs::json::validate_stats(&json).expect("schema-valid snapshot");
+    assert!(json.contains("\"cause\": \"cancel\""), "{json}");
 }
