@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use spo_cache::{CacheKeyer, ContentTable, PolicyCache};
 use spo_core::{
     diff_libraries, group_differences, root_keys, AnalysisOptions, AnalysisStats, Analyzer,
     DiffResult, EntryPolicy, LibraryPolicies, LocalStore, MemoScope, ReportGroup, ShardStats,
@@ -50,12 +51,12 @@ use spo_core::{
 };
 use spo_dataflow::{Dnf, MustSet};
 use spo_guard::{quarantine, Diagnostic, Fault, GuardConfig};
-use spo_jir::{MethodId, Program};
+use spo_jir::{method_identity_hash, MethodId, Program};
 use spo_obs::Recorder;
 use spo_resolve::entry_points;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Per-run statistics of one engine invocation.
@@ -80,6 +81,12 @@ pub struct EngineStats {
     /// Roots quarantined by the guard layer (panic, budget exhaustion, or
     /// cancellation) instead of producing a policy.
     pub roots_degraded: u64,
+    /// Roots warm-started from the persistent summary cache (0 unless a
+    /// cache is attached).
+    pub cache_hits: u64,
+    /// Roots analyzed cold because the cache had no usable entry (miss or
+    /// invalidated). 0 unless a cache is attached.
+    pub cache_misses: u64,
 }
 
 impl EngineStats {
@@ -101,6 +108,8 @@ impl EngineStats {
         self.steals += other.steals;
         self.wall_nanos += other.wall_nanos;
         self.roots_degraded += other.roots_degraded;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
         absorb_shards(&mut self.may_shards, &other.may_shards);
         absorb_shards(&mut self.must_shards, &other.must_shards);
     }
@@ -173,6 +182,7 @@ pub struct AnalysisEngine {
     shards: usize,
     recorder: Recorder,
     guard: GuardConfig,
+    cache: Option<Arc<PolicyCache>>,
 }
 
 impl Default for AnalysisEngine {
@@ -191,7 +201,24 @@ impl AnalysisEngine {
             shards: 16,
             recorder: Recorder::disabled(),
             guard: GuardConfig::default(),
+            cache: None,
         }
+    }
+
+    /// Attaches a persistent summary cache: roots whose cone key has a
+    /// usable on-disk entry skip analysis and warm-start from it; every
+    /// cleanly analyzed root is written back. Results stay byte-identical
+    /// to a cold run — an unusable cache entry only means a cold root plus
+    /// a warning [`Diagnostic`] (drain via
+    /// [`PolicyCache::take_diagnostics`]).
+    pub fn with_cache(mut self, cache: Arc<PolicyCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached persistent cache, if any.
+    pub fn cache(&self) -> Option<&Arc<PolicyCache>> {
+        self.cache.as_ref()
     }
 
     /// Attaches a guard configuration: per-root budgets, the shared cancel
@@ -261,8 +288,42 @@ impl AnalysisEngine {
         options: AnalysisOptions,
     ) -> (LibraryPolicies, EngineStats) {
         let t0 = Instant::now();
-        let workers = self.jobs().min(roots.len()).max(1);
         let analyzer = Analyzer::new(program, options);
+
+        // Warm start: with a cache attached, split the roots into cache
+        // hits (merged below without analysis) and the cold work list. A
+        // hit needs no call graph: each stored entry carries its cone as
+        // identity hashes and is validated by re-keying it against the
+        // content table (one hashing pass over the program); only missed
+        // roots pay for cone construction, in the write-back below.
+        // Lookups run serially on this thread, so hit/miss accounting and
+        // diagnostics are deterministic.
+        let cache_state = self.cache.as_ref().map(|cache| {
+            let before = cache.stats();
+            (cache, ContentTable::new(program, &options), before)
+        });
+        let mut cached: Vec<(usize, String, EntryPolicy)> = Vec::new();
+        let mut root_keys: Vec<u64> = vec![0; roots.len()];
+        let work: Vec<usize> = match &cache_state {
+            None => (0..roots.len()).collect(),
+            Some((cache, table, _)) => (0..roots.len())
+                .filter(|&idx| {
+                    let rk = PolicyCache::root_key(name, method_identity_hash(program, roots[idx]));
+                    root_keys[idx] = rk;
+                    match cache.lookup(rk, table) {
+                        // The stored signature is derived from the same
+                        // class/name/descriptor the identity hash covers,
+                        // so it equals what a cold run would format.
+                        Some((sig, entry)) => {
+                            cached.push((idx, sig, entry));
+                            false
+                        }
+                        None => true,
+                    }
+                })
+                .collect(),
+        };
+        let workers = self.jobs().min(work.len()).max(1);
 
         // Global scope shares one sharded store pair across all workers;
         // other scopes get per-root local stores inside the worker, which
@@ -277,8 +338,9 @@ impl AnalysisEngine {
         let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
             .map(|w| {
                 Mutex::new(
-                    (0..roots.len())
-                        .filter(|i| i * workers / roots.len().max(1) == w)
+                    (0..work.len())
+                        .filter(|i| i * workers / work.len().max(1) == w)
+                        .map(|i| work[i])
                         .collect(),
                 )
             })
@@ -340,8 +402,35 @@ impl AnalysisEngine {
                             Err(fault) => local_faults.push((idx, sig, fault)),
                         }
                     }
-                    results.lock().unwrap().append(&mut local);
-                    faults.lock().unwrap().append(&mut local_faults);
+                    // Batch commit, itself quarantined, with poisoned-lock
+                    // recovery: a panic that unwinds while a sibling held a
+                    // shared mutex must not cascade into a whole-run abort
+                    // — the data under the lock is a plain Vec whose
+                    // invariants hold at every await-free push, so the
+                    // poison flag carries no information here.
+                    let commit = quarantine(|| {
+                        let mut shared_results = results.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.maybe_inject_append(local.iter().map(|(_, sig, ..)| sig.as_str()));
+                        shared_results.append(&mut local);
+                        drop(shared_results);
+                        faults
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .append(&mut local_faults);
+                    });
+                    if let Err(fault) = commit {
+                        // The batch never landed; account for every root in
+                        // it as degraded so none silently disappears.
+                        let mut lost: Vec<(usize, String, Fault)> = local
+                            .drain(..)
+                            .map(|(idx, sig, ..)| (idx, sig, fault.clone()))
+                            .collect();
+                        lost.append(&mut local_faults);
+                        faults
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .append(&mut lost);
+                    }
                 });
             }
         });
@@ -350,7 +439,37 @@ impl AnalysisEngine {
             self.recorder.absorb(wrec);
         }
 
-        let mut results = results.into_inner().unwrap();
+        let mut results = results.into_inner().unwrap_or_else(|e| e.into_inner());
+        // Write back every cleanly analyzed root before merging (merge
+        // consumes the entries). The keyer — and with it the call graph —
+        // is built over the missed roots only, so a fully warm run never
+        // constructs one. Degraded roots never reach `results`, so a
+        // top-element placeholder can never be cached as a real policy.
+        if let Some((cache, _, _)) = &cache_state {
+            if !results.is_empty() {
+                let miss_roots: Vec<MethodId> = work.iter().map(|&idx| roots[idx]).collect();
+                let keyer = CacheKeyer::new(program, &miss_roots, &options);
+                for (idx, _, entry, _) in &results {
+                    if let (Some(key), Some(cone)) =
+                        (keyer.key(roots[*idx]), keyer.cone(roots[*idx]))
+                    {
+                        cache.store(root_keys[*idx], key, cone, entry);
+                    }
+                }
+            }
+            // One atomic pack rewrite per run (no-op when every root hit).
+            cache.flush();
+        }
+        // Warm-started roots join the merge stream crediting exactly the
+        // one entry point the serial analyzer would have counted, so a warm
+        // run's report (and its footer) is byte-identical to a cold run's.
+        for (idx, sig, entry) in cached {
+            let stats = AnalysisStats {
+                entry_points: 1,
+                ..Default::default()
+            };
+            results.push((idx, sig, entry, stats));
+        }
         // Deterministic merge: ascending root index, first root wins on
         // signature collisions — exactly the serial analyzer's fold.
         results.sort_by_key(|(idx, ..)| *idx);
@@ -365,7 +484,7 @@ impl AnalysisEngine {
         // never appears both as an entry and as a diagnostic (a signature
         // collision between a clean root and a degraded one keeps both
         // records, each under its own surface).
-        let mut fault_list = faults.into_inner().unwrap();
+        let mut fault_list = faults.into_inner().unwrap_or_else(|e| e.into_inner());
         fault_list.sort_by_key(|(idx, ..)| *idx);
         let mut degraded = std::collections::BTreeMap::new();
         for (_, sig, fault) in fault_list {
@@ -378,6 +497,12 @@ impl AnalysisEngine {
             workers,
             entry_points: roots.len(),
             analysis,
+            cache_hits: (roots.len() - work.len()) as u64,
+            cache_misses: if cache_state.is_some() {
+                work.len() as u64
+            } else {
+                0
+            },
             steals: steals.into_inner(),
             may_shards: shared
                 .as_ref()
@@ -391,6 +516,22 @@ impl AnalysisEngine {
             roots_degraded: degraded.len() as u64,
         };
         self.record_stats(&stats);
+        if let Some((cache, _, before)) = &cache_state {
+            if self.recorder.is_enabled() {
+                // Filesystem-dependent, so `work` counters (the
+                // deterministic `counters` section must not vary with the
+                // cache's disk state).
+                let after = cache.stats();
+                let rec = &self.recorder;
+                rec.work_counter("cache.hits").add(after.hits - before.hits);
+                rec.work_counter("cache.misses")
+                    .add(after.misses - before.misses);
+                rec.work_counter("cache.invalidated")
+                    .add(after.invalidated - before.invalidated);
+                rec.work_counter("cache.bytes")
+                    .add(after.bytes - before.bytes);
+            }
+        }
         if self.recorder.is_enabled() {
             for diag in degraded.values() {
                 self.recorder.diagnostic(
@@ -495,13 +636,27 @@ impl AnalysisEngine {
 
 /// Pops the next root for worker `w`: front of its own deque, else stolen
 /// from the back of the first non-empty victim.
+///
+/// Poisoned deques are recovered, not propagated: a panic that unwinds
+/// while a sibling held the lock (possible only between two complete
+/// pop/push operations on the plain `VecDeque`) leaves the queue in a
+/// valid state, and every worker unwrapping the poison would cascade one
+/// quarantined fault into a whole-run abort.
 fn next_root(w: usize, deques: &[Mutex<VecDeque<usize>>], steals: &AtomicU64) -> Option<usize> {
-    if let Some(idx) = deques[w].lock().unwrap().pop_front() {
+    if let Some(idx) = deques[w]
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .pop_front()
+    {
         return Some(idx);
     }
     for off in 1..deques.len() {
         let victim = (w + off) % deques.len();
-        if let Some(idx) = deques[victim].lock().unwrap().pop_back() {
+        if let Some(idx) = deques[victim]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_back()
+        {
             steals.fetch_add(1, Ordering::Relaxed);
             return Some(idx);
         }
@@ -753,6 +908,132 @@ class t.B {
         let json = snap.to_json();
         assert!(json.contains("\"diagnostics\""), "{json}");
         assert!(spo_obs::json::validate_stats(&json).is_ok());
+    }
+
+    #[test]
+    fn append_panic_poisons_mutex_without_aborting_run() {
+        use spo_guard::Cause;
+        let program = sample_program();
+        let options = AnalysisOptions::default();
+        let clean = Analyzer::new(&program, options).analyze_library("t");
+        for jobs in [1, 2, 8] {
+            // The injected panic fires *after* the worker acquires the
+            // shared results lock, poisoning it. Before poison recovery
+            // this turned one quarantined fault into a whole-run abort:
+            // every sibling's `lock().unwrap()` re-panicked inside
+            // `thread::scope`, which re-raises at join.
+            let guard = GuardConfig {
+                inject_append_panics: vec!["t.A.read".to_owned()],
+                ..Default::default()
+            };
+            let (lib, stats) = AnalysisEngine::new(jobs)
+                .with_guard(guard)
+                .analyze_library(&program, "t", options);
+            // The run completes and the lost batch resurfaces as
+            // per-root faults, so no root silently disappears.
+            assert_eq!(
+                lib.entries.len() + lib.degraded.len(),
+                clean.entries.len(),
+                "jobs {jobs}: entries {:?} degraded {:?}",
+                lib.entries.keys().collect::<Vec<_>>(),
+                lib.degraded.keys().collect::<Vec<_>>()
+            );
+            let diag = lib
+                .degraded
+                .values()
+                .find(|d| d.message.contains("injected append fault"))
+                .unwrap_or_else(|| panic!("no append-fault diagnostic at jobs {jobs}"));
+            assert_eq!(diag.cause, Cause::Panic);
+            assert!(stats.roots_degraded >= 1, "jobs {jobs}");
+            // Roots that committed in other batches are byte-identical
+            // to the clean run.
+            for (sig, entry) in &lib.entries {
+                assert_eq!(Some(entry), clean.entries.get(sig), "{sig} jobs {jobs}");
+            }
+        }
+    }
+
+    fn cache_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "spo-engine-cache-test-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn warm_cache_run_is_identical_to_cold_run() {
+        let program = sample_program();
+        let options = AnalysisOptions::default();
+        let cache = Arc::new(PolicyCache::open(cache_dir("warm")).unwrap());
+        let cold_engine = AnalysisEngine::new(2).with_cache(Arc::clone(&cache));
+        let (cold, cold_stats) = cold_engine.analyze_library(&program, "t", options);
+        assert_eq!(cold_stats.cache_hits, 0);
+        assert_eq!(cold_stats.cache_misses, cold_stats.entry_points as u64);
+        for jobs in [1, 2, 8] {
+            let warm_engine = AnalysisEngine::new(jobs).with_cache(Arc::clone(&cache));
+            let (warm, warm_stats) = warm_engine.analyze_library(&program, "t", options);
+            assert_eq!(warm.entries, cold.entries, "jobs {jobs}");
+            assert_eq!(warm.degraded, cold.degraded);
+            assert_eq!(warm.stats.entry_points, cold.stats.entry_points);
+            assert_eq!(
+                warm_stats.cache_hits, cold_stats.entry_points as u64,
+                "jobs {jobs}"
+            );
+            assert_eq!(warm_stats.cache_misses, 0);
+        }
+    }
+
+    #[test]
+    fn single_method_edit_invalidates_only_affected_cones() {
+        let program = sample_program();
+        let options = AnalysisOptions::default();
+        let cache = Arc::new(PolicyCache::open(cache_dir("edit")).unwrap());
+        let engine = AnalysisEngine::new(2).with_cache(Arc::clone(&cache));
+        let (_, cold) = engine.analyze_library(&program, "t", options);
+        let roots = cold.entry_points as u64;
+        assert_eq!(cold.cache_misses, roots);
+
+        // Body-only edit to t.A.write: only its own cone contains the
+        // edited method, so a warm run re-analyzes exactly one root.
+        let text = spo_jir::print_program(&program).replacen(
+            "virtualinvoke sm.checkWrite(\"f\");",
+            "virtualinvoke sm.checkWrite(\"f\");\n    virtualinvoke sm.checkRead(\"f\");",
+            1,
+        );
+        let edited = spo_jir::parse_program(&text).unwrap();
+        let (lib, warm) = engine.analyze_library(&edited, "t", options);
+        assert_eq!(warm.cache_hits, roots - 1, "{warm}");
+        assert_eq!(warm.cache_misses, 1, "{warm}");
+        // The edited root's fresh result reflects the new body.
+        let serial = Analyzer::new(&edited, options).analyze_library("t");
+        assert_eq!(lib.entries, serial.entries);
+    }
+
+    #[test]
+    fn cache_counters_surface_in_work_section_only() {
+        let program = sample_program();
+        let options = AnalysisOptions::default();
+        let cache = Arc::new(PolicyCache::open(cache_dir("counters")).unwrap());
+        let rec = Recorder::new();
+        let engine = AnalysisEngine::new(2)
+            .with_cache(Arc::clone(&cache))
+            .with_recorder(rec.clone());
+        let (_, s1) = engine.analyze_library(&program, "t", options);
+        engine.analyze_library(&program, "t", options);
+        let roots = s1.entry_points as u64;
+        let snap = rec.snapshot();
+        assert_eq!(snap.work["cache.misses"], roots);
+        assert_eq!(snap.work["cache.hits"], roots);
+        assert!(snap.work["cache.bytes"] > 0);
+        // Deterministic counters must not depend on the cache's disk
+        // state, so cache metrics live exclusively in `work`.
+        assert!(!snap.counters.contains_key("cache.hits"));
+        assert!(!snap.counters.contains_key("cache.misses"));
     }
 
     #[test]

@@ -66,6 +66,9 @@ pub enum Cause {
     Cancelled,
     /// The input could not be parsed; the malformed unit was dropped.
     Parse,
+    /// A persistent-cache entry was corrupt, truncated, or written by a
+    /// different format version; the root fell back to a cold analysis.
+    Cache,
 }
 
 impl Cause {
@@ -78,6 +81,7 @@ impl Cause {
             Cause::Deadline => "deadline",
             Cause::Cancelled => "cancel",
             Cause::Parse => "parse",
+            Cause::Cache => "cache",
         }
     }
 }
@@ -113,6 +117,8 @@ pub enum Phase {
     Parse,
     /// Per-root policy analysis.
     Analysis,
+    /// Persistent summary-cache I/O (warm-start lookups and write-back).
+    Cache,
 }
 
 impl fmt::Display for Phase {
@@ -120,6 +126,7 @@ impl fmt::Display for Phase {
         f.write_str(match self {
             Phase::Parse => "parse",
             Phase::Analysis => "analysis",
+            Phase::Cache => "cache",
         })
     }
 }
@@ -407,6 +414,19 @@ impl Diagnostic {
             message: fault.message.clone(),
         }
     }
+
+    /// A cache-phase warning for an unusable persistent-cache entry. Never
+    /// affects results (the root re-analyzes cold), so consumers must not
+    /// fold it into "degraded" exit states.
+    pub fn cache_fallback(unit: String, message: String) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            phase: Phase::Cache,
+            root: unit,
+            cause: Cause::Cache,
+            message,
+        }
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -431,6 +451,11 @@ pub struct GuardConfig {
     /// Test-only: roots whose signature contains one of these substrings
     /// panic before analysis, exercising the quarantine path end to end.
     pub inject_panics: Vec<String>,
+    /// Test-only: a worker whose finished batch contains a root matching
+    /// one of these substrings panics *while holding the shared result
+    /// lock*, poisoning it — the regression scenario for lock-poison
+    /// recovery in the engine's result-append path.
+    pub inject_append_panics: Vec<String>,
     /// Test-only: per-root sleep (milliseconds) before analysis, used to
     /// make cancellation races deterministic in tests.
     pub inject_sleep_ms: u64,
@@ -439,7 +464,10 @@ pub struct GuardConfig {
 impl GuardConfig {
     /// Returns `true` if this configuration can never degrade anything.
     pub fn is_inert(&self) -> bool {
-        self.budget.is_unlimited() && self.cancel.0.is_none() && self.inject_panics.is_empty()
+        self.budget.is_unlimited()
+            && self.cancel.0.is_none()
+            && self.inject_panics.is_empty()
+            && self.inject_append_panics.is_empty()
     }
 
     /// A fresh per-root [`Governor`] over this configuration.
@@ -459,6 +487,25 @@ impl GuardConfig {
             .any(|needle| signature.contains(needle.as_str()))
         {
             panic!("injected fault for root {signature}");
+        }
+    }
+
+    /// Test-only fault injection for the engine's result-append path:
+    /// panics if any of the batch's `signatures` matches the plan. The
+    /// engine calls this *after* acquiring the shared result lock, so the
+    /// injected panic poisons it.
+    pub fn maybe_inject_append<'a>(&self, signatures: impl Iterator<Item = &'a str>) {
+        if self.inject_append_panics.is_empty() {
+            return;
+        }
+        for sig in signatures {
+            if self
+                .inject_append_panics
+                .iter()
+                .any(|needle| sig.contains(needle.as_str()))
+            {
+                panic!("injected append fault for batch containing {sig}");
+            }
         }
     }
 }

@@ -27,6 +27,12 @@ macro_rules! flag_type {
                 $name(self.0 | other.0)
             }
 
+            /// The raw bit pattern (stable across versions — bits are part
+            /// of the persistent-cache key derivation).
+            pub const fn bits(self) -> u16 {
+                self.0
+            }
+
             /// Iterates over `(flag, keyword)` pairs in declaration order.
             pub fn words(self) -> impl Iterator<Item = &'static str> {
                 [$((Self::$flag, $word)),+]

@@ -47,6 +47,7 @@ mod body;
 mod builder;
 mod dominators;
 mod flags;
+mod hash;
 mod intern;
 mod parse;
 mod printer;
@@ -58,12 +59,13 @@ pub use body::{Body, Cfg, LocalDecl};
 pub use builder::{ClassBuilder, Label, MethodBuilder, ProgramBuilder};
 pub use dominators::Dominators;
 pub use flags::{ClassFlags, FieldFlags, MethodFlags};
+pub use hash::{method_content_hash, method_identity_hash, structure_hash, Fnv64};
 pub use intern::{Interner, Symbol};
 pub use parse::{
     lex, parse_into, parse_into_recovering, parse_into_recovering_traced, parse_into_traced,
     parse_program, LexError, ParseDiagnostic, ParseError, Recovery, Spanned, Tok,
 };
-pub use printer::{print_class, print_program};
+pub use printer::{print_class, print_method, print_program};
 pub use program::{Class, ClassId, Field, FieldId, Method, MethodId, Program, ProgramError};
 pub use stmt::{
     BinOp, Call, CmpOp, Cond, Const, Expr, FieldRef, FieldTarget, InvokeKind, LocalId, MethodRef,

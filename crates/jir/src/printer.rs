@@ -71,7 +71,9 @@ pub fn print_class(program: &Program, class: &Class, out: &mut String) {
     out.push_str("}\n");
 }
 
-fn print_method(program: &Program, method: &Method, out: &mut String) {
+/// Renders a single method (used standalone by content hashing; the text
+/// is exactly what [`print_class`] emits for that member).
+pub fn print_method(program: &Program, method: &Method, out: &mut String) {
     let mods: Vec<_> = method.flags.words().collect();
     let mods = if mods.is_empty() {
         String::new()

@@ -148,6 +148,17 @@ impl CallGraph {
         }
         seen.into_iter().collect()
     }
+
+    /// The dependency cone of every root: `(root, reachable methods)` in
+    /// root order. This is what the persistent summary cache hashes to key
+    /// a root's cached policy — a root's analysis can only observe methods
+    /// inside its cone, so an edit outside the cone cannot change the
+    /// result.
+    pub fn cones(&self) -> impl Iterator<Item = (MethodId, Vec<MethodId>)> + '_ {
+        self.roots
+            .iter()
+            .map(move |&root| (root, self.reachable_from(root)))
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +237,20 @@ class B {
         assert!(names.contains(&"A.helper".to_owned()));
         assert!(names.contains(&"B.leaf".to_owned()));
         assert!(!names.contains(&"A.prot".to_owned()));
+    }
+
+    #[test]
+    fn cones_cover_every_root_and_match_reachable_from() {
+        let p = prog();
+        let h = Hierarchy::new(&p);
+        let cg = CallGraph::from_entry_points(&h);
+        let cones: Vec<_> = cg.cones().collect();
+        assert_eq!(cones.len(), cg.roots().len());
+        for ((root, cone), expect) in cones.iter().zip(cg.roots()) {
+            assert_eq!(root, expect);
+            assert_eq!(cone, &cg.reachable_from(*root));
+            assert!(cone.contains(root));
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use security_policy_oracle::compare_implementations_with;
 use security_policy_oracle::guard::{CancelToken, Cause, Diagnostic, GuardConfig, Phase, Severity};
 use security_policy_oracle::obs::{self, Recorder};
+use spo_cache::PolicyCache;
 use spo_core::{
     diff_libraries, export_policies, group_differences, import_policies, render_reports,
     AnalysisOptions, EventDef,
@@ -22,6 +23,7 @@ use spo_core::{
 use spo_engine::AnalysisEngine;
 use spo_jir::Program;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Exit codes: 0 = clean, 1 = semantic findings (policy differences, lint
@@ -43,6 +45,7 @@ fn main() -> ExitCode {
         Some("diff-policies") => cmd_diff_policies(&args[1..]),
         Some("throws") => cmd_throws(&args[1..]),
         Some("stats-validate") => cmd_stats_validate(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -63,12 +66,13 @@ spo — security policy oracle (PLDI 2011 reproduction)
 
 USAGE:
   spo check <file.jir>... [--lint] [--jobs N] [--stats] [--stats-json PATH]
-  spo analyze <file.jir>... [--broad] [--jobs N] [--budget-steps N] [--budget-frames N] [--deadline SECS] [--stats] [--stats-json PATH]
-  spo export <file.jir>... [--name NAME] [--jobs N] [--stats] [--stats-json PATH]
-  spo diff <left.jir>... --vs <right.jir>... [--no-icp] [--broad] [--intra-only] [--html] [--jobs N] [--stats] [--stats-json PATH]
+  spo analyze <file.jir>... [--broad] [--jobs N] [--budget-steps N] [--budget-frames N] [--deadline SECS] [--cache-dir PATH] [--no-cache] [--stats] [--stats-json PATH]
+  spo export <file.jir>... [--name NAME] [--jobs N] [--cache-dir PATH] [--no-cache] [--stats] [--stats-json PATH]
+  spo diff <left.jir>... --vs <right.jir>... [--no-icp] [--broad] [--intra-only] [--html] [--jobs N] [--cache-dir PATH] [--no-cache] [--stats] [--stats-json PATH]
   spo diff-policies <left-policies.txt> <right-policies.txt>
   spo throws <left.jir>... --vs <right.jir>...
   spo stats-validate <stats.json>
+  spo cache (stats|clear) --cache-dir PATH
 
 `--jobs N` sets the analysis worker count (default: all CPUs; results are
 identical for any N). `--stats` prints a metrics summary to stderr;
@@ -81,6 +85,14 @@ spo-stats/1 schema.
 `--budget-frames N` caps method frames per root, `--deadline SECS` sets a
 wall-clock limit. A root exceeding a limit (or hitting Ctrl-C) is dropped
 from the report and surfaced as a stderr diagnostic.
+
+`--cache-dir PATH` warm-starts the analysis from a persistent summary
+cache at PATH (created on first use): roots whose call-graph cone is
+unchanged since the cached run skip analysis, and results are always
+byte-identical to a cold run. A corrupt or stale entry only means that
+root runs cold plus a stderr warning — never a changed report or exit
+code. `--no-cache` ignores the cache for one run. `spo cache stats`
+prints the store's entry count and size; `spo cache clear` empties it.
 
 EXIT CODES:
   0  clean
@@ -152,11 +164,25 @@ fn extract_guard(args: &[String]) -> Result<(GuardConfig, Vec<String>), String> 
             let n: u64 = v
                 .parse()
                 .map_err(|_| format!("--budget-steps: invalid step count `{v}`"))?;
+            // 0 is the Budget-internal "unlimited" sentinel; accepting it
+            // here would silently disable the limit the user asked for.
+            if n == 0 {
+                return Err(
+                    "--budget-steps: step budget must be at least 1 (omit the flag for unlimited)"
+                        .to_owned(),
+                );
+            }
             guard.budget = guard.budget.steps(n);
         } else if let Some(v) = flag_value(a, "--budget-frames", &mut iter)? {
             let n: u64 = v
                 .parse()
                 .map_err(|_| format!("--budget-frames: invalid frame count `{v}`"))?;
+            if n == 0 {
+                return Err(
+                    "--budget-frames: frame budget must be at least 1 (omit the flag for unlimited)"
+                        .to_owned(),
+                );
+            }
             guard.budget = guard.budget.frames(n);
         } else if let Some(v) = flag_value(a, "--deadline", &mut iter)? {
             let secs: f64 = v
@@ -300,6 +326,88 @@ fn extract_stats(args: &[String]) -> Result<(StatsOpts, Vec<String>), String> {
     Ok((opts, rest))
 }
 
+/// Extracts `--cache-dir PATH` / `--cache-dir=PATH` and `--no-cache`,
+/// returning the cache directory (`None` when absent or disabled by
+/// `--no-cache`) and the remaining arguments.
+fn extract_cache(args: &[String]) -> Result<(Option<String>, Vec<String>), String> {
+    let mut dir: Option<String> = None;
+    let mut no_cache = false;
+    let mut rest = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--no-cache" {
+            no_cache = true;
+        } else if let Some(v) = flag_value(a, "--cache-dir", &mut iter)? {
+            dir = Some(v);
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((if no_cache { None } else { dir }, rest))
+}
+
+/// Opens the persistent summary cache at `dir` (when set) and attaches it
+/// to the engine. Only failing to create/open the directory itself is
+/// fatal; unusable *entries* degrade to cold roots at lookup time.
+fn attach_cache(
+    engine: AnalysisEngine,
+    dir: &Option<String>,
+) -> Result<(AnalysisEngine, Option<Arc<PolicyCache>>), String> {
+    match dir {
+        None => Ok((engine, None)),
+        Some(d) => {
+            let cache = Arc::new(
+                PolicyCache::open(d.as_str()).map_err(|e| format!("--cache-dir {d}: {e}"))?,
+            );
+            Ok((engine.with_cache(Arc::clone(&cache)), Some(cache)))
+        }
+    }
+}
+
+/// Prints the cache's accumulated warnings to stderr. Deliberately kept
+/// out of [`finish`]'s exit-code fold: an unusable cache entry only means
+/// the root ran cold — the report is complete and exact, so the run must
+/// not claim the degraded exit state.
+fn report_cache_diags(cache: &Option<Arc<PolicyCache>>) {
+    if let Some(cache) = cache {
+        let mut diags = cache.take_diagnostics();
+        diags.sort();
+        for d in &diags {
+            eprintln!("{d}");
+        }
+    }
+}
+
+/// The degraded-mode flags understood by `analyze`/`export`/`diff`, used
+/// to give commands that run no analysis a pointed rejection.
+const GUARD_FLAG_NAMES: [&str; 5] = [
+    "--budget-steps",
+    "--budget-frames",
+    "--deadline",
+    "--inject-panic",
+    "--inject-sleep-ms",
+];
+
+/// Rejects every flag not in `allowed`, naming the offender. Guard flags
+/// get an explicit "wrong command" message instead of `unknown flag` so
+/// the user learns the flag exists but does not apply here.
+fn reject_unknown_flags(command: &str, flags: &[&str], allowed: &[&str]) -> Result<(), String> {
+    for f in flags {
+        let name = f.split('=').next().unwrap_or(f);
+        if allowed.contains(&name) {
+            continue;
+        }
+        if GUARD_FLAG_NAMES.contains(&name) {
+            return Err(format!(
+                "{name}: `{command}` runs no policy analysis, so degraded-mode limits do not \
+                 apply (use analyze, export, or diff)"
+            ));
+        }
+        return Err(format!("unknown flag `{name}` for `{command}`"));
+    }
+    Ok(())
+}
+
 /// Parses a flag set out of an argument list, returning remaining
 /// positional arguments.
 fn split_flags<'a>(args: &'a [String], flags: &mut Vec<&'a str>) -> Vec<&'a String> {
@@ -387,6 +495,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let rec = stats_opts.recorder();
     let mut flags = Vec::new();
     let paths = split_flags(&args, &mut flags);
+    reject_unknown_flags("check", &flags, &["--lint"])?;
     let lint = flags.contains(&"--lint");
     let mut diags = Vec::new();
     let program = load_program(&paths, &rec, &mut diags)?;
@@ -425,6 +534,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let (jobs, args) = extract_jobs(args)?;
     let (stats_opts, args) = extract_stats(&args)?;
     let (guard, args) = extract_guard(&args)?;
+    let (cache_dir, args) = extract_cache(&args)?;
     let rec = stats_opts.recorder();
     let mut flags = Vec::new();
     let paths = split_flags(&args, &mut flags);
@@ -434,7 +544,9 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let engine = AnalysisEngine::new(jobs)
         .with_recorder(rec.clone())
         .with_guard(guard);
+    let (engine, cache) = attach_cache(engine, &cache_dir)?;
     let (lib, _stats) = engine.analyze_library(&program, "input", options);
+    report_cache_diags(&cache);
     for (sig, entry) in &lib.entries {
         if entry.has_no_checks() {
             continue;
@@ -460,6 +572,7 @@ fn cmd_export(args: &[String]) -> Result<ExitCode, String> {
     let (jobs, args) = extract_jobs(args)?;
     let (stats_opts, args) = extract_stats(&args)?;
     let (guard, args) = extract_guard(&args)?;
+    let (cache_dir, args) = extract_cache(&args)?;
     let rec = stats_opts.recorder();
     let mut flags = Vec::new();
     let mut name = "library".to_owned();
@@ -480,7 +593,9 @@ fn cmd_export(args: &[String]) -> Result<ExitCode, String> {
     let engine = AnalysisEngine::new(jobs)
         .with_recorder(rec.clone())
         .with_guard(guard);
+    let (engine, cache) = attach_cache(engine, &cache_dir)?;
     let (lib, _stats) = engine.analyze_library(&program, &name, options);
+    report_cache_diags(&cache);
     print!("{}", export_policies(&lib));
     diags.extend(lib.degraded.values().cloned());
     stats_opts.emit(&rec)?;
@@ -491,6 +606,7 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let (jobs, args) = extract_jobs(args)?;
     let (stats_opts, args) = extract_stats(&args)?;
     let (guard, args) = extract_guard(&args)?;
+    let (cache_dir, args) = extract_cache(&args)?;
     let rec = stats_opts.recorder();
     let vs = args
         .iter()
@@ -508,7 +624,9 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let engine = AnalysisEngine::new(jobs)
         .with_recorder(rec.clone())
         .with_guard(guard);
+    let (engine, cache) = attach_cache(engine, &cache_dir)?;
     let report = compare_implementations_with(&left, "left", &right, "right", options, &engine);
+    report_cache_diags(&cache);
     if html {
         print!("{}", spo_core::render_html(&report.diff, &report.groups));
     } else {
@@ -530,6 +648,7 @@ fn cmd_throws(args: &[String]) -> Result<ExitCode, String> {
     let mut flags = Vec::new();
     let left_paths = split_flags(&args[..vs], &mut flags);
     let right_paths = split_flags(&args[vs + 1..], &mut flags);
+    reject_unknown_flags("throws", &flags, &[])?;
     let off = Recorder::disabled();
     let mut diags = Vec::new();
     let left = load_program(&left_paths, &off, &mut diags)?;
@@ -557,6 +676,41 @@ fn cmd_stats_validate(args: &[String]) -> Result<ExitCode, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     obs::json::validate_stats(&src).map_err(|e| format!("{path}: {e}"))?;
     println!("{path}: valid {} snapshot", obs::SCHEMA);
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `spo cache (stats|clear) --cache-dir PATH`: inspect or empty the
+/// persistent summary cache without running an analysis.
+fn cmd_cache(args: &[String]) -> Result<ExitCode, String> {
+    let action = args
+        .first()
+        .map(String::as_str)
+        .ok_or("cache needs an action: `stats` or `clear`")?;
+    let (cache_dir, rest) = extract_cache(&args[1..])?;
+    if let Some(extra) = rest.first() {
+        return Err(format!("cache: unexpected argument `{extra}`"));
+    }
+    let dir = cache_dir.ok_or("cache: `--cache-dir PATH` is required")?;
+    let cache = PolicyCache::open(dir.as_str()).map_err(|e| format!("--cache-dir {dir}: {e}"))?;
+    match action {
+        "stats" => {
+            let (files, bytes) = cache
+                .disk_usage()
+                .map_err(|e| format!("--cache-dir {dir}: {e}"))?;
+            println!("{}: {files} entries, {bytes} bytes", cache.dir().display());
+        }
+        "clear" => {
+            let removed = cache
+                .clear()
+                .map_err(|e| format!("--cache-dir {dir}: {e}"))?;
+            println!("{}: removed {removed} entries", cache.dir().display());
+        }
+        other => {
+            return Err(format!(
+                "cache: unknown action `{other}` (use stats or clear)"
+            ))
+        }
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -655,5 +809,82 @@ mod tests {
     fn extract_stats_missing_path_is_an_error() {
         let err = extract_stats(&argv(&["--stats-json"])).unwrap_err();
         assert!(err.contains("needs a file path"), "{err}");
+    }
+
+    #[test]
+    fn extract_guard_rejects_zero_budgets() {
+        // 0 is the Budget-internal "unlimited" sentinel: before the fix it
+        // was accepted and silently disabled the requested limit.
+        for form in [
+            &["--budget-steps", "0"][..],
+            &["--budget-steps=0"][..],
+            &["--budget-frames", "0"][..],
+            &["--budget-frames=0"][..],
+        ] {
+            let err = extract_guard(&argv(form)).unwrap_err();
+            assert!(err.contains("at least 1"), "{form:?}: {err}");
+            assert!(
+                err.contains("omit the flag for unlimited"),
+                "{form:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn extract_guard_accepts_positive_budgets() {
+        let (guard, rest) = extract_guard(&argv(&[
+            "a.jir",
+            "--budget-steps",
+            "5",
+            "--budget-frames=7",
+        ]))
+        .unwrap();
+        assert_eq!(guard.budget.max_steps, 5);
+        assert_eq!(guard.budget.max_frames, 7);
+        assert_eq!(rest, argv(&["a.jir"]));
+    }
+
+    #[test]
+    fn extract_cache_both_forms() {
+        let (dir, rest) = extract_cache(&argv(&["a.jir", "--cache-dir", "/tmp/c"])).unwrap();
+        assert_eq!(dir.as_deref(), Some("/tmp/c"));
+        assert_eq!(rest, argv(&["a.jir"]));
+
+        let (dir, rest) = extract_cache(&argv(&["--cache-dir=/tmp/c", "a.jir"])).unwrap();
+        assert_eq!(dir.as_deref(), Some("/tmp/c"));
+        assert_eq!(rest, argv(&["a.jir"]));
+    }
+
+    #[test]
+    fn extract_cache_no_cache_wins() {
+        let (dir, rest) =
+            extract_cache(&argv(&["--cache-dir", "/tmp/c", "--no-cache", "a.jir"])).unwrap();
+        assert_eq!(dir, None);
+        assert_eq!(rest, argv(&["a.jir"]));
+    }
+
+    #[test]
+    fn extract_cache_missing_value_is_an_error() {
+        let err = extract_cache(&argv(&["--cache-dir"])).unwrap_err();
+        assert!(err.contains("--cache-dir needs a value"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_are_named_in_the_error() {
+        let err = reject_unknown_flags("check", &["--lint", "--wat"], &["--lint"]).unwrap_err();
+        assert!(err.contains("--wat"), "{err}");
+        assert!(err.contains("check"), "{err}");
+        // `=value` forms report the bare flag name.
+        let err = reject_unknown_flags("throws", &["--frob=3"], &[]).unwrap_err();
+        assert!(err.contains("unknown flag `--frob`"), "{err}");
+    }
+
+    #[test]
+    fn guard_flags_get_a_pointed_rejection_from_check() {
+        for f in GUARD_FLAG_NAMES {
+            let err = reject_unknown_flags("check", &[f], &["--lint"]).unwrap_err();
+            assert!(err.contains(f), "{err}");
+            assert!(err.contains("no policy analysis"), "{err}");
+        }
     }
 }

@@ -643,3 +643,48 @@ fn sigint_yields_partial_report_and_valid_stats() {
     security_policy_oracle::obs::json::validate_stats(&json).expect("schema-valid snapshot");
     assert!(json.contains("\"cause\": \"cancel\""), "{json}");
 }
+
+/// A zero budget is the guard-internal "unlimited" sentinel; passing it
+/// on the command line used to be accepted and silently disabled the
+/// requested limit.
+#[test]
+fn zero_budgets_are_rejected() {
+    let f = write_temp("zero-budget.jir", CHECKED);
+    for flag in ["--budget-steps", "--budget-frames"] {
+        let out = spo(&["analyze", f.to_str().unwrap(), flag, "0"]);
+        assert_eq!(out.status.code(), Some(3), "{flag}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(flag), "{stderr}");
+        assert!(stderr.contains("omit the flag for unlimited"), "{stderr}");
+    }
+}
+
+/// `check` and `throws` used to swallow unrecognized flags silently; now
+/// they fail fast naming the flag, and `check` points guard flags at the
+/// commands that actually run an analysis.
+#[test]
+fn unknown_flags_are_rejected_not_swallowed() {
+    let f = write_temp("unknown-flag.jir", CHECKED);
+    let path = f.to_str().unwrap();
+
+    let out = spo(&["check", path, "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--frobnicate"), "{stderr}");
+
+    let out = spo(&["check", path, "--budget-steps", "5"]);
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--budget-steps"), "{stderr}");
+    assert!(stderr.contains("no policy analysis"), "{stderr}");
+
+    let out = spo(&["throws", path, "--wat", "--vs", path]);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--wat"));
+
+    // `--lint` is still accepted (exit 1 here is lint findings, not the
+    // fatal flag-rejection exit).
+    let out = spo(&["check", path, "--lint"]);
+    assert_ne!(out.status.code(), Some(3), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("lint finding"));
+}
