@@ -28,7 +28,9 @@ use spo_cache::PolicyCache;
 use spo_core::{AnalysisOptions, MemoScope};
 use spo_corpus::Lib;
 use spo_engine::{AnalysisEngine, EngineStats};
+use spo_guard::GuardConfig;
 use spo_obs::Snapshot;
+use spo_serve::{OptionsSpec, Registry};
 use std::sync::Arc;
 
 /// Paper values in minutes: rows (no-memo, per-entry, global) × (may, must)
@@ -195,6 +197,80 @@ fn measure_warm_cache(corpus: &spo_corpus::Corpus) -> (Vec<Measurement>, Vec<Mea
     (cold, warm)
 }
 
+/// Warm-query latency through the resident registry (`spo serve`,
+/// DESIGN.md §12).
+struct ServeLatency {
+    /// One cold request: full analysis of the library plus report
+    /// rendering — what a one-shot `spo analyze` pays after parsing.
+    cold_ms: f64,
+    /// Client-observed warm-query latency percentiles over `queries`
+    /// single-entry-point queries served from the resident policies.
+    p50_ms: f64,
+    p99_ms: f64,
+    queries: usize,
+}
+
+impl ServeLatency {
+    fn speedup(&self) -> f64 {
+        if self.p50_ms > 0.0 {
+            self.cold_ms / self.p50_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Stands up an in-process `spo-serve` registry on the jdk library, pays
+/// one cold analyze, then times warm queries against the resident
+/// policies — the daemon's `query` path minus the socket hop.
+fn measure_serve(corpus: &spo_corpus::Corpus) -> ServeLatency {
+    use std::time::Instant;
+    const QUERIES: usize = 100;
+    let path = std::env::temp_dir().join(format!("spo-table2-serve-{}.jir", std::process::id()));
+    std::fs::write(&path, spo_jir::print_program(corpus.program(Lib::Jdk)))
+        .expect("write serve corpus");
+    let registry = Registry::new(1, None, spo_obs::Recorder::disabled());
+    registry
+        .load("jdk", &[path.to_string_lossy().into_owned()])
+        .expect("load serve corpus");
+    let _ = std::fs::remove_file(&path);
+    let entry = registry.get("jdk").expect("loaded program");
+    let (guard, spec) = (GuardConfig::default(), OptionsSpec::default());
+
+    let cold = Instant::now();
+    let (a, warm) = registry.analysis(&entry, spec, &guard);
+    assert!(!warm, "first serve request must be cold");
+    let _ = spo_core::render_analysis(&a.lib);
+    let cold_ms = cold.elapsed().as_secs_f64() * 1e3;
+
+    // Query an entry point that actually carries a policy (checkless
+    // entries render as the empty string, by the listing's contract).
+    let sig = a
+        .lib
+        .entries
+        .iter()
+        .find(|(_, e)| !e.has_no_checks())
+        .map(|(sig, _)| sig.clone())
+        .expect("an entry point with checks");
+    let mut lat: Vec<f64> = (0..QUERIES)
+        .map(|_| {
+            let t = Instant::now();
+            let (a, warm) = registry.analysis(&entry, spec, &guard);
+            let report = spo_core::render_entry(&sig, &a.lib.entries[&sig]);
+            let elapsed = t.elapsed().as_secs_f64() * 1e3;
+            assert!(warm && !report.is_empty(), "queries must serve warm");
+            elapsed
+        })
+        .collect();
+    lat.sort_by(f64::total_cmp);
+    ServeLatency {
+        cold_ms,
+        p50_ms: lat[QUERIES / 2],
+        p99_ms: lat[QUERIES * 99 / 100],
+        queries: QUERIES,
+    }
+}
+
 /// One instrumented (recorder-enabled) global-memo run of one library.
 struct Instrumented {
     config: &'static str,
@@ -242,6 +318,7 @@ fn write_json(
     scale: f64,
     runs: &[Vec<Measurement>],
     instrumented: &[Vec<Instrumented>],
+    serve: &ServeLatency,
 ) -> std::io::Result<()> {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -338,13 +415,20 @@ fn write_json(
     let _ = writeln!(out, "  \"warm_edit_wall_ms\": {warm_edit:.3},");
     let _ = writeln!(
         out,
-        "  \"warm_cache_speedup\": {:.3}",
+        "  \"warm_cache_speedup\": {:.3},",
         if warm_edit > 0.0 {
             cold_edit / warm_edit
         } else {
             0.0
         }
     );
+    // Serving headline: warm resident queries vs the cold analyze they
+    // replace (`spo serve`; acceptance floor 10x).
+    let _ = writeln!(out, "  \"serve_queries\": {},", serve.queries);
+    let _ = writeln!(out, "  \"serve_cold_analyze_ms\": {:.3},", serve.cold_ms);
+    let _ = writeln!(out, "  \"serve_query_p50_ms\": {:.4},", serve.p50_ms);
+    let _ = writeln!(out, "  \"serve_query_p99_ms\": {:.4},", serve.p99_ms);
+    let _ = writeln!(out, "  \"serve_warm_speedup\": {:.1}", serve.speedup());
     out.push_str("}\n");
     std::fs::write(path, out)
 }
@@ -473,6 +557,28 @@ fn main() {
     runs.push(cold_edit);
     runs.push(warm_edit);
 
+    // Resident-daemon warm queries (spo serve): one cold analyze, then
+    // repeat queries answered from the warm policy map.
+    eprintln!("measuring resident (spo serve) warm-query latency ...");
+    let serve = measure_serve(&corpus);
+    let mut table = Table::new(vec![
+        "cold analyze ms",
+        "warm query p50 ms",
+        "warm query p99 ms",
+        "speedup",
+    ]);
+    table.row(vec![
+        format!("{:.1}", serve.cold_ms),
+        format!("{:.4}", serve.p50_ms),
+        format!("{:.4}", serve.p99_ms),
+        format!("{:.0}x", serve.speedup()),
+    ]);
+    println!(
+        "Resident warm queries, jdk, {} queries (spo serve)\n",
+        serve.queries
+    );
+    println!("{}", table.render());
+
     // Instrumented (recorder-enabled) global-memo runs — separate from the
     // timed runs so the recorder can't perturb the timings above.
     eprintln!("instrumenting global-memo runs (recorder enabled) ...");
@@ -504,7 +610,7 @@ fn main() {
     println!("Cache efficiency and fixpoint cost (instrumented runs)\n");
     println!("{}", table.render());
 
-    match write_json("BENCH_table2.json", scale, &runs, &instrumented) {
+    match write_json("BENCH_table2.json", scale, &runs, &instrumented, &serve) {
         Ok(()) => eprintln!("wrote BENCH_table2.json"),
         Err(e) => eprintln!("BENCH_table2.json: {e}"),
     }

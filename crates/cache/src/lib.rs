@@ -84,7 +84,8 @@ use spo_jir::{
 use spo_resolve::{CallGraph, Hierarchy};
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
 
 /// The on-disk format version. Any change to the entry serialization, the
 /// key derivation, or the analysis semantics the cached policies depend on
@@ -270,7 +271,11 @@ struct Store {
 #[derive(Debug)]
 pub struct PolicyCache {
     dir: PathBuf,
-    store: Mutex<Store>,
+    // Read-mostly once warm: a resident process (the serve daemon) shares
+    // one handle across many concurrent sessions whose lookups vastly
+    // outnumber write-backs, so reads take a shared lock and only
+    // store/flush/invalidation take the exclusive one.
+    store: RwLock<Store>,
     stats: Mutex<CacheStats>,
     diagnostics: Mutex<Vec<Diagnostic>>,
 }
@@ -291,7 +296,7 @@ impl PolicyCache {
         std::fs::create_dir_all(&dir)?;
         let cache = PolicyCache {
             dir,
-            store: Mutex::new(Store::default()),
+            store: RwLock::new(Store::default()),
             stats: Mutex::new(CacheStats::default()),
             diagnostics: Mutex::new(Vec::new()),
         };
@@ -335,8 +340,12 @@ impl PolicyCache {
         self.dir.join(PACK_FILE)
     }
 
-    fn lock_store(&self) -> std::sync::MutexGuard<'_, Store> {
-        self.store.lock().unwrap_or_else(|e| e.into_inner())
+    fn read_store(&self) -> std::sync::RwLockReadGuard<'_, Store> {
+        self.store.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_store(&self) -> std::sync::RwLockWriteGuard<'_, Store> {
+        self.store.write().unwrap_or_else(|e| e.into_inner())
     }
 
     fn lock_stats(&self) -> std::sync::MutexGuard<'_, CacheStats> {
@@ -357,7 +366,10 @@ impl PolicyCache {
     /// from the store (healed on flush), and emits a diagnostic. Either
     /// way the caller analyzes cold.
     pub fn lookup(&self, root_key: u64, table: &ContentTable) -> Option<(String, EntryPolicy)> {
-        let mut store = self.lock_store();
+        // The hot path (hit, miss, stale) only reads, so concurrent
+        // sessions validate under the shared lock; the exclusive lock is
+        // taken only to drop an undecodable entry below.
+        let store = self.read_store();
         let Some(blob) = store.entries.get(&root_key) else {
             drop(store);
             self.lock_stats().misses += 1;
@@ -380,8 +392,13 @@ impl PolicyCache {
                 None
             }
             Err(why) => {
-                store.entries.remove(&root_key);
-                store.dirty = true;
+                drop(store);
+                // Re-acquire exclusively; removal is idempotent if another
+                // session already dropped the same corrupt entry.
+                let mut store = self.lock_store();
+                if store.entries.remove(&root_key).is_some() {
+                    store.dirty = true;
+                }
                 drop(store);
                 self.lock_stats().invalidated += 1;
                 self.diag(
@@ -413,9 +430,15 @@ impl PolicyCache {
         }
         let pack = render_pack(&store.entries);
         let path = self.pack_path();
-        let tmp = self
-            .dir
-            .join(format!("{PACK_FILE}.tmp-{}", std::process::id()));
+        // pid + per-process sequence: two sessions of one resident daemon
+        // flushing the same directory concurrently must not share a temp
+        // file (the rename itself is atomic either way).
+        static FLUSH_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            "{PACK_FILE}.tmp-{}-{}",
+            std::process::id(),
+            FLUSH_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         let result = std::fs::write(&tmp, &pack).and_then(|()| std::fs::rename(&tmp, &path));
         match result {
             Ok(()) => store.dirty = false,
@@ -445,7 +468,7 @@ impl PolicyCache {
     /// Returns the underlying error if the pack file's metadata cannot be
     /// read (a missing pack is simply empty, not an error).
     pub fn disk_usage(&self) -> std::io::Result<(usize, u64)> {
-        let entries = self.lock_store().entries.len();
+        let entries = self.read_store().entries.len();
         match std::fs::metadata(self.pack_path()) {
             Ok(meta) => Ok((entries, meta.len())),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok((entries, 0)),

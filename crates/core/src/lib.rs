@@ -43,7 +43,8 @@ pub use html::render_html;
 pub use ispa::{AnalysisOptions, Analyzer, MemoScope, PolicyDomain};
 pub use policy::{render_dnf, AnalysisStats, EntryPolicy, EventPolicy, LibraryPolicies, Origins};
 pub use report::{
-    group_differences, render_reports, root_keys, ReportGroup, ReportTally, RootCause,
+    group_differences, render_analysis, render_entry, render_reports, root_keys, ReportGroup,
+    ReportTally, RootCause,
 };
 pub use store::{LocalStore, MemoKey, ShardStats, SharedStore, Summary, SummaryStore};
 pub use throws::{diff_throws, LibraryThrows, ThrowSet, ThrowsAnalyzer, ThrowsDifference};

@@ -7,7 +7,7 @@
 //! that can exploit the error is shown in parentheses."
 
 use crate::diff::{DiffResult, DifferenceKind, PolicyDifference};
-use crate::policy::render_dnf;
+use crate::policy::{render_dnf, EntryPolicy, LibraryPolicies};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -137,6 +137,46 @@ impl ReportTally {
     pub fn total_manifestations(&self) -> usize {
         self.intraprocedural.1 + self.interprocedural.1 + self.must_may.1
     }
+}
+
+/// Renders one entry point's policy block as the `analyze` listing shows
+/// it: an `entry <signature>` header plus one two-space-indented policy
+/// line per event (multi-line policies stay indented). An entry with no
+/// checks renders as the empty string — the listing omits it.
+pub fn render_entry(signature: &str, entry: &EntryPolicy) -> String {
+    use std::fmt::Write as _;
+    if entry.has_no_checks() {
+        return String::new();
+    }
+    let mut out = String::new();
+    writeln!(out, "entry {signature}").unwrap();
+    for (event, policy) in &entry.events {
+        writeln!(out, "  {}", policy.render(event).replace('\n', "\n  ")).unwrap();
+    }
+    out
+}
+
+/// Renders a library's complete per-entry policy listing: every entry with
+/// checks (via [`render_entry`], in signature order) followed by the `#`
+/// summary footer. This is the single source of the `spo analyze` report
+/// bytes — the one-shot CLI and the resident daemon both print exactly
+/// this string, which is what makes their outputs byte-comparable.
+pub fn render_analysis(lib: &LibraryPolicies) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (sig, entry) in &lib.entries {
+        out.push_str(&render_entry(sig, entry));
+    }
+    writeln!(
+        out,
+        "# {} entry points, {} with checks, {} may / {} must policies",
+        lib.stats.entry_points,
+        lib.entries_with_checks(),
+        lib.may_policy_count(),
+        lib.must_policy_count(),
+    )
+    .unwrap();
+    out
 }
 
 /// Renders grouped reports as a human-readable listing, most-manifested

@@ -183,6 +183,56 @@ pub struct AnalysisEngine {
     recorder: Recorder,
     guard: GuardConfig,
     cache: Option<Arc<PolicyCache>>,
+    resident: Option<Arc<ResidentStore>>,
+}
+
+/// A MAY/MUST summary-store pair that outlives a single engine run, so a
+/// resident process (the `spo serve` daemon) can re-enter the analysis
+/// with its memo tables already warm instead of building a fresh pair per
+/// run.
+///
+/// Reuse is sound because only *clean* summaries are memoized and a clean
+/// summary is a pure function of its memo key — but that key names methods
+/// by program-local [`MethodId`] and the summaries depend on the
+/// [`AnalysisOptions`]. A resident store must therefore only ever be
+/// attached for **one (program, options) pairing** and dropped when the
+/// program is reloaded; the serving layer enforces this by keying stores
+/// on both.
+pub struct ResidentStore {
+    may: SharedStore<Dnf>,
+    must: SharedStore<MustSet>,
+}
+
+impl std::fmt::Debug for ResidentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResidentStore")
+            .field("summaries", &self.summaries())
+            .finish()
+    }
+}
+
+impl ResidentStore {
+    /// A fresh, empty resident pair with `shards` shards per store.
+    pub fn new(shards: usize) -> ResidentStore {
+        let shards = shards.max(1);
+        ResidentStore {
+            may: SharedStore::new(shards),
+            must: SharedStore::new(shards),
+        }
+    }
+
+    /// Number of memoized summaries currently held (both passes).
+    pub fn summaries(&self) -> usize {
+        use spo_core::SummaryStore as _;
+        self.may.len() + self.must.len()
+    }
+}
+
+impl Default for ResidentStore {
+    /// Matches the engine's default shard count.
+    fn default() -> ResidentStore {
+        ResidentStore::new(16)
+    }
 }
 
 impl Default for AnalysisEngine {
@@ -202,7 +252,24 @@ impl AnalysisEngine {
             recorder: Recorder::disabled(),
             guard: GuardConfig::default(),
             cache: None,
+            resident: None,
         }
+    }
+
+    /// Attaches a [`ResidentStore`]: runs with [`MemoScope::Global`]
+    /// borrow it instead of building a store pair per run, so repeat
+    /// analyses in a long-lived process start with every previously proven
+    /// clean summary already memoized. The caller owns the keying
+    /// discipline documented on [`ResidentStore`] — one store per
+    /// (program, options) pairing. Other memo scopes ignore it.
+    pub fn with_resident(mut self, resident: Arc<ResidentStore>) -> Self {
+        self.resident = Some(resident);
+        self
+    }
+
+    /// The attached resident store, if any.
+    pub fn resident(&self) -> Option<&Arc<ResidentStore>> {
+        self.resident.as_ref()
     }
 
     /// Attaches a persistent summary cache: roots whose cone key has a
@@ -327,10 +394,21 @@ impl AnalysisEngine {
 
         // Global scope shares one sharded store pair across all workers;
         // other scopes get per-root local stores inside the worker, which
-        // reproduces PerEntry's clear-between-roots semantics.
-        let shared: Option<(SharedStore<Dnf>, SharedStore<MustSet>)> = (options.memo
-            == MemoScope::Global)
-            .then(|| (SharedStore::new(self.shards), SharedStore::new(self.shards)));
+        // reproduces PerEntry's clear-between-roots semantics. With a
+        // resident store attached the run borrows it instead of building
+        // its own pair, so clean summaries survive into the next run —
+        // sound because they are pure functions of their memo key (see
+        // [`ResidentStore`] for the keying discipline this relies on).
+        let owned: Option<(SharedStore<Dnf>, SharedStore<MustSet>)> =
+            (options.memo == MemoScope::Global && self.resident.is_none())
+                .then(|| (SharedStore::new(self.shards), SharedStore::new(self.shards)));
+        let shared: Option<(&SharedStore<Dnf>, &SharedStore<MustSet>)> = match &self.resident {
+            Some(r) if options.memo == MemoScope::Global => Some((&r.may, &r.must)),
+            _ => owned.as_ref().map(|(may, must)| (may, must)),
+        };
+        // A resident store's counters accumulate across runs; snapshot them
+        // so this run's stats report only its own traffic.
+        let shards_before = shared.map(|(may, must)| (may.shard_stats(), must.shard_stats()));
 
         // Contiguous blocks per worker: neighbouring roots tend to share
         // callees, so block ownership maximizes warm memo paths; stealing
@@ -362,7 +440,6 @@ impl AnalysisEngine {
                 let steals = &steals;
                 let results = &results;
                 let faults = &faults;
-                let shared = &shared;
                 let guard = &self.guard;
                 s.spawn(move || {
                     let worker_roots = rec.work_counter(&format!("engine.worker{w:02}.roots"));
@@ -505,12 +582,12 @@ impl AnalysisEngine {
             },
             steals: steals.into_inner(),
             may_shards: shared
-                .as_ref()
-                .map(|(m, _)| m.shard_stats())
+                .zip(shards_before.as_ref())
+                .map(|((m, _), (before, _))| shard_delta(m.shard_stats(), before))
                 .unwrap_or_default(),
             must_shards: shared
-                .as_ref()
-                .map(|(_, m)| m.shard_stats())
+                .zip(shards_before.as_ref())
+                .map(|((_, m), (_, before))| shard_delta(m.shard_stats(), before))
                 .unwrap_or_default(),
             wall_nanos: t0.elapsed().as_nanos(),
             roots_degraded: degraded.len() as u64,
@@ -634,6 +711,22 @@ impl AnalysisEngine {
     }
 }
 
+/// This run's share of a (possibly resident, hence accumulating) store's
+/// shard counters: traffic counters are deltas against the pre-run
+/// snapshot, while `entries` stays the absolute store population.
+fn shard_delta(after: Vec<ShardStats>, before: &[ShardStats]) -> Vec<ShardStats> {
+    after
+        .into_iter()
+        .zip(before)
+        .map(|(a, b)| ShardStats {
+            hits: a.hits - b.hits,
+            misses: a.misses - b.misses,
+            contended: a.contended.saturating_sub(b.contended),
+            entries: a.entries,
+        })
+        .collect()
+}
+
 /// Pops the next root for worker `w`: front of its own deque, else stolen
 /// from the back of the first non-empty victim.
 ///
@@ -707,6 +800,53 @@ class t.A {
 "#,
         )
         .unwrap()
+    }
+
+    #[test]
+    fn resident_store_warms_repeat_runs_and_stays_byte_identical() {
+        let program = sample_program();
+        let options = AnalysisOptions::default();
+        let (cold, _) = AnalysisEngine::new(2).analyze_library(&program, "t", options);
+
+        let resident = Arc::new(ResidentStore::new(4));
+        let engine = AnalysisEngine::new(2).with_resident(Arc::clone(&resident));
+        let (first, s1) = engine.analyze_library(&program, "t", options);
+        assert_eq!(first.entries, cold.entries);
+        let warmed = resident.summaries();
+        assert!(warmed > 0, "first run populates the resident store");
+        let miss = |s: &EngineStats| {
+            s.may_shards
+                .iter()
+                .chain(&s.must_shards)
+                .map(|sh| sh.misses)
+                .sum::<u64>()
+        };
+        assert!(miss(&s1) > 0, "an empty store starts with misses");
+
+        let (second, s2) = engine.analyze_library(&program, "t", options);
+        assert_eq!(second.entries, cold.entries, "reuse is byte-identical");
+        assert_eq!(
+            resident.summaries(),
+            warmed,
+            "a repeat run re-derives nothing"
+        );
+        assert!(
+            miss(&s2) < miss(&s1),
+            "resident summaries absorb repeat lookups ({} vs {})",
+            miss(&s2),
+            miss(&s1)
+        );
+
+        // Non-global scopes ignore the resident store entirely.
+        let per_entry = AnalysisOptions {
+            memo: MemoScope::PerEntry,
+            ..options
+        };
+        let serial = Analyzer::new(&program, per_entry).analyze_library("t");
+        let (lib, stats) = engine.analyze_library(&program, "t", per_entry);
+        assert_eq!(lib.entries, serial.entries);
+        assert!(stats.may_shards.is_empty());
+        assert_eq!(resident.summaries(), warmed);
     }
 
     #[test]

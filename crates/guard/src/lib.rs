@@ -168,17 +168,32 @@ impl Budget {
     }
 }
 
+/// One link of a cancellation chain: a flag plus an optional parent.
+/// Cancellation propagates *down* the chain only — cancelling a child
+/// never touches the parent, while a cancelled parent cancels every
+/// descendant at its next [`CancelToken::is_cancelled`] read.
+#[derive(Debug, Default)]
+struct CancelNode {
+    flag: AtomicBool,
+    parent: Option<Arc<CancelNode>>,
+}
+
 /// A shared cooperative cancellation flag.
 ///
 /// Cloning shares the flag. [`CancelToken::never`] (the default) carries no
 /// flag at all and can never be cancelled — governed code pays one branch.
+///
+/// [`CancelToken::child`] derives a *linked* token for scoped work (one
+/// server request, one batch item): the child observes the parent's
+/// cancellation but can also be cancelled on its own without affecting
+/// siblings — the shape per-request admission control needs.
 #[derive(Clone, Debug, Default)]
-pub struct CancelToken(Option<Arc<AtomicBool>>);
+pub struct CancelToken(Option<Arc<CancelNode>>);
 
 impl CancelToken {
     /// Creates a live token, initially not cancelled.
     pub fn new() -> CancelToken {
-        CancelToken(Some(Arc::new(AtomicBool::new(false))))
+        CancelToken(Some(Arc::new(CancelNode::default())))
     }
 
     /// A token that can never be cancelled (allocation-free).
@@ -186,18 +201,35 @@ impl CancelToken {
         CancelToken(None)
     }
 
+    /// Derives a linked child token: cancelled once either it or this
+    /// token (or any further ancestor) is cancelled. Cancelling the child
+    /// leaves this token — and every sibling child — untouched. A child of
+    /// [`CancelToken::never`] is an ordinary independent token.
+    pub fn child(&self) -> CancelToken {
+        CancelToken(Some(Arc::new(CancelNode {
+            flag: AtomicBool::new(false),
+            parent: self.0.clone(),
+        })))
+    }
+
     /// Requests cancellation. Safe to call from any thread, repeatedly.
     pub fn cancel(&self) {
-        if let Some(flag) = &self.0 {
-            flag.store(true, Ordering::Relaxed);
+        if let Some(node) = &self.0 {
+            node.flag.store(true, Ordering::Relaxed);
         }
     }
 
-    /// Returns `true` once [`CancelToken::cancel`] has been called.
+    /// Returns `true` once [`CancelToken::cancel`] has been called on this
+    /// token or any ancestor it was [derived](CancelToken::child) from.
     pub fn is_cancelled(&self) -> bool {
-        self.0
-            .as_ref()
-            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+        let mut node = self.0.as_deref();
+        while let Some(n) = node {
+            if n.flag.load(Ordering::Relaxed) {
+                return true;
+            }
+            node = n.parent.as_deref();
+        }
+        false
     }
 }
 
@@ -475,6 +507,29 @@ impl GuardConfig {
         Governor::new(self.budget, self.cancel.clone())
     }
 
+    /// Derives the admission-control configuration for one unit of served
+    /// work (one daemon request): the budget is tightened by `timeout` if
+    /// given (keeping any earlier, stricter deadline), and the cancel token
+    /// becomes a linked [child](CancelToken::child) — cancellable on its
+    /// own without affecting sibling requests, while still observing a
+    /// cancellation of this base configuration (e.g. daemon shutdown).
+    ///
+    /// The returned config shares no mutable state with `self` beyond the
+    /// cancellation chain; keep a clone of its `cancel` field to cancel the
+    /// request later.
+    pub fn for_request(&self, timeout: Option<Duration>) -> GuardConfig {
+        let mut derived = self.clone();
+        derived.cancel = self.cancel.child();
+        if let Some(timeout) = timeout {
+            let requested = Instant::now() + timeout;
+            derived.budget.deadline = Some(match self.budget.deadline {
+                Some(base) => base.min(requested),
+                None => requested,
+            });
+        }
+        derived
+    }
+
     /// Test-only fault injection: panics if `signature` matches the plan.
     /// Also applies the injected per-root sleep.
     pub fn maybe_inject(&self, signature: &str) {
@@ -608,6 +663,46 @@ mod tests {
         let fault = quarantine(|| cfg.maybe_inject("t.A.read()")).unwrap_err();
         assert_eq!(fault.cause, Cause::Panic);
         assert!(fault.message.contains("t.A.read()"));
+    }
+
+    #[test]
+    fn child_tokens_observe_parent_but_not_siblings() {
+        let parent = CancelToken::new();
+        let a = parent.child();
+        let b = parent.child();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!b.is_cancelled(), "sibling must stay live");
+        assert!(!parent.is_cancelled(), "child cancel must not propagate up");
+        parent.cancel();
+        assert!(b.is_cancelled(), "parent cancel reaches every child");
+        // A child of `never` is an ordinary independent token.
+        let orphan = CancelToken::never().child();
+        assert!(!orphan.is_cancelled());
+        orphan.cancel();
+        assert!(orphan.is_cancelled());
+    }
+
+    #[test]
+    fn for_request_tightens_deadline_and_links_cancel() {
+        let base = GuardConfig {
+            budget: Budget::default().deadline_in(Duration::from_secs(3600)),
+            cancel: CancelToken::new(),
+            ..GuardConfig::default()
+        };
+        // A shorter request timeout wins over the (looser) base deadline.
+        let req = base.for_request(Some(Duration::from_millis(1)));
+        assert!(req.budget.deadline.unwrap() < base.budget.deadline.unwrap());
+        // A looser request timeout keeps the stricter base deadline.
+        let loose = base.for_request(Some(Duration::from_secs(7200)));
+        assert_eq!(loose.budget.deadline, base.budget.deadline);
+        // No timeout: budget untouched, but the token is still a child.
+        let plain = base.for_request(None);
+        assert_eq!(plain.budget.deadline, base.budget.deadline);
+        plain.cancel.cancel();
+        assert!(!base.cancel.is_cancelled());
+        base.cancel.cancel();
+        assert!(base.for_request(None).cancel.is_cancelled());
     }
 
     #[test]

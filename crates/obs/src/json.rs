@@ -75,6 +75,61 @@ impl Value {
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object().and_then(|m| m.get(key))
     }
+
+    /// Renders the value as a single-line JSON document with no
+    /// insignificant whitespace and object keys in sorted order — the
+    /// deterministic form used to embed documents (e.g. a stats snapshot)
+    /// inside line-delimited protocols.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => out.push_str(&n.to_string()),
+            Value::Float(f) => {
+                // `{}` on f64 round-trips through the parser; non-finite
+                // values have no JSON spelling, so degrade them to null.
+                if f.is_finite() {
+                    out.push_str(&format!("{f}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Parses a JSON document. Returns an error message with a byte offset on
@@ -425,6 +480,26 @@ mod tests {
         let doc = format!("{{\"k\": \"{}\"}}", escape(nasty));
         let v = parse(&doc).unwrap();
         assert_eq!(v.get("k").unwrap().as_str().unwrap(), nasty);
+    }
+
+    #[test]
+    fn compact_rendering_roundtrips_and_is_deterministic() {
+        let doc = r#"{"z": 1, "a": [true, null, "x\n\"y"], "m": {"k": 2.5}}"#;
+        let v = parse(doc).unwrap();
+        let compact = v.to_compact();
+        // Single line, keys sorted, no insignificant whitespace.
+        assert_eq!(compact, r#"{"a":[true,null,"x\n\"y"],"m":{"k":2.5},"z":1}"#);
+        // Round-trips to the same value and the same bytes.
+        let again = parse(&compact).unwrap();
+        assert_eq!(again, v);
+        assert_eq!(again.to_compact(), compact);
+        // A full multi-line snapshot compacts to one valid line.
+        let rec = crate::Recorder::new();
+        rec.counter("a").add(1);
+        rec.duration("d").record(100);
+        let line = parse(&rec.snapshot().to_json()).unwrap().to_compact();
+        assert!(!line.contains('\n'));
+        validate_stats(&line).unwrap();
     }
 
     #[test]

@@ -458,6 +458,25 @@ impl HistSnapshot {
             .last()
             .map_or(0, |&(i, _)| bucket_range(i as usize).1)
     }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// holding the ⌈q·count⌉-th smallest observation — the log₂-bucket
+    /// estimate behind the serving layer's p50/p99 latency reporting.
+    /// Returns 0 when empty; `q` outside `[0, 1]` is clamped.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_range(i as usize).1;
+            }
+        }
+        self.max_bucket_bound()
+    }
 }
 
 /// An immutable snapshot of a [`Recorder`]: the four schema sections.
@@ -679,6 +698,21 @@ mod tests {
         assert_eq!(hs.sum, 1035);
         assert_eq!(hs.buckets, vec![(0, 1), (1, 1), (3, 2), (11, 1)]);
         assert_eq!(hs.max_bucket_bound(), 2047);
+    }
+
+    #[test]
+    fn quantiles_pick_bucket_upper_bounds() {
+        assert_eq!(HistSnapshot::default().quantile(0.5), 0);
+        // 5 observations: buckets (1,1)→[1,1], (3,3)→[4,7], (11,1)→[1024,2047].
+        let hs = HistSnapshot {
+            count: 5,
+            sum: 1 + 4 + 5 + 6 + 1024,
+            buckets: vec![(1, 1), (3, 3), (11, 1)],
+        };
+        assert_eq!(hs.quantile(0.0), 1); // clamped, first observation
+        assert_eq!(hs.quantile(0.5), 7); // 3rd of 5 lands in bucket 3
+        assert_eq!(hs.quantile(0.99), 2047);
+        assert_eq!(hs.quantile(2.0), 2047); // clamped
     }
 
     #[test]

@@ -1,0 +1,910 @@
+//! The daemon proper: listeners, session readers, a bounded worker pool,
+//! and the graceful drain.
+//!
+//! # Threading model
+//!
+//! * The calling thread runs the accept loop (non-blocking listeners,
+//!   ~20 ms poll) until a `shutdown` request or the daemon's cancel token
+//!   (SIGINT/SIGTERM in the CLI) ends intake.
+//! * One **reader thread per session** decodes request lines under the
+//!   line-length cap and pushes jobs onto a bounded queue — a full queue
+//!   blocks the reader, which is the admission backpressure.
+//! * `workers` **worker threads** pop jobs, route them through the
+//!   [`Registry`], and write the response under the session's writer lock,
+//!   so interleaved sessions never corrupt each other's lines.
+//!
+//! # Admission control
+//!
+//! Every request gets [`GuardConfig::for_request`]: a cancel token linked
+//! to the daemon's shutdown token plus the request's `timeout_ms` folded
+//! into the budget deadline (tightening, never loosening, the operator's
+//! base budget). An over-budget request degrades — typed response, partial
+//! result — without touching any other session.
+//!
+//! # Drain
+//!
+//! A `shutdown` request answers first, then stops intake and closes the
+//! queue. In-flight work gets `drain_grace` to finish naturally; past
+//! that, the shutdown token cancels it (requests finish degraded). Signal
+//! shutdown (SIGINT/SIGTERM) cancels in-flight work immediately, matching
+//! the one-shot CLI's cancel-and-report contract.
+
+use crate::proto::{self, ErrorKind, JsonObj, Method, Request, RequestError, RequestId};
+use crate::registry::Registry;
+use spo_cache::PolicyCache;
+use spo_guard::{Diagnostic, GuardConfig};
+use spo_obs::json;
+use spo_obs::Recorder;
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpListener};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration for [`run`].
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// Unix socket path to listen on.
+    pub socket: Option<PathBuf>,
+    /// TCP address (`host:port`) to additionally listen on.
+    pub tcp: Option<String>,
+    /// Request worker threads (0 = 2).
+    pub workers: usize,
+    /// Engine worker threads per analysis (0 = all CPUs).
+    pub jobs: usize,
+    /// Persistent summary cache directory; `None` = a private temp
+    /// directory, removed on drain.
+    pub cache_dir: Option<PathBuf>,
+    /// Disable the persistent cache entirely.
+    pub no_cache: bool,
+    /// Request-line length cap in bytes (0 = 1 MiB).
+    pub max_line_bytes: usize,
+    /// How long a drain waits for in-flight work before cancelling it.
+    pub drain_grace: Duration,
+    /// Deadline applied to requests that carry no `timeout_ms`.
+    pub default_timeout: Option<Duration>,
+    /// Base admission config. Its cancel token becomes the parent of the
+    /// daemon's shutdown token, so the CLI's signal token drains the
+    /// daemon; its budgets are per-request floors every request inherits.
+    pub guard: GuardConfig,
+    /// Stats recorder. A disabled recorder is upgraded to a live one —
+    /// the `stats` method needs somewhere to read from.
+    pub recorder: Recorder,
+    /// Programs to load before accepting connections.
+    pub preload: Vec<(String, Vec<String>)>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            socket: None,
+            tcp: None,
+            workers: 0,
+            jobs: 0,
+            cache_dir: None,
+            no_cache: false,
+            max_line_bytes: 0,
+            drain_grace: Duration::from_secs(10),
+            default_timeout: None,
+            guard: GuardConfig::default(),
+            recorder: Recorder::disabled(),
+            preload: Vec::new(),
+        }
+    }
+}
+
+/// What a finished daemon reports.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// `true` when every in-flight request finished within the grace
+    /// window without being cancelled by the drain itself.
+    pub graceful: bool,
+    /// Total requests served.
+    pub requests: u64,
+    /// Total sessions accepted.
+    pub sessions: u64,
+    /// Wall-clock spent draining.
+    pub drained_in: Duration,
+}
+
+type SessionWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+struct Job {
+    line: String,
+    out: SessionWriter,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    in_flight: usize,
+    closed: bool,
+}
+
+/// A bounded MPMC job queue. `push` blocks when full (admission
+/// backpressure on the session reader) and fails once closed; `pop`
+/// drains remaining jobs after close, then returns `None`.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    space: Condvar,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            state: Mutex::new(QueueState::default()),
+            space: Condvar::new(),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn push(&self, job: Job) -> bool {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.closed {
+                return false;
+            }
+            if st.jobs.len() < self.capacity {
+                st.jobs.push_back(job);
+                self.ready.notify_one();
+                return true;
+            }
+            st = self.space.wait(st).unwrap();
+        }
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                st.in_flight += 1;
+                self.space.notify_all();
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+
+    fn done(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.in_flight -= 1;
+        // Wakes both blocked pushers and the drain's idle waiter.
+        self.space.notify_all();
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Waits until no job is queued or in flight, up to `grace`.
+    fn wait_idle(&self, grace: Duration) -> bool {
+        let deadline = Instant::now() + grace;
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.jobs.is_empty() && st.in_flight == 0 {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self.space.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
+    }
+}
+
+struct Shared {
+    registry: Registry,
+    guard: GuardConfig,
+    default_timeout: Option<Duration>,
+    queue: JobQueue,
+    recorder: Recorder,
+    drain: AtomicBool,
+    max_line: usize,
+    requests: AtomicU64,
+    warm_hits: AtomicU64,
+    sessions_open: AtomicU64,
+    sessions_total: AtomicU64,
+}
+
+fn write_line(out: &SessionWriter, line: &str) -> bool {
+    let mut w = out.lock().unwrap();
+    w.write_all(line.as_bytes())
+        .and_then(|()| w.write_all(b"\n"))
+        .and_then(|()| w.flush())
+        .is_ok()
+}
+
+enum LineRead {
+    Eof,
+    Line(String),
+    Oversized,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes. An over-long
+/// line is consumed through its newline and reported as [`LineRead::
+/// Oversized`], so the session survives with its framing intact.
+fn read_line_capped(r: &mut BufReader<Box<dyn Read + Send>>, max: usize) -> io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match r.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            if buf.len() + pos > max {
+                r.consume(pos + 1);
+                return Ok(LineRead::Oversized);
+            }
+            buf.extend_from_slice(&chunk[..pos]);
+            r.consume(pos + 1);
+            return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
+        }
+        let n = chunk.len();
+        if buf.len() + n > max {
+            r.consume(n);
+            skip_to_newline(r)?;
+            return Ok(LineRead::Oversized);
+        }
+        buf.extend_from_slice(chunk);
+        r.consume(n);
+    }
+}
+
+fn skip_to_newline(r: &mut BufReader<Box<dyn Read + Send>>) -> io::Result<()> {
+    loop {
+        let chunk = match r.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            r.consume(pos + 1);
+            return Ok(());
+        }
+        let n = chunk.len();
+        r.consume(n);
+    }
+}
+
+fn session_reader(shared: Arc<Shared>, stream: Box<dyn Read + Send>, out: SessionWriter) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_line_capped(&mut reader, shared.max_line) {
+            Err(_) | Ok(LineRead::Eof) => break,
+            Ok(LineRead::Oversized) => {
+                shared.recorder.work_counter("serve.errors").incr();
+                let err = RequestError::new(
+                    ErrorKind::Oversized,
+                    format!("request line exceeds {} bytes", shared.max_line),
+                );
+                if !write_line(&out, &proto::render_error(&RequestId::none(), &err)) {
+                    break;
+                }
+            }
+            Ok(LineRead::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let job = Job {
+                    line,
+                    out: Arc::clone(&out),
+                };
+                if !shared.queue.push(job) {
+                    let err = RequestError::new(ErrorKind::ShuttingDown, "daemon is draining");
+                    write_line(&out, &proto::render_error(&RequestId::none(), &err));
+                    break;
+                }
+            }
+        }
+    }
+    shared.sessions_open.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn worker(shared: Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let t0 = Instant::now();
+        let (response, label, is_shutdown) = route(&shared, &job.line);
+        write_line(&job.out, &response);
+        let nanos = t0.elapsed().as_nanos() as u64;
+        shared.recorder.duration("serve.request").record(nanos);
+        shared
+            .recorder
+            .duration(&format!("serve.request.{label}"))
+            .record(nanos);
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        shared.recorder.work_counter("serve.requests").incr();
+        shared
+            .recorder
+            .work_counter(&format!("serve.requests.{label}"))
+            .incr();
+        if is_shutdown {
+            shared.drain.store(true, Ordering::SeqCst);
+        }
+        shared.queue.done();
+    }
+}
+
+enum Rendered {
+    Ok(String),
+    Degraded(String, Vec<Diagnostic>),
+}
+
+fn route(shared: &Shared, line: &str) -> (String, &'static str, bool) {
+    let req = match proto::parse_request(line) {
+        Ok(r) => r,
+        Err((id, e)) => {
+            shared.recorder.work_counter("serve.errors").incr();
+            return (proto::render_error(&id, &e), "invalid", false);
+        }
+    };
+    let label = req.method.label();
+    let is_shutdown = matches!(req.method, Method::Shutdown);
+    let guard = shared
+        .guard
+        .for_request(req.timeout.or(shared.default_timeout));
+    let id = req.id.clone();
+    let response = match dispatch(shared, req, &guard) {
+        Ok(Rendered::Ok(result)) => proto::render_ok(&id, &result),
+        Ok(Rendered::Degraded(result, diags)) => proto::render_degraded(&id, &result, &diags),
+        Err(e) => {
+            shared.recorder.work_counter("serve.errors").incr();
+            proto::render_error(&id, &e)
+        }
+    };
+    (response, label, is_shutdown)
+}
+
+fn note_warm(shared: &Shared, warm: bool) {
+    if warm {
+        shared.warm_hits.fetch_add(1, Ordering::Relaxed);
+        shared.recorder.work_counter("serve.warm_hits").incr();
+    }
+}
+
+fn dispatch(shared: &Shared, req: Request, guard: &GuardConfig) -> Result<Rendered, RequestError> {
+    match req.method {
+        Method::Load { name, paths } => {
+            let summary = shared.registry.load(&name, &paths)?;
+            let result = JsonObj::new()
+                .str("name", &name)
+                .u64("classes", summary.classes as u64)
+                .u64("entry_points", summary.entry_points as u64)
+                .u64("warnings", summary.warnings.len() as u64)
+                .bool("replaced", summary.replaced)
+                .finish();
+            Ok(if summary.warnings.is_empty() {
+                Rendered::Ok(result)
+            } else {
+                Rendered::Degraded(result, summary.warnings)
+            })
+        }
+        Method::Analyze { name, options } => {
+            let entry = shared.registry.get(&name)?;
+            let (a, warm) = shared.registry.analysis(&entry, options, guard);
+            note_warm(shared, warm);
+            let result = JsonObj::new()
+                .str("name", &name)
+                .str("report", &a.report)
+                .u64("exit_code", u64::from(a.exit_code))
+                .finish();
+            Ok(if a.diagnostics.is_empty() {
+                Rendered::Ok(result)
+            } else {
+                Rendered::Degraded(result, a.diagnostics.clone())
+            })
+        }
+        Method::Query {
+            name,
+            entry,
+            options,
+        } => {
+            let prog = shared.registry.get(&name)?;
+            let (a, warm) = shared.registry.analysis(&prog, options, guard);
+            note_warm(shared, warm);
+            let report = match &entry {
+                None => a.report.clone(),
+                Some(sig) => {
+                    let ep = a.lib.entries.get(sig).ok_or_else(|| {
+                        RequestError::new(
+                            ErrorKind::NotFound,
+                            format!("no entry point \"{sig}\" in \"{name}\""),
+                        )
+                    })?;
+                    spo_core::render_entry(sig, ep)
+                }
+            };
+            let mut obj = JsonObj::new().str("name", &name);
+            if let Some(sig) = &entry {
+                obj = obj.str("entry", sig);
+            }
+            let result = obj
+                .str("report", &report)
+                .u64("exit_code", u64::from(a.exit_code))
+                .finish();
+            Ok(if a.diagnostics.is_empty() {
+                Rendered::Ok(result)
+            } else {
+                Rendered::Degraded(result, a.diagnostics.clone())
+            })
+        }
+        Method::Diff {
+            left,
+            right,
+            options,
+        } => {
+            let l = shared.registry.get(&left)?;
+            let r = shared.registry.get(&right)?;
+            let (d, warm) = shared.registry.diff(&l, &r, options, guard);
+            note_warm(shared, warm);
+            let result = JsonObj::new()
+                .str("left", &left)
+                .str("right", &right)
+                .str("report", &d.report)
+                .bool("findings", d.findings)
+                .u64("exit_code", u64::from(d.exit_code))
+                .finish();
+            Ok(if d.diagnostics.is_empty() {
+                Rendered::Ok(result)
+            } else {
+                Rendered::Degraded(result, d.diagnostics)
+            })
+        }
+        Method::Stats => {
+            let snapshot = shared.recorder.snapshot().to_json();
+            let compact = json::parse(&snapshot)
+                .map(|v| v.to_compact())
+                .unwrap_or_else(|_| "null".to_owned());
+            let result = JsonObj::new()
+                .u64("programs", shared.registry.names().len() as u64)
+                .u64(
+                    "sessions_open",
+                    shared.sessions_open.load(Ordering::Relaxed),
+                )
+                .u64(
+                    "sessions_total",
+                    shared.sessions_total.load(Ordering::Relaxed),
+                )
+                .u64("requests", shared.requests.load(Ordering::Relaxed))
+                .u64("warm_hits", shared.warm_hits.load(Ordering::Relaxed))
+                .raw("stats", &compact)
+                .finish();
+            Ok(Rendered::Ok(result))
+        }
+        Method::Reload { name } => {
+            let summary = shared.registry.reload(&name, guard)?;
+            let mut rows = String::from("[");
+            for (i, (key, hits, misses)) in summary.reanalyzed.iter().enumerate() {
+                if i > 0 {
+                    rows.push(',');
+                }
+                rows.push_str(
+                    &JsonObj::new()
+                        .str("options", key)
+                        .u64("cache_hits", *hits)
+                        .u64("cache_misses", *misses)
+                        .finish(),
+                );
+            }
+            rows.push(']');
+            let result = JsonObj::new()
+                .str("name", &name)
+                .u64("classes", summary.load.classes as u64)
+                .u64("entry_points", summary.load.entry_points as u64)
+                .u64("warnings", summary.load.warnings.len() as u64)
+                .raw("reanalyzed", &rows)
+                .finish();
+            Ok(if summary.load.warnings.is_empty() {
+                Rendered::Ok(result)
+            } else {
+                Rendered::Degraded(result, summary.load.warnings)
+            })
+        }
+        Method::Shutdown => Ok(Rendered::Ok(JsonObj::new().bool("draining", true).finish())),
+    }
+}
+
+/// Runs the daemon until a `shutdown` request or cancellation of the
+/// configured guard token (the CLI wires SIGINT/SIGTERM to it), then
+/// drains and reports. Blocks the calling thread for the daemon's whole
+/// lifetime.
+pub fn run(config: ServeConfig) -> Result<DrainReport, String> {
+    if config.socket.is_none() && config.tcp.is_none() {
+        return Err("serve: need a Unix socket path or a TCP address to listen on".to_owned());
+    }
+    let recorder = if config.recorder.is_enabled() {
+        config.recorder.clone()
+    } else {
+        Recorder::new()
+    };
+    let (cache, temp_cache_dir) = open_cache(&config)?;
+    // The daemon's shutdown token: a child of the caller's token so the
+    // process signal token still drains us, while our own forced-drain
+    // cancel never leaks back to the caller.
+    let shutdown = config.guard.cancel.child();
+    let mut base_guard = config.guard.clone();
+    base_guard.cancel = shutdown.clone();
+    let workers_n = if config.workers == 0 {
+        2
+    } else {
+        config.workers
+    };
+    let shared = Arc::new(Shared {
+        registry: Registry::new(config.jobs, cache, recorder.clone()),
+        guard: base_guard,
+        default_timeout: config.default_timeout,
+        queue: JobQueue::new(workers_n * 4),
+        recorder: recorder.clone(),
+        drain: AtomicBool::new(false),
+        max_line: if config.max_line_bytes == 0 {
+            1 << 20
+        } else {
+            config.max_line_bytes
+        },
+        requests: AtomicU64::new(0),
+        warm_hits: AtomicU64::new(0),
+        sessions_open: AtomicU64::new(0),
+        sessions_total: AtomicU64::new(0),
+    });
+    for (name, paths) in &config.preload {
+        shared
+            .registry
+            .load(name, paths)
+            .map_err(|e| format!("--load {name}: {}", e.message))?;
+    }
+    let unix = match &config.socket {
+        None => None,
+        Some(path) => {
+            if path.exists() {
+                if UnixStream::connect(path).is_ok() {
+                    return Err(format!(
+                        "{}: a daemon is already serving on this socket",
+                        path.display()
+                    ));
+                }
+                let _ = std::fs::remove_file(path);
+            }
+            let listener =
+                UnixListener::bind(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            Some(listener)
+        }
+    };
+    let tcp = match &config.tcp {
+        None => None,
+        Some(addr) => {
+            let listener = TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| format!("{addr}: {e}"))?;
+            Some(listener)
+        }
+    };
+
+    let mut worker_handles = Vec::new();
+    for _ in 0..workers_n {
+        let sh = Arc::clone(&shared);
+        worker_handles.push(std::thread::spawn(move || worker(sh)));
+    }
+    let mut reader_handles = Vec::new();
+    let mut closers: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+
+    if let Some(path) = &config.socket {
+        eprintln!("spo serve: listening on {}", path.display());
+    }
+    if let (Some(listener), Some(addr)) = (&tcp, &config.tcp) {
+        let _ = listener;
+        eprintln!("spo serve: listening on tcp {addr}");
+    }
+
+    while !shutdown.is_cancelled() && !shared.drain.load(Ordering::SeqCst) {
+        let mut accepted = false;
+        if let Some(listener) = &unix {
+            if let Ok((stream, _)) = listener.accept() {
+                accepted = true;
+                let _ = stream.set_nonblocking(false);
+                if let (Ok(writer), Ok(closer)) = (stream.try_clone(), stream.try_clone()) {
+                    start_session(
+                        &shared,
+                        &mut reader_handles,
+                        &mut closers,
+                        Box::new(stream),
+                        Box::new(writer),
+                        Box::new(move || {
+                            let _ = closer.shutdown(Shutdown::Both);
+                        }),
+                    );
+                }
+            }
+        }
+        if let Some(listener) = &tcp {
+            if let Ok((stream, _)) = listener.accept() {
+                accepted = true;
+                let _ = stream.set_nonblocking(false);
+                if let (Ok(writer), Ok(closer)) = (stream.try_clone(), stream.try_clone()) {
+                    start_session(
+                        &shared,
+                        &mut reader_handles,
+                        &mut closers,
+                        Box::new(stream),
+                        Box::new(writer),
+                        Box::new(move || {
+                            let _ = closer.shutdown(Shutdown::Both);
+                        }),
+                    );
+                }
+            }
+        }
+        if !accepted {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    // Drain. Stop intake first: listeners go away, the queue closes (late
+    // lines get a typed shutting-down error).
+    let t_drain = Instant::now();
+    let signalled = shutdown.is_cancelled();
+    drop(unix);
+    if let Some(path) = &config.socket {
+        let _ = std::fs::remove_file(path);
+    }
+    drop(tcp);
+    shared.queue.close();
+    // Phase one: let in-flight work finish naturally (a signal shutdown
+    // already cancelled it, so "naturally" means degraded-but-fast).
+    let mut graceful = shared.queue.wait_idle(config.drain_grace);
+    if !graceful {
+        // Phase two: cancel stragglers; they complete degraded.
+        shutdown.cancel();
+        let _ = shared.queue.wait_idle(config.drain_grace);
+    }
+    graceful = graceful && !signalled;
+    for close in closers {
+        close();
+    }
+    for handle in worker_handles {
+        let _ = handle.join();
+    }
+    for handle in reader_handles {
+        let _ = handle.join();
+    }
+    if let Some(cache) = shared.registry.cache() {
+        cache.flush();
+    }
+    let report = DrainReport {
+        graceful,
+        requests: shared.requests.load(Ordering::Relaxed),
+        sessions: shared.sessions_total.load(Ordering::Relaxed),
+        drained_in: t_drain.elapsed(),
+    };
+    drop(shared);
+    if let Some(dir) = temp_cache_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    Ok(report)
+}
+
+fn open_cache(config: &ServeConfig) -> Result<(Option<Arc<PolicyCache>>, Option<PathBuf>), String> {
+    if config.no_cache {
+        return Ok((None, None));
+    }
+    match &config.cache_dir {
+        Some(dir) => {
+            let cache = PolicyCache::open(dir.clone())
+                .map_err(|e| format!("--cache-dir {}: {e}", dir.display()))?;
+            Ok((Some(Arc::new(cache)), None))
+        }
+        None => {
+            // Warm starts within this daemon's lifetime still matter even
+            // without a user-chosen cache directory: reload's cone-based
+            // invalidation runs through this private cache.
+            let dir = std::env::temp_dir().join(format!("spo-serve-cache-{}", std::process::id()));
+            let cache =
+                PolicyCache::open(dir.clone()).map_err(|e| format!("{}: {e}", dir.display()))?;
+            Ok((Some(Arc::new(cache)), Some(dir)))
+        }
+    }
+}
+
+fn start_session(
+    shared: &Arc<Shared>,
+    handles: &mut Vec<std::thread::JoinHandle<()>>,
+    closers: &mut Vec<Box<dyn FnOnce() + Send>>,
+    reader: Box<dyn Read + Send>,
+    writer: Box<dyn Write + Send>,
+    closer: Box<dyn FnOnce() + Send>,
+) {
+    shared.sessions_total.fetch_add(1, Ordering::Relaxed);
+    shared.sessions_open.fetch_add(1, Ordering::Relaxed);
+    shared.recorder.work_counter("serve.sessions").incr();
+    closers.push(closer);
+    let out: SessionWriter = Arc::new(Mutex::new(writer));
+    let sh = Arc::clone(shared);
+    handles.push(std::thread::spawn(move || session_reader(sh, reader, out)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::OptionsSpec;
+    use spo_obs::json::Value;
+
+    #[test]
+    fn queue_applies_backpressure_and_drains_after_close() {
+        let q = JobQueue::new(1);
+        let out: SessionWriter = Arc::new(Mutex::new(Box::new(Vec::new())));
+        assert!(q.push(Job {
+            line: "a".to_owned(),
+            out: Arc::clone(&out),
+        }));
+        let job = q.pop().unwrap();
+        assert_eq!(job.line, "a");
+        q.close();
+        assert!(!q.push(Job {
+            line: "b".to_owned(),
+            out,
+        }));
+        assert!(
+            !q.wait_idle(Duration::from_millis(10)),
+            "job still in flight"
+        );
+        q.done();
+        assert!(q.wait_idle(Duration::from_millis(10)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn oversized_lines_recover_at_the_next_newline() {
+        let long = format!("{}\n{{\"ok\":1}}\n", "x".repeat(64));
+        let mut reader: BufReader<Box<dyn Read + Send>> =
+            BufReader::new(Box::new(io::Cursor::new(long.into_bytes())));
+        assert!(matches!(
+            read_line_capped(&mut reader, 16).unwrap(),
+            LineRead::Oversized
+        ));
+        match read_line_capped(&mut reader, 16).unwrap() {
+            LineRead::Line(line) => assert_eq!(line, "{\"ok\":1}"),
+            other => panic!(
+                "expected the next line to survive, got {:?}",
+                std::mem::discriminant(&other)
+            ),
+        }
+        assert!(matches!(
+            read_line_capped(&mut reader, 16).unwrap(),
+            LineRead::Eof
+        ));
+    }
+
+    const FIXTURE: &str = r#"
+class java.lang.SecurityManager {
+  method public native void checkRead(java.lang.String file);
+}
+class java.lang.System {
+  field static java.lang.SecurityManager security;
+  method public static java.lang.SecurityManager getSecurityManager() {
+    local java.lang.SecurityManager sm;
+    sm = java.lang.System.security;
+    return sm;
+  }
+}
+class t.A {
+  method public void read() {
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    virtualinvoke sm.checkRead("f");
+    return;
+  }
+}
+"#;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("spo-serve-daemon-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn daemon_serves_load_query_stats_and_drains_on_shutdown() {
+        let jir = temp_path("fixture.jir");
+        std::fs::write(&jir, FIXTURE).unwrap();
+        let socket = temp_path("sock");
+        let _ = std::fs::remove_file(&socket);
+        let config = ServeConfig {
+            socket: Some(socket.clone()),
+            no_cache: true,
+            ..ServeConfig::default()
+        };
+        let daemon = std::thread::spawn(move || run(config));
+        while !socket.exists() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stream = UnixStream::connect(&socket).unwrap();
+        let mut reader = io::BufReader::new(stream.try_clone().unwrap());
+        let mut stream = stream;
+        let mut rpc = |line: &str| {
+            writeln!(stream, "{line}").unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            spo_obs::json::parse(response.trim_end()).unwrap()
+        };
+        let jir_str = jir.to_string_lossy().into_owned();
+        let loaded = rpc(&format!(
+            r#"{{"spo-rpc":1,"id":1,"method":"load","params":{{"name":"lib","paths":["{jir_str}"]}}}}"#
+        ));
+        assert_eq!(loaded.get("status").and_then(Value::as_str), Some("ok"));
+        let q1 = rpc(r#"{"spo-rpc":1,"id":2,"method":"query","params":{"name":"lib"}}"#);
+        let q2 = rpc(r#"{"spo-rpc":1,"id":3,"method":"query","params":{"name":"lib"}}"#);
+        let report = |v: &Value| {
+            v.get("result")
+                .and_then(|r| r.get("report"))
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .unwrap()
+        };
+        assert_eq!(report(&q1), report(&q2), "warm repeat is byte-identical");
+        assert!(report(&q1).contains("checkRead"));
+        let garbage = rpc("this is not json");
+        assert_eq!(garbage.get("status").and_then(Value::as_str), Some("error"));
+        let stats = rpc(r#"{"spo-rpc":1,"method":"stats"}"#);
+        let result = stats.get("result").unwrap();
+        assert_eq!(result.get("warm_hits").and_then(Value::as_u64), Some(1));
+        spo_obs::json::validate_stats(&result.get("stats").unwrap().to_compact())
+            .expect("embedded stats payload conforms to spo-stats/1");
+        let bye = rpc(r#"{"spo-rpc":1,"id":9,"method":"shutdown"}"#);
+        assert_eq!(bye.get("status").and_then(Value::as_str), Some("ok"));
+        let drained = daemon.join().unwrap().unwrap();
+        assert!(drained.graceful, "no in-flight work to cancel");
+        assert_eq!(drained.sessions, 1);
+        assert!(drained.requests >= 6);
+        assert!(!socket.exists(), "socket file removed on drain");
+        let _ = std::fs::remove_file(&jir);
+    }
+
+    #[test]
+    fn options_key_distinguishes_resident_state() {
+        // Belt and braces for the (program, options) keying discipline:
+        // distinct specs map to distinct keys, so resident stores and
+        // analyses can never be shared across option sets.
+        let specs = [
+            OptionsSpec::default(),
+            OptionsSpec {
+                broad: true,
+                ..OptionsSpec::default()
+            },
+            OptionsSpec {
+                no_icp: true,
+                ..OptionsSpec::default()
+            },
+            OptionsSpec {
+                intra_only: true,
+                ..OptionsSpec::default()
+            },
+        ];
+        let keys: std::collections::BTreeSet<String> = specs.iter().map(|s| s.key()).collect();
+        assert_eq!(keys.len(), specs.len());
+    }
+}

@@ -7,6 +7,8 @@
 //! spo diff <left.jir>... --vs <right.jir>...     run the oracle over two implementations
 //!          [--no-icp] [--broad] [--intra-only]
 //! spo diff-policies <left.txt> <right.txt>       diff two exported policy files
+//! spo serve --socket PATH [--load NAME=FILE]...  resident oracle daemon (spo-rpc/1)
+//! spo rpc --socket PATH '<request-json>'...      send requests to a running daemon
 //! ```
 //!
 //! Multiple `.jir` files per side are layered into one program (e.g. a
@@ -46,6 +48,8 @@ fn main() -> ExitCode {
         Some("throws") => cmd_throws(&args[1..]),
         Some("stats-validate") => cmd_stats_validate(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("rpc") => cmd_rpc(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -73,6 +77,8 @@ USAGE:
   spo throws <left.jir>... --vs <right.jir>...
   spo stats-validate <stats.json>
   spo cache (stats|clear) --cache-dir PATH
+  spo serve --socket PATH [--tcp ADDR] [--workers N] [--jobs N] [--load NAME=FILE[,FILE...]]... [--cache-dir PATH] [--no-cache] [--default-timeout-ms N] [--max-line-bytes N] [--drain-grace SECS] [--stats] [--stats-json PATH]
+  spo rpc --socket PATH | --tcp ADDR [--stats-json PATH] <request-json>...
 
 `--jobs N` sets the analysis worker count (default: all CPUs; results are
 identical for any N). `--stats` prints a metrics summary to stderr;
@@ -82,9 +88,19 @@ spo-stats/1 schema.
 
 `analyze`, `export`, and `diff` accept degraded-mode limits:
 `--budget-steps N` caps worklist steps per fixpoint solve,
-`--budget-frames N` caps method frames per root, `--deadline SECS` sets a
-wall-clock limit. A root exceeding a limit (or hitting Ctrl-C) is dropped
-from the report and surfaced as a stderr diagnostic.
+`--budget-frames N` caps method frames per root, `--deadline SECS` (alias
+`--timeout-ms N`) sets a wall-clock limit. A root exceeding a limit (or a
+SIGINT/SIGTERM) is dropped from the report and surfaced as a stderr
+diagnostic.
+
+`spo serve` starts a resident daemon speaking the line-delimited JSON
+protocol spo-rpc/1 over a Unix socket (and optionally TCP): programs stay
+loaded, analyses stay warm in memory, and repeat queries skip the engine
+entirely. Responses embed byte-identical `analyze`/`diff` output. Each
+request may carry `timeout_ms` for per-request admission control; an
+over-budget request returns a typed degraded response without disturbing
+other sessions. `spo rpc` sends request lines to a running daemon and
+prints the responses (exit: 0 ok, 2 any degraded, 3 any error).
 
 `--cache-dir PATH` warm-starts the analysis from a persistent summary
 cache at PATH (created on first use): roots whose call-graph cone is
@@ -192,6 +208,19 @@ fn extract_guard(args: &[String]) -> Result<(GuardConfig, Vec<String>), String> 
                 return Err(format!("--deadline: invalid seconds `{v}`"));
             }
             guard.budget = guard.budget.deadline_in(Duration::from_secs_f64(secs));
+        } else if let Some(v) = flag_value(a, "--timeout-ms", &mut iter)? {
+            // Alias for `--deadline` in milliseconds, matching the serve
+            // protocol's per-request `timeout_ms` field.
+            let n: u64 = v
+                .parse()
+                .map_err(|_| format!("--timeout-ms: invalid milliseconds `{v}`"))?;
+            if n == 0 {
+                return Err(
+                    "--timeout-ms: timeout must be at least 1 (omit the flag for unlimited)"
+                        .to_owned(),
+                );
+            }
+            guard.budget = guard.budget.deadline_in(Duration::from_millis(n));
         } else if let Some(v) = flag_value(a, "--inject-panic", &mut iter)? {
             guard.inject_panics.push(v);
         } else if let Some(v) = flag_value(a, "--inject-sleep-ms", &mut iter)? {
@@ -206,48 +235,51 @@ fn extract_guard(args: &[String]) -> Result<(GuardConfig, Vec<String>), String> 
     Ok((guard, rest))
 }
 
-/// The process-wide cancellation token. On unix the first call installs a
-/// SIGINT handler that flips it, so Ctrl-C drains the analysis workers and
-/// the command still emits its partial report, diagnostics, and stats
-/// snapshot (exit code 2) instead of dying mid-write.
+/// The process-wide cancellation token. On unix the first call installs
+/// SIGINT and SIGTERM handlers that flip it, so both Ctrl-C and a service
+/// manager's `kill` drain the analysis workers while the command still
+/// emits its partial report, diagnostics, and stats snapshot (exit code 2)
+/// instead of dying mid-write. `spo serve` drains off the same token.
 fn cancel_token() -> CancelToken {
     static TOKEN: std::sync::OnceLock<CancelToken> = std::sync::OnceLock::new();
     TOKEN
         .get_or_init(|| {
             let token = CancelToken::new();
             #[cfg(unix)]
-            sigint::install(token.clone());
+            signals::install(token.clone());
             token
         })
         .clone()
 }
 
 #[cfg(unix)]
-mod sigint {
+mod signals {
     use super::CancelToken;
     use std::sync::OnceLock;
 
-    static SIGINT_TOKEN: OnceLock<CancelToken> = OnceLock::new();
+    static SIGNAL_TOKEN: OnceLock<CancelToken> = OnceLock::new();
 
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
 
     /// Async-signal-safe: cancelling is one relaxed atomic store.
-    extern "C" fn on_sigint(_signum: i32) {
-        if let Some(token) = SIGINT_TOKEN.get() {
+    extern "C" fn on_signal(_signum: i32) {
+        if let Some(token) = SIGNAL_TOKEN.get() {
             token.cancel();
         }
     }
 
     pub fn install(token: CancelToken) {
         const SIGINT: i32 = 2;
-        if SIGINT_TOKEN.set(token).is_ok() {
-            let handler: extern "C" fn(i32) = on_sigint;
+        const SIGTERM: i32 = 15;
+        if SIGNAL_TOKEN.set(token).is_ok() {
+            let handler: extern "C" fn(i32) = on_signal;
             // SAFETY: installing a handler that only touches a lock-free
             // atomic, the async-signal-safe subset of the C API.
             unsafe {
                 signal(SIGINT, handler as usize);
+                signal(SIGTERM, handler as usize);
             }
         }
     }
@@ -380,10 +412,11 @@ fn report_cache_diags(cache: &Option<Arc<PolicyCache>>) {
 
 /// The degraded-mode flags understood by `analyze`/`export`/`diff`, used
 /// to give commands that run no analysis a pointed rejection.
-const GUARD_FLAG_NAMES: [&str; 5] = [
+const GUARD_FLAG_NAMES: [&str; 6] = [
     "--budget-steps",
     "--budget-frames",
     "--deadline",
+    "--timeout-ms",
     "--inject-panic",
     "--inject-sleep-ms",
 ];
@@ -547,22 +580,9 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let (engine, cache) = attach_cache(engine, &cache_dir)?;
     let (lib, _stats) = engine.analyze_library(&program, "input", options);
     report_cache_diags(&cache);
-    for (sig, entry) in &lib.entries {
-        if entry.has_no_checks() {
-            continue;
-        }
-        println!("entry {sig}");
-        for (event, policy) in &entry.events {
-            println!("  {}", policy.render(event).replace('\n', "\n  "));
-        }
-    }
-    println!(
-        "# {} entry points, {} with checks, {} may / {} must policies",
-        lib.stats.entry_points,
-        lib.entries_with_checks(),
-        lib.may_policy_count(),
-        lib.must_policy_count(),
-    );
+    // The daemon's `analyze`/`query` responses embed this same string, so
+    // resident and one-shot reports stay byte-identical by construction.
+    print!("{}", spo_core::render_analysis(&lib));
     diags.extend(lib.degraded.values().cloned());
     stats_opts.emit(&rec)?;
     Ok(finish(&diags, false))
@@ -714,6 +734,178 @@ fn cmd_cache(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `spo serve`: run the resident oracle daemon until a `shutdown` request
+/// or SIGINT/SIGTERM, then drain gracefully.
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let (jobs, rest) = extract_jobs(args)?;
+    let (stats, rest) = extract_stats(&rest)?;
+    let (guard, rest) = extract_guard(&rest)?;
+    if guard.budget.deadline.is_some() {
+        return Err(
+            "--deadline/--timeout-ms: the daemon serves indefinitely; per-request deadlines \
+             come from each request's `timeout_ms` field or `--default-timeout-ms N`"
+                .to_owned(),
+        );
+    }
+    let mut config = spo_serve::ServeConfig {
+        jobs,
+        guard,
+        recorder: Recorder::new(),
+        ..spo_serve::ServeConfig::default()
+    };
+    let mut iter = rest.iter();
+    while let Some(a) = iter.next() {
+        if let Some(v) = flag_value(a, "--socket", &mut iter)? {
+            config.socket = Some(v.into());
+        } else if let Some(v) = flag_value(a, "--tcp", &mut iter)? {
+            config.tcp = Some(v);
+        } else if let Some(v) = flag_value(a, "--workers", &mut iter)? {
+            config.workers = v
+                .parse()
+                .map_err(|_| format!("--workers: invalid worker count `{v}`"))?;
+            if config.workers == 0 {
+                return Err(
+                    "--workers: worker count must be at least 1 (omit the flag for the default)"
+                        .to_owned(),
+                );
+            }
+        } else if let Some(v) = flag_value(a, "--cache-dir", &mut iter)? {
+            config.cache_dir = Some(v.into());
+        } else if a == "--no-cache" {
+            config.no_cache = true;
+        } else if let Some(v) = flag_value(a, "--max-line-bytes", &mut iter)? {
+            config.max_line_bytes = v
+                .parse()
+                .map_err(|_| format!("--max-line-bytes: invalid byte count `{v}`"))?;
+            if config.max_line_bytes == 0 {
+                return Err(
+                    "--max-line-bytes: cap must be at least 1 (omit the flag for the default)"
+                        .to_owned(),
+                );
+            }
+        } else if let Some(v) = flag_value(a, "--drain-grace", &mut iter)? {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| format!("--drain-grace: invalid seconds `{v}`"))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(format!("--drain-grace: invalid seconds `{v}`"));
+            }
+            config.drain_grace = Duration::from_secs_f64(secs);
+        } else if let Some(v) = flag_value(a, "--default-timeout-ms", &mut iter)? {
+            let n: u64 = v
+                .parse()
+                .map_err(|_| format!("--default-timeout-ms: invalid milliseconds `{v}`"))?;
+            if n == 0 {
+                return Err(
+                    "--default-timeout-ms: timeout must be at least 1 (omit the flag for unlimited)"
+                        .to_owned(),
+                );
+            }
+            config.default_timeout = Some(Duration::from_millis(n));
+        } else if let Some(v) = flag_value(a, "--load", &mut iter)? {
+            let (name, paths) = v
+                .split_once('=')
+                .ok_or_else(|| format!("--load: expected NAME=FILE[,FILE...], got `{v}`"))?;
+            if name.is_empty() || paths.is_empty() {
+                return Err(format!("--load: expected NAME=FILE[,FILE...], got `{v}`"));
+            }
+            config.preload.push((
+                name.to_owned(),
+                paths.split(',').map(str::to_owned).collect(),
+            ));
+        } else {
+            return Err(format!("unknown argument `{a}` for `serve`"));
+        }
+    }
+    let recorder = config.recorder.clone();
+    let report = spo_serve::run(config)?;
+    eprintln!(
+        "spo serve: drained {} request(s) over {} session(s) in {:.1?}{}",
+        report.requests,
+        report.sessions,
+        report.drained_in,
+        if report.graceful { "" } else { " (forced)" }
+    );
+    stats.emit(&recorder)?;
+    Ok(if report.graceful {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_DEGRADED)
+    })
+}
+
+/// `spo rpc`: send request lines to a running daemon in lock-step and
+/// print each response. Exit code folds the response statuses: any
+/// `error` -> 3, else any `degraded` -> 2, else 0.
+fn cmd_rpc(args: &[String]) -> Result<ExitCode, String> {
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut stats_json: Option<String> = None;
+    let mut requests: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if let Some(v) = flag_value(a, "--socket", &mut iter)? {
+            socket = Some(v);
+        } else if let Some(v) = flag_value(a, "--tcp", &mut iter)? {
+            tcp = Some(v);
+        } else if let Some(v) = flag_value(a, "--stats-json", &mut iter)? {
+            stats_json = Some(v);
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag `{a}` for `rpc`"));
+        } else {
+            requests.push(a.clone());
+        }
+    }
+    if requests.is_empty() {
+        return Err("rpc needs at least one request line".to_owned());
+    }
+    use std::io::{BufRead, BufReader, Read, Write};
+    let (mut writer, reader): (Box<dyn Write>, Box<dyn Read>) = match (&socket, &tcp) {
+        (Some(path), None) => {
+            let s = std::os::unix::net::UnixStream::connect(path)
+                .map_err(|e| format!("{path}: {e}"))?;
+            let r = s.try_clone().map_err(|e| format!("{path}: {e}"))?;
+            (Box::new(s), Box::new(r))
+        }
+        (None, Some(addr)) => {
+            let s = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+            let r = s.try_clone().map_err(|e| format!("{addr}: {e}"))?;
+            (Box::new(s), Box::new(r))
+        }
+        _ => return Err("rpc needs exactly one of --socket PATH or --tcp ADDR".to_owned()),
+    };
+    let mut reader = BufReader::new(reader);
+    let mut exit = 0u8;
+    for request in &requests {
+        writeln!(writer, "{request}").map_err(|e| format!("send: {e}"))?;
+        writer.flush().map_err(|e| format!("send: {e}"))?;
+        let mut response = String::new();
+        let n = reader
+            .read_line(&mut response)
+            .map_err(|e| format!("receive: {e}"))?;
+        if n == 0 {
+            return Err("connection closed before a response arrived".to_owned());
+        }
+        let response = response.trim_end_matches('\n');
+        println!("{response}");
+        let doc = obs::json::parse(response)
+            .map_err(|e| format!("malformed response from daemon: {e}"))?;
+        match doc.get("status").and_then(obs::json::Value::as_str) {
+            Some("ok") => {}
+            Some("degraded") => exit = exit.max(EXIT_DEGRADED),
+            _ => exit = exit.max(EXIT_FATAL),
+        }
+        if let (Some(path), Some(stats)) =
+            (&stats_json, doc.get("result").and_then(|r| r.get("stats")))
+        {
+            let mut payload = stats.to_compact();
+            payload.push('\n');
+            std::fs::write(path, payload).map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
+    Ok(ExitCode::from(exit))
+}
+
 fn cmd_diff_policies(args: &[String]) -> Result<ExitCode, String> {
     let [left_path, right_path] = args else {
         return Err("diff-policies needs exactly two policy files".to_owned());
@@ -820,6 +1012,8 @@ mod tests {
             &["--budget-steps=0"][..],
             &["--budget-frames", "0"][..],
             &["--budget-frames=0"][..],
+            &["--timeout-ms", "0"][..],
+            &["--timeout-ms=0"][..],
         ] {
             let err = extract_guard(&argv(form)).unwrap_err();
             assert!(err.contains("at least 1"), "{form:?}: {err}");
@@ -841,6 +1035,14 @@ mod tests {
         .unwrap();
         assert_eq!(guard.budget.max_steps, 5);
         assert_eq!(guard.budget.max_frames, 7);
+        assert_eq!(rest, argv(&["a.jir"]));
+    }
+
+    #[test]
+    fn extract_guard_timeout_ms_sets_a_deadline() {
+        let (guard, rest) = extract_guard(&argv(&["a.jir", "--timeout-ms", "250"])).unwrap();
+        let deadline = guard.budget.deadline.expect("deadline set");
+        assert!(deadline <= std::time::Instant::now() + Duration::from_millis(250));
         assert_eq!(rest, argv(&["a.jir"]));
     }
 

@@ -66,6 +66,7 @@ pub use spo_guard as guard;
 pub use spo_jir as jir;
 pub use spo_obs as obs;
 pub use spo_resolve as resolve;
+pub use spo_serve as serve;
 
 use spo_core::{AnalysisOptions, DiffResult, LibraryPolicies, ReportGroup};
 use spo_engine::AnalysisEngine;

@@ -644,19 +644,74 @@ fn sigint_yields_partial_report_and_valid_stats() {
     assert!(json.contains("\"cause\": \"cancel\""), "{json}");
 }
 
+/// A service manager's `kill` (SIGTERM) behaves exactly like Ctrl-C: the
+/// workers drain, the partial report is written, exit code 2.
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_like_sigint() {
+    use std::process::Stdio;
+    let f = write_temp("sigterm.jir", &degraded_fixture());
+    let child = Command::new(env!("CARGO_BIN_EXE_spo"))
+        .args([
+            "analyze",
+            f.to_str().unwrap(),
+            "--jobs",
+            "1",
+            "--inject-sleep-ms",
+            "300",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(450));
+    let _ = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "SIGTERM completes degraded");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cancel"), "{stderr}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("entry points"),
+        "partial report missing"
+    );
+}
+
 /// A zero budget is the guard-internal "unlimited" sentinel; passing it
 /// on the command line used to be accepted and silently disabled the
-/// requested limit.
+/// requested limit. `--timeout-ms` (the `--deadline` alias matching the
+/// serve protocol's `timeout_ms` field) gets the same rejection.
 #[test]
 fn zero_budgets_are_rejected() {
     let f = write_temp("zero-budget.jir", CHECKED);
-    for flag in ["--budget-steps", "--budget-frames"] {
+    for flag in ["--budget-steps", "--budget-frames", "--timeout-ms"] {
         let out = spo(&["analyze", f.to_str().unwrap(), flag, "0"]);
         assert_eq!(out.status.code(), Some(3), "{flag}");
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(stderr.contains(flag), "{stderr}");
         assert!(stderr.contains("omit the flag for unlimited"), "{stderr}");
     }
+}
+
+/// `--timeout-ms` works as a deadline on `analyze`/`diff`: a tiny timeout
+/// over a slow (sleep-injected) run degrades with a deadline diagnostic.
+#[test]
+fn timeout_ms_aliases_the_deadline_budget() {
+    let f = write_temp("timeout-alias.jir", &degraded_fixture());
+    let out = spo(&[
+        "analyze",
+        f.to_str().unwrap(),
+        "--jobs",
+        "1",
+        "--inject-sleep-ms",
+        "100",
+        "--timeout-ms",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("deadline"), "{stderr}");
 }
 
 /// `check` and `throws` used to swallow unrecognized flags silently; now

@@ -1,0 +1,427 @@
+//! End-to-end tests of `spo serve`: a resident daemon on a Unix socket
+//! must answer concurrent sessions with responses byte-identical to the
+//! one-shot CLI, survive malformed requests, isolate over-budget work to
+//! the requesting session, and drain cleanly on `shutdown`.
+
+#![cfg(unix)]
+
+use security_policy_oracle::obs::json::{parse, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/jir")
+        .join(name)
+}
+
+fn spo(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_spo"))
+        .args(args)
+        .output()
+        .expect("spo binary runs")
+}
+
+/// A running `spo serve` child plus its socket path. Shuts the daemon
+/// down (and reaps the process) on drop so a failing test never leaks it.
+struct Daemon {
+    child: Option<Child>,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    fn start(tag: &str, extra: &[&str]) -> Daemon {
+        let socket =
+            std::env::temp_dir().join(format!("spo-serve-test-{}-{tag}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&socket);
+        let child = Command::new(env!("CARGO_BIN_EXE_spo"))
+            .arg("serve")
+            .arg("--socket")
+            .arg(&socket)
+            .args(extra)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon starts");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !socket.exists() {
+            assert!(Instant::now() < deadline, "daemon never bound {socket:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Daemon {
+            child: Some(child),
+            socket,
+        }
+    }
+
+    fn connect(&self) -> Session {
+        let stream = UnixStream::connect(&self.socket).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Session { stream, reader }
+    }
+
+    /// Sends `shutdown`, waits for the daemon to exit, and returns its
+    /// exit code.
+    fn shutdown(mut self) -> i32 {
+        let mut session = self.connect();
+        let bye = session.rpc(r#"{"spo-rpc":1,"id":99,"method":"shutdown"}"#);
+        assert_eq!(status(&bye), "ok");
+        let mut child = self.child.take().unwrap();
+        let code = child.wait().expect("daemon exits").code().unwrap_or(-1);
+        assert!(!self.socket.exists(), "socket file removed on drain");
+        code
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+struct Session {
+    stream: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Session {
+    fn send(&mut self, line: &str) {
+        writeln!(self.stream, "{line}").expect("send");
+    }
+
+    fn recv(&mut self) -> Value {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "daemon closed the connection");
+        parse(line.trim_end()).expect("valid response JSON")
+    }
+
+    fn rpc(&mut self, line: &str) -> Value {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn status(v: &Value) -> &str {
+    v.get("status").and_then(Value::as_str).expect("status")
+}
+
+fn report(v: &Value) -> String {
+    v.get("result")
+        .and_then(|r| r.get("report"))
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("response carries a report: {v:?}"))
+        .to_owned()
+}
+
+fn load_line(id: u64, name: &str, path: &Path) -> String {
+    format!(
+        r#"{{"spo-rpc":1,"id":{id},"method":"load","params":{{"name":"{name}","paths":["{}"]}}}}"#,
+        path.display()
+    )
+}
+
+/// Warm daemon responses for `query` and `diff` embed exactly the bytes
+/// the one-shot CLI prints for the same figure-1 fixtures.
+#[test]
+fn daemon_reports_are_byte_identical_to_one_shot_cli() {
+    let jdk = fixture("figure1_jdk.jir");
+    let harmony = fixture("figure1_harmony.jir");
+    let cli_analyze = spo(&["analyze", jdk.to_str().unwrap()]);
+    assert!(cli_analyze.status.success());
+    let cli_analyze = String::from_utf8(cli_analyze.stdout).unwrap();
+    // The CLI names diffed programs "left" and "right"; loading under the
+    // same names keeps the rendered report identical.
+    let cli_diff = spo(&[
+        "diff",
+        jdk.to_str().unwrap(),
+        "--vs",
+        harmony.to_str().unwrap(),
+    ]);
+    assert_eq!(cli_diff.status.code(), Some(1), "figure 1 has findings");
+    let cli_diff = String::from_utf8(cli_diff.stdout).unwrap();
+
+    let daemon = Daemon::start("byteid", &["--no-cache"]);
+    let mut s = daemon.connect();
+    assert_eq!(status(&s.rpc(&load_line(1, "left", &jdk))), "ok");
+    assert_eq!(status(&s.rpc(&load_line(2, "right", &harmony))), "ok");
+    let q = s.rpc(r#"{"spo-rpc":1,"id":3,"method":"query","params":{"name":"left"}}"#);
+    assert_eq!(status(&q), "ok");
+    assert_eq!(report(&q), cli_analyze, "analyze bytes match the CLI");
+    let d =
+        s.rpc(r#"{"spo-rpc":1,"id":4,"method":"diff","params":{"left":"left","right":"right"}}"#);
+    assert_eq!(status(&d), "ok");
+    assert_eq!(report(&d), cli_diff, "diff bytes match the CLI");
+    assert_eq!(
+        d.get("result")
+            .and_then(|r| r.get("exit_code"))
+            .and_then(Value::as_u64),
+        Some(1),
+        "daemon reports the CLI's would-be exit code"
+    );
+    assert_eq!(daemon.shutdown(), 0);
+}
+
+/// Eight concurrent sessions interleaving `query`, `diff`, and `stats`
+/// all observe identical report bytes, matching the one-shot CLI.
+#[test]
+fn concurrent_sessions_get_identical_bytes() {
+    let jdk = fixture("figure1_jdk.jir");
+    let harmony = fixture("figure1_harmony.jir");
+    let cli_analyze = String::from_utf8(spo(&["analyze", jdk.to_str().unwrap()]).stdout).unwrap();
+    let cli_diff = String::from_utf8(
+        spo(&[
+            "diff",
+            jdk.to_str().unwrap(),
+            "--vs",
+            harmony.to_str().unwrap(),
+        ])
+        .stdout,
+    )
+    .unwrap();
+
+    let daemon = Daemon::start("concurrent", &["--workers", "4", "--no-cache"]);
+    let mut warm = daemon.connect();
+    assert_eq!(status(&warm.rpc(&load_line(1, "left", &jdk))), "ok");
+    assert_eq!(status(&warm.rpc(&load_line(2, "right", &harmony))), "ok");
+
+    let results: Vec<(Vec<String>, Vec<String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|client| {
+                let daemon = &daemon;
+                scope.spawn(move || {
+                    let mut s = daemon.connect();
+                    let mut queries = Vec::new();
+                    let mut diffs = Vec::new();
+                    for round in 0..3 {
+                        let q = s.rpc(&format!(
+                            r#"{{"spo-rpc":1,"id":{},"method":"query","params":{{"name":"left"}}}}"#,
+                            client * 100 + round
+                        ));
+                        assert_eq!(status(&q), "ok");
+                        queries.push(report(&q));
+                        let d = s.rpc(&format!(
+                            r#"{{"spo-rpc":1,"id":{},"method":"diff","params":{{"left":"left","right":"right"}}}}"#,
+                            client * 100 + round + 50
+                        ));
+                        assert_eq!(status(&d), "ok");
+                        diffs.push(report(&d));
+                        let stats = s.rpc(r#"{"spo-rpc":1,"method":"stats"}"#);
+                        assert_eq!(status(&stats), "ok");
+                    }
+                    (queries, diffs)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (queries, diffs) in &results {
+        for q in queries {
+            assert_eq!(q, &cli_analyze, "every query response matches the CLI");
+        }
+        for d in diffs {
+            assert_eq!(d, &cli_diff, "every diff response matches the CLI");
+        }
+    }
+    assert_eq!(daemon.shutdown(), 0);
+}
+
+/// Malformed traffic — garbage JSON, an unknown method, an oversized
+/// line — gets a typed error and the session keeps working.
+#[test]
+fn malformed_requests_leave_the_session_alive() {
+    let jdk = fixture("figure1_jdk.jir");
+    let daemon = Daemon::start("malformed", &["--no-cache", "--max-line-bytes", "4096"]);
+    let mut s = daemon.connect();
+    assert_eq!(status(&s.rpc(&load_line(1, "lib", &jdk))), "ok");
+
+    let kind = |v: &Value| {
+        v.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .expect("typed error kind")
+    };
+    let garbage = s.rpc("this is not json at all {{{");
+    assert_eq!(status(&garbage), "error");
+    assert_eq!(kind(&garbage), "parse");
+
+    let unknown = s.rpc(r#"{"spo-rpc":1,"id":7,"method":"frobnicate"}"#);
+    assert_eq!(status(&unknown), "error");
+    assert_eq!(kind(&unknown), "unknown-method");
+    assert_eq!(
+        unknown.get("id").and_then(Value::as_u64),
+        Some(7),
+        "the id still correlates the error"
+    );
+
+    let oversized = s.rpc(&format!(
+        r#"{{"spo-rpc":1,"id":8,"method":"query","params":{{"name":"{}"}}}}"#,
+        "x".repeat(8192)
+    ));
+    assert_eq!(status(&oversized), "error");
+    assert_eq!(kind(&oversized), "oversized");
+
+    let missing = s.rpc(r#"{"spo-rpc":1,"id":9,"method":"query","params":{"name":"nope"}}"#);
+    assert_eq!(status(&missing), "error");
+    assert_eq!(kind(&missing), "not-found");
+
+    let zero = s.rpc(r#"{"spo-rpc":1,"id":10,"method":"stats","timeout_ms":0}"#);
+    assert_eq!(status(&zero), "error");
+    assert_eq!(kind(&zero), "protocol");
+
+    // The same session still serves real work after all of the above.
+    let q = s.rpc(r#"{"spo-rpc":1,"id":11,"method":"query","params":{"name":"lib"}}"#);
+    assert_eq!(status(&q), "ok");
+    assert!(report(&q).contains("entry "));
+    assert_eq!(daemon.shutdown(), 0);
+}
+
+/// A request exceeding its `timeout_ms` comes back `degraded` with typed
+/// diagnostics while another session's warm queries stay `ok`.
+#[test]
+fn over_budget_requests_degrade_without_disturbing_other_sessions() {
+    let jdk = fixture("figure1_jdk.jir");
+    let harmony = fixture("figure1_harmony.jir");
+    // Every governed root sleeps 200 ms, so a 1 ms admission deadline
+    // reliably trips on cold analyses; warm lookups never run the engine
+    // and cannot trip.
+    let daemon = Daemon::start(
+        "timeout",
+        &["--no-cache", "--inject-sleep-ms", "200", "--workers", "2"],
+    );
+    let mut warm = daemon.connect();
+    assert_eq!(status(&warm.rpc(&load_line(1, "left", &jdk))), "ok");
+    assert_eq!(status(&warm.rpc(&load_line(2, "cold", &harmony))), "ok");
+    // Warm "left" up without a timeout (the sleeps just make it slow).
+    let a = warm.rpc(r#"{"spo-rpc":1,"id":3,"method":"analyze","params":{"name":"left"}}"#);
+    assert_eq!(status(&a), "ok");
+
+    let mut other = daemon.connect();
+    let degraded = other
+        .rpc(r#"{"spo-rpc":1,"id":4,"method":"analyze","params":{"name":"cold"},"timeout_ms":1}"#);
+    assert_eq!(status(&degraded), "degraded");
+    let diags = degraded
+        .get("diagnostics")
+        .and_then(|d| match d {
+            Value::Array(items) => Some(items),
+            _ => None,
+        })
+        .expect("degraded response carries diagnostics");
+    assert!(!diags.is_empty());
+    assert!(
+        diags
+            .iter()
+            .any(|d| { d.get("cause").and_then(Value::as_str) == Some("deadline") }),
+        "deadline cause surfaced: {degraded:?}"
+    );
+    assert_eq!(
+        degraded
+            .get("result")
+            .and_then(|r| r.get("exit_code"))
+            .and_then(Value::as_u64),
+        Some(2),
+        "degraded maps to the CLI's exit code 2"
+    );
+
+    // The other session's warm program is untouched by the trip.
+    let q = warm.rpc(r#"{"spo-rpc":1,"id":5,"method":"query","params":{"name":"left"}}"#);
+    assert_eq!(status(&q), "ok");
+    assert!(report(&q).contains("entry "));
+    assert_eq!(daemon.shutdown(), 0);
+}
+
+/// `reload` picks up edited sources; with a persistent cache attached the
+/// unchanged cone warm-starts (cache hits > 0) and queries serve the new
+/// answer.
+#[test]
+fn reload_reanalyzes_edits_through_the_cache() {
+    let dir = std::env::temp_dir().join(format!("spo-serve-test-{}-reload", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let source = dir.join("lib.jir");
+    std::fs::copy(fixture("figure1_jdk.jir"), &source).unwrap();
+    let daemon = Daemon::start(
+        "reload",
+        &["--cache-dir", dir.join("cache").to_str().unwrap()],
+    );
+    let mut s = daemon.connect();
+    assert_eq!(status(&s.rpc(&load_line(1, "lib", &source))), "ok");
+    let before = report(&s.rpc(r#"{"spo-rpc":1,"id":2,"method":"query","params":{"name":"lib"}}"#));
+    // Drop one check from one method body. The program's structure (class
+    // set, signatures) is unchanged, so every root whose cone avoids the
+    // edited method re-keys successfully and warm-starts from the cache.
+    let edited = std::fs::read_to_string(&source)
+        .unwrap()
+        .replace("    virtualinvoke sm.checkAccept(host, port);\n", "");
+    std::fs::write(&source, edited).unwrap();
+    let reloaded = s.rpc(r#"{"spo-rpc":1,"id":3,"method":"reload","params":{"name":"lib"}}"#);
+    assert_eq!(status(&reloaded), "ok");
+    let rows = reloaded
+        .get("result")
+        .and_then(|r| r.get("reanalyzed"))
+        .and_then(|v| match v {
+            Value::Array(items) => Some(items),
+            _ => None,
+        })
+        .expect("reload summarizes re-analyzed option sets");
+    assert_eq!(rows.len(), 1);
+    let hits = rows[0].get("cache_hits").and_then(Value::as_u64).unwrap();
+    let misses = rows[0].get("cache_misses").and_then(Value::as_u64).unwrap();
+    assert!(
+        hits > 0,
+        "unchanged cones warm-start from the cache: {reloaded:?}"
+    );
+    assert!(misses > 0, "the edited cone recomputes: {reloaded:?}");
+    let after = report(&s.rpc(r#"{"spo-rpc":1,"id":4,"method":"query","params":{"name":"lib"}}"#));
+    assert_ne!(before, after);
+    assert!(before.contains("checkAccept"), "{before}");
+    assert!(!after.contains("checkAccept"), "{after}");
+    assert_eq!(daemon.shutdown(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `spo rpc` drives a daemon end to end and folds response statuses into
+/// its exit code.
+#[test]
+fn rpc_client_round_trips_and_maps_exit_codes() {
+    let jdk = fixture("figure1_jdk.jir");
+    let daemon = Daemon::start("rpc", &["--no-cache"]);
+    let socket = daemon.socket.to_str().unwrap().to_owned();
+    let ok = spo(&[
+        "rpc",
+        "--socket",
+        &socket,
+        &format!(
+            r#"{{"spo-rpc":1,"id":1,"method":"load","params":{{"name":"lib","paths":["{}"]}}}}"#,
+            jdk.display()
+        ),
+        r#"{"spo-rpc":1,"id":2,"method":"query","params":{"name":"lib"}}"#,
+        r#"{"spo-rpc":1,"id":3,"method":"stats"}"#,
+    ]);
+    assert_eq!(
+        ok.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert_eq!(stdout.lines().count(), 3, "one response line per request");
+    for line in stdout.lines() {
+        assert_eq!(status(&parse(line).unwrap()), "ok");
+    }
+    let err = spo(&[
+        "rpc",
+        "--socket",
+        &socket,
+        r#"{"spo-rpc":1,"method":"nope"}"#,
+    ]);
+    assert_eq!(err.status.code(), Some(3), "error responses exit 3");
+    assert_eq!(daemon.shutdown(), 0);
+}
