@@ -72,6 +72,31 @@ impl Measurement {
             a.memo_hits as f64 / (a.memo_hits + a.memo_misses) as f64
         }
     }
+    /// Lock-wait latency quantile across every SharedStore shard, in
+    /// microseconds (0.0 when the run never contended a shard).
+    fn lock_wait_us(&self, q: f64) -> f64 {
+        let w = self.stats.lock_wait();
+        if w.count == 0 {
+            0.0
+        } else {
+            w.quantile(q) as f64 / 1e3
+        }
+    }
+    /// One-line shard-contention summary: how many lock acquisitions
+    /// blocked, and what blocking cost when it happened.
+    fn contention_summary(&self) -> String {
+        let w = self.stats.lock_wait();
+        if w.count == 0 {
+            "uncontended".to_owned()
+        } else {
+            format!(
+                "{} waits, p50 {:.1} us, p99 {:.1} us",
+                w.count,
+                self.lock_wait_us(0.5),
+                self.lock_wait_us(0.99),
+            )
+        }
+    }
 }
 
 fn measure(
@@ -337,6 +362,8 @@ fn write_json(
                 "        {{ \"library\": \"{}\", \"may_ms\": {:.3}, \"must_ms\": {:.3}, \
                  \"wall_ms\": {:.3}, \"frames\": {}, \"memo_hits\": {}, \"memo_misses\": {}, \
                  \"memo_hit_rate\": {:.4}, \"steals\": {}, \"contended\": {}, \
+                 \"lock_wait_events\": {}, \"lock_wait_p50_us\": {:.3}, \
+                 \"lock_wait_p99_us\": {:.3}, \"contention\": \"{}\", \
                  \"cache_hits\": {}, \"cache_misses\": {} }}{}",
                 m.lib.name(),
                 m.may_ms(),
@@ -348,6 +375,10 @@ fn write_json(
                 m.hit_rate(),
                 m.stats.steals,
                 m.stats.contended(),
+                m.stats.lock_wait().count,
+                m.lock_wait_us(0.5),
+                m.lock_wait_us(0.99),
+                json_escape(&m.contention_summary()),
                 m.stats.cache_hits,
                 m.stats.cache_misses,
                 if li + 1 < ms.len() { "," } else { "" },
@@ -511,6 +542,7 @@ fn main() {
         "serial wall ms",
         "parallel wall ms",
         "speedup",
+        "shard contention",
     ]);
     for (serial, par) in runs[2].iter().zip(&runs[3]) {
         let (s, p) = (serial.wall_ms(), par.wall_ms());
@@ -519,6 +551,7 @@ fn main() {
             format!("{s:.1}"),
             format!("{p:.1}"),
             format!("{:.1}x", s / p),
+            par.contention_summary(),
         ]);
     }
     println!(

@@ -81,6 +81,7 @@ use spo_guard::Diagnostic;
 use spo_jir::{
     method_content_hash, method_identity_hash, structure_hash, Fnv64, MethodId, Program,
 };
+use spo_obs::trace;
 use spo_resolve::{CallGraph, Hierarchy};
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
@@ -373,6 +374,7 @@ impl PolicyCache {
         let Some(blob) = store.entries.get(&root_key) else {
             drop(store);
             self.lock_stats().misses += 1;
+            trace::instant_now("cache.miss", "cache");
             return None;
         };
         match decode_blob(blob, table) {
@@ -382,6 +384,8 @@ impl PolicyCache {
                 let mut stats = self.lock_stats();
                 stats.hits += 1;
                 stats.bytes += len;
+                drop(stats);
+                trace::instant_now("cache.hit", "cache");
                 Some((signature, entry))
             }
             Ok(None) => {
@@ -389,6 +393,7 @@ impl PolicyCache {
                 // program. The follow-up store overwrites this entry.
                 drop(store);
                 self.lock_stats().misses += 1;
+                trace::instant_now("cache.stale", "cache");
                 None
             }
             Err(why) => {
@@ -401,6 +406,7 @@ impl PolicyCache {
                 }
                 drop(store);
                 self.lock_stats().invalidated += 1;
+                trace::instant_now("cache.invalidated", "cache");
                 self.diag(
                     &format!("{root_key:016x}"),
                     format!("entry {root_key:016x}: {why}; falling back to cold analysis"),
@@ -428,6 +434,7 @@ impl PolicyCache {
         if !store.dirty {
             return;
         }
+        let _trace = trace::span_now("cache.flush", "cache");
         let pack = render_pack(&store.entries);
         let path = self.pack_path();
         // pid + per-process sequence: two sessions of one resident daemon

@@ -17,11 +17,13 @@ use crate::events::EventKey;
 use crate::ispa::PolicyDomain;
 use spo_dataflow::AbsVal;
 use spo_jir::MethodId;
+use spo_obs::{trace, HistSnapshot, Histogram};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 /// The memoization key of a context-sensitive method summary: the paper's
 /// `(method, in-policy, const-params, privileged)` context.
@@ -118,6 +120,10 @@ struct Shard<P> {
     hits: AtomicU64,
     misses: AtomicU64,
     contended: AtomicU64,
+    /// Nanoseconds spent blocked on this shard's lock, one observation
+    /// per contended acquisition. Always enabled: the histogram is only
+    /// touched on the already-slow `WouldBlock` path.
+    wait: Histogram,
 }
 
 impl<P> Default for Shard<P> {
@@ -127,13 +133,25 @@ impl<P> Default for Shard<P> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             contended: AtomicU64::new(0),
+            wait: Histogram::standalone(),
         }
     }
 }
 
+/// Blocks on a contended shard lock acquisition, recording the wait into
+/// the shard's histogram and — when the calling thread has a trace lane
+/// bound — as a `lock_wait` timeline event.
+fn blocking_acquire<G>(wait: &Histogram, acquire: impl FnOnce() -> G) -> G {
+    let start = Instant::now();
+    let guard = acquire();
+    wait.record(start.elapsed().as_nanos() as u64);
+    trace::complete_since(start, "lock_wait", "store");
+    guard
+}
+
 /// Counters of one [`SharedStore`] shard, snapshot by
 /// [`SharedStore::shard_stats`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct ShardStats {
     /// Lookups that found a summary.
     pub hits: u64,
@@ -143,6 +161,9 @@ pub struct ShardStats {
     pub contended: u64,
     /// Summaries currently stored in the shard.
     pub entries: usize,
+    /// Histogram of nanoseconds spent blocked on the shard lock — one
+    /// observation per contended acquisition.
+    pub lock_wait: HistSnapshot,
 }
 
 /// The concurrent store: lock-striped shards shared between worker threads.
@@ -177,6 +198,7 @@ impl<P: PolicyDomain> SharedStore<P> {
                 misses: s.misses.load(Ordering::Relaxed),
                 contended: s.contended.load(Ordering::Relaxed),
                 entries: s.map.read().unwrap_or_else(|e| e.into_inner()).len(),
+                lock_wait: s.wait.snapshot(),
             })
             .collect()
     }
@@ -196,7 +218,9 @@ impl<P: PolicyDomain> SummaryStore<P> for SharedStore<P> {
             Ok(guard) => guard,
             Err(std::sync::TryLockError::WouldBlock) => {
                 shard.contended.fetch_add(1, Ordering::Relaxed);
-                shard.map.read().unwrap_or_else(|e| e.into_inner())
+                blocking_acquire(&shard.wait, || {
+                    shard.map.read().unwrap_or_else(|e| e.into_inner())
+                })
             }
             Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
         };
@@ -214,7 +238,9 @@ impl<P: PolicyDomain> SummaryStore<P> for SharedStore<P> {
             Ok(guard) => guard,
             Err(std::sync::TryLockError::WouldBlock) => {
                 shard.contended.fetch_add(1, Ordering::Relaxed);
-                shard.map.write().unwrap_or_else(|e| e.into_inner())
+                blocking_acquire(&shard.wait, || {
+                    shard.map.write().unwrap_or_else(|e| e.into_inner())
+                })
             }
             Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
         };
@@ -334,8 +360,12 @@ mod tests {
                     }
                 });
             });
-            let contended: u64 = store.shard_stats().iter().map(|s| s.contended).sum();
+            let stats = store.shard_stats();
+            let contended: u64 = stats.iter().map(|s| s.contended).sum();
             if contended > 0 {
+                // Every contended acquisition records one wait observation.
+                let waits: u64 = stats.iter().map(|s| s.lock_wait.count).sum();
+                assert_eq!(waits, contended);
                 return;
             }
             eprintln!("round {round}: no contention observed, retrying");

@@ -130,6 +130,11 @@ pub fn run_forward_governed<A: ForwardAnalysis>(
     analysis: &mut A,
     governor: &Governor,
 ) -> (DataflowResults<A::State>, FixpointStats) {
+    // Flight-recorder visibility: one complete event per fixpoint solve on
+    // whatever trace lane the calling worker has bound (a no-op guard when
+    // tracing is off). Purely wall-clock — the solve itself, and with it
+    // `FixpointStats`, stays a pure function of (body, analysis).
+    let _trace = spo_obs::trace::span_now("fixpoint", "dataflow");
     let n = body.stmts.len();
     let mut stats = FixpointStats {
         stmts: n as u64,

@@ -52,7 +52,8 @@ use spo_core::{
 use spo_dataflow::{Dnf, MustSet};
 use spo_guard::{quarantine, Diagnostic, Fault, GuardConfig};
 use spo_jir::{method_identity_hash, MethodId, Program};
-use spo_obs::Recorder;
+use spo_obs::trace::{self, TraceLane, Tracer};
+use spo_obs::{HistSnapshot, Recorder};
 use spo_resolve::entry_points;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -99,6 +100,17 @@ impl EngineStats {
             .sum()
     }
 
+    /// All shard lock-wait observations of both stores merged into one
+    /// histogram (nanoseconds blocked per contended acquisition) — the
+    /// bench tables' contention-summary source.
+    pub fn lock_wait(&self) -> HistSnapshot {
+        let mut merged = HistSnapshot::default();
+        for s in self.may_shards.iter().chain(&self.must_shards) {
+            merged.merge(&s.lock_wait);
+        }
+        merged
+    }
+
     /// Accumulates another run's counters (used when one logical operation
     /// spans several engine invocations).
     pub fn absorb(&mut self, other: &EngineStats) {
@@ -124,6 +136,7 @@ fn absorb_shards(into: &mut Vec<ShardStats>, from: &[ShardStats]) {
         a.misses += b.misses;
         a.contended += b.contended;
         a.entries += b.entries;
+        a.lock_wait.merge(&b.lock_wait);
     }
 }
 
@@ -181,6 +194,7 @@ pub struct AnalysisEngine {
     jobs: usize,
     shards: usize,
     recorder: Recorder,
+    tracer: Tracer,
     guard: GuardConfig,
     cache: Option<Arc<PolicyCache>>,
     resident: Option<Arc<ResidentStore>>,
@@ -250,6 +264,7 @@ impl AnalysisEngine {
             jobs,
             shards: 16,
             recorder: Recorder::disabled(),
+            tracer: Tracer::disabled(),
             guard: GuardConfig::default(),
             cache: None,
             resident: None,
@@ -324,6 +339,22 @@ impl AnalysisEngine {
         &self.recorder
     }
 
+    /// Attaches a flight-recorder tracer. Each run opens a main lane plus
+    /// one lane per worker ("`<name>/worker00`" …) and emits per-root
+    /// spans, fixpoint spans, cache hit/miss instants, and shard
+    /// `lock_wait` events into them. Tracing is wall-clock telemetry only:
+    /// analysis results, report bytes, and the deterministic stats
+    /// sections are byte-identical with tracing on or off.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer (disabled unless set).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// The resolved worker count.
     pub fn jobs(&self) -> usize {
         if self.jobs > 0 {
@@ -355,6 +386,18 @@ impl AnalysisEngine {
         options: AnalysisOptions,
     ) -> (LibraryPolicies, EngineStats) {
         let t0 = Instant::now();
+        // One timeline row for this run's serial phases (cache validation,
+        // write-back, merge) plus one per worker below. Binding the lane
+        // makes it visible to the cache and store layers through the
+        // thread-local trace context, with no signature changes there.
+        let tracing = self.tracer.is_enabled();
+        let main_lane = if tracing {
+            self.tracer.lane(&format!("{name}/main"))
+        } else {
+            TraceLane::disabled()
+        };
+        let _main_bound = tracing.then(|| trace::bind(&main_lane));
+        let _run_span = main_lane.span(&format!("analyze {name}"), "engine");
         let analyzer = Analyzer::new(program, options);
 
         // Warm start: with a cache attached, split the roots into cache
@@ -432,6 +475,17 @@ impl AnalysisEngine {
         // in worker-id order below keeps the merged output independent of
         // thread interleaving.
         let worker_recs: Vec<Recorder> = (0..workers).map(|_| self.recorder.child()).collect();
+        // One timeline lane per worker, in worker-id order so the trace's
+        // `tid`s are stable for a given worker count.
+        let worker_lanes: Vec<TraceLane> = (0..workers)
+            .map(|w| {
+                if tracing {
+                    self.tracer.lane(&format!("{name}/worker{w:02}"))
+                } else {
+                    TraceLane::disabled()
+                }
+            })
+            .collect();
 
         std::thread::scope(|s| {
             for (w, rec) in worker_recs.iter().enumerate() {
@@ -441,13 +495,18 @@ impl AnalysisEngine {
                 let results = &results;
                 let faults = &faults;
                 let guard = &self.guard;
+                let lanes = &worker_lanes;
                 s.spawn(move || {
+                    let _lane_bound = trace::bind(&lanes[w]);
                     let worker_roots = rec.work_counter(&format!("engine.worker{w:02}.roots"));
                     let mut local: Vec<(usize, String, EntryPolicy, AnalysisStats)> = Vec::new();
                     let mut local_faults: Vec<(usize, String, Fault)> = Vec::new();
                     while let Some(idx) = next_root(w, deques, steals) {
                         worker_roots.incr();
                         let sig = program.method_signature(roots[idx]);
+                        // One complete event per root, named by its
+                        // signature — the per-root cost timeline.
+                        let _root_span = lanes[w].span(&sig, "root");
                         let mut stats = AnalysisStats::default();
                         // Fault-isolation boundary: a panic, budget trip, or
                         // observed cancellation inside this root degrades
@@ -660,6 +719,18 @@ impl AnalysisEngine {
                 .add(shards.iter().map(|s| s.contended).sum());
             rec.work_counter(&format!("{prefix}.entries"))
                 .add(shards.iter().map(|s| s.entries as u64).sum());
+            // Per-shard lock-wait histograms (nanoseconds blocked per
+            // contended acquisition) — the contention heatmap behind the
+            // parallel-speedup diagnosis. Only shards that actually
+            // blocked emit a key, so an uncontended run adds nothing.
+            for (i, s) in shards.iter().enumerate() {
+                if s.lock_wait.count > 0 {
+                    rec.record_duration_snapshot(
+                        &format!("{prefix}.shard{i:02}.lock_wait"),
+                        &s.lock_wait,
+                    );
+                }
+            }
         }
         rec.duration("engine.analyze")
             .record(stats.wall_nanos as u64);
@@ -723,6 +794,7 @@ fn shard_delta(after: Vec<ShardStats>, before: &[ShardStats]) -> Vec<ShardStats>
             misses: a.misses - b.misses,
             contended: a.contended.saturating_sub(b.contended),
             entries: a.entries,
+            lock_wait: a.lock_wait.saturating_delta(&b.lock_wait),
         })
         .collect()
 }
@@ -751,6 +823,7 @@ fn next_root(w: usize, deques: &[Mutex<VecDeque<usize>>], steals: &AtomicU64) ->
             .pop_back()
         {
             steals.fetch_add(1, Ordering::Relaxed);
+            trace::instant_now("steal", "engine");
             return Some(idx);
         }
     }
@@ -919,6 +992,36 @@ class t.A {
                 "deterministic sections diverged at jobs={jobs}"
             );
         }
+    }
+
+    #[test]
+    fn tracing_emits_lanes_without_perturbing_results() {
+        let program = sample_program();
+        let options = AnalysisOptions::default();
+        let run = |tracer: Tracer, jobs: usize| {
+            let rec = Recorder::new();
+            let engine = AnalysisEngine::new(jobs)
+                .with_recorder(rec.clone())
+                .with_tracer(tracer);
+            let (lib, _) = engine.analyze_library(&program, "t", options);
+            (lib, rec.snapshot().deterministic_json())
+        };
+        let (lib_off, det_off) = run(Tracer::disabled(), 2);
+        let tracer = Tracer::new();
+        let (lib_on, det_on) = run(tracer.clone(), 2);
+        // Tracing must stay outside the deterministic surface.
+        assert_eq!(lib_on.entries, lib_off.entries);
+        assert_eq!(det_on, det_off);
+        let doc = tracer.to_chrome_json();
+        spo_obs::json::validate_trace(&doc).unwrap();
+        // One main lane plus one lane per worker, and per-root spans
+        // named by entry-point signature.
+        assert!(doc.contains("t/main"), "{doc}");
+        assert!(doc.contains("t/worker00"), "{doc}");
+        assert!(doc.contains("t/worker01"), "{doc}");
+        assert!(doc.contains("t.A.read()"), "{doc}");
+        assert!(doc.contains("\"fixpoint\""), "{doc}");
+        assert!(tracer.event_count() > 0);
     }
 
     #[test]

@@ -71,6 +71,19 @@ impl Value {
         }
     }
 
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `true` if this is any JSON number (integer or float).
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::UInt(_) | Value::Float(_))
+    }
+
     /// Looks up a key in an object.
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object().and_then(|m| m.get(key))
@@ -446,6 +459,81 @@ fn check_diagnostics_section(doc: &Value) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a JSON document against the `spo-trace/1` schema
+/// ([`crate::trace::TRACE_SCHEMA`]):
+///
+/// * top level is an object with a `"schema"` field equal to
+///   `spo-trace/1` and a non-negative integer `"dropped"`;
+/// * `"traceEvents"` is an array of Chrome Trace Event objects: each has
+///   a string `"name"`, a string `"ph"` in `{X, i, C, M}`, and integer
+///   `"pid"`/`"tid"`;
+/// * non-metadata events carry a numeric `"ts"`; `X` events a numeric
+///   `"dur"`; `i` events a string `"s"` scope; `C` events an `"args"`
+///   object.
+///
+/// Extra top-level keys (`displayTimeUnit`, …) are permitted, matching
+/// what Perfetto and `chrome://tracing` accept.
+pub fn validate_trace(input: &str) -> Result<(), String> {
+    let doc = parse(input)?;
+    doc.as_object().ok_or("top level is not an object")?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing string field \"schema\"")?;
+    if schema != crate::trace::TRACE_SCHEMA {
+        return Err(format!(
+            "schema is \"{schema}\", expected \"{}\"",
+            crate::trace::TRACE_SCHEMA
+        ));
+    }
+    doc.get("dropped")
+        .and_then(Value::as_u64)
+        .ok_or("missing non-negative integer \"dropped\"")?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing field \"traceEvents\"")?
+        .as_array()
+        .ok_or("\"traceEvents\" is not an array")?;
+    for (i, ev) in events.iter().enumerate() {
+        let err = |what: &str| format!("traceEvents[{i}]: {what}");
+        let obj = ev.as_object().ok_or_else(|| err("not an object"))?;
+        if !matches!(obj.get("name"), Some(Value::Str(_))) {
+            return Err(err("missing string \"name\""));
+        }
+        let ph = obj
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("missing string \"ph\""))?;
+        for field in ["pid", "tid"] {
+            obj.get(field)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| err(&format!("missing integer \"{field}\"")))?;
+        }
+        match ph {
+            "M" => {}
+            "X" | "i" | "C" => {
+                if !obj.get("ts").is_some_and(Value::is_number) {
+                    return Err(err("missing numeric \"ts\""));
+                }
+                match ph {
+                    "X" if !obj.get("dur").is_some_and(Value::is_number) => {
+                        return Err(err("X event missing numeric \"dur\""));
+                    }
+                    "i" if !matches!(obj.get("s"), Some(Value::Str(_))) => {
+                        return Err(err("i event missing string scope \"s\""));
+                    }
+                    "C" if obj.get("args").and_then(Value::as_object).is_none() => {
+                        return Err(err("C event missing object \"args\""));
+                    }
+                    _ => {}
+                }
+            }
+            other => return Err(err(&format!("unsupported phase \"{other}\""))),
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,5 +626,28 @@ mod tests {
                                            "buckets": {"65": 1}}},
                       "durations": {}}"#;
         assert!(validate_stats(bad).unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn validate_trace_rejects_bad_documents() {
+        // Wrong schema version.
+        let bad = r#"{"schema": "spo-trace/0", "dropped": 0, "traceEvents": []}"#;
+        assert!(validate_trace(bad).unwrap_err().contains("schema"));
+        // Missing traceEvents.
+        let bad = r#"{"schema": "spo-trace/1", "dropped": 0}"#;
+        assert!(validate_trace(bad).unwrap_err().contains("traceEvents"));
+        // Unsupported phase.
+        let bad = r#"{"schema": "spo-trace/1", "dropped": 0, "traceEvents":
+                      [{"name": "a", "ph": "B", "pid": 1, "tid": 1, "ts": 0}]}"#;
+        assert!(validate_trace(bad).unwrap_err().contains("phase"));
+        // Complete event without a duration.
+        let bad = r#"{"schema": "spo-trace/1", "dropped": 0, "traceEvents":
+                      [{"name": "a", "ph": "X", "pid": 1, "tid": 1, "ts": 1.5}]}"#;
+        assert!(validate_trace(bad).unwrap_err().contains("dur"));
+        // Fractional timestamps are fine.
+        let ok = r#"{"schema": "spo-trace/1", "dropped": 0, "traceEvents":
+                     [{"name": "a", "ph": "X", "pid": 1, "tid": 1,
+                       "ts": 1.5, "dur": 0.25}]}"#;
+        validate_trace(ok).unwrap();
     }
 }

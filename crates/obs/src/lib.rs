@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 pub mod json;
+pub mod trace;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -203,6 +204,14 @@ impl Counter {
 pub struct Histogram(Option<Arc<HistCell>>);
 
 impl Histogram {
+    /// Creates an always-enabled histogram that belongs to no recorder —
+    /// the cell behind per-shard lock-wait profiling and the serve
+    /// daemon's per-method latency gauges, where the owner snapshots
+    /// (and optionally re-publishes) the values itself.
+    pub fn standalone() -> Histogram {
+        Histogram(Some(Arc::new(HistCell::default())))
+    }
+
     /// Records one observation (no-op on a disabled handle).
     #[inline]
     pub fn record(&self, v: u64) {
@@ -216,6 +225,13 @@ impl Histogram {
         self.0
             .as_ref()
             .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Immutable view of the current values (empty on a disabled handle).
+    pub fn snapshot(&self) -> HistSnapshot {
+        self.0
+            .as_ref()
+            .map_or_else(HistSnapshot::default, |c| c.snapshot())
     }
 }
 
@@ -342,6 +358,16 @@ impl Recorder {
     pub fn add(&self, name: &str, n: u64) {
         if self.is_enabled() {
             self.counter(name).add(n);
+        }
+    }
+
+    /// Merges an externally collected histogram into the `durations`
+    /// section under `name` — how the engine publishes the per-shard
+    /// lock-wait histograms that [`Histogram::standalone`] cells collect
+    /// inside the store. No-op on a disabled recorder.
+    pub fn record_duration_snapshot(&self, name: &str, snap: &HistSnapshot) {
+        if let Some(r) = &self.inner {
+            hist_cell(&r.durations, name).absorb(snap);
         }
     }
 
@@ -477,6 +503,41 @@ impl HistSnapshot {
         }
         self.max_bucket_bound()
     }
+
+    /// Bucket-wise accumulation of another snapshot into this one — the
+    /// snapshot-level counterpart of [`Recorder::absorb`] for histograms
+    /// collected outside a recorder.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        let mut map: BTreeMap<u8, u64> = self.buckets.iter().copied().collect();
+        for &(i, n) in &other.buckets {
+            *map.entry(i).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.buckets = map.into_iter().collect();
+    }
+
+    /// Bucket-wise difference `self − before` (saturating), for deriving
+    /// one run's observations from a monotonically accumulating cell —
+    /// e.g. a resident store's lock-wait histogram across warm requests.
+    pub fn saturating_delta(&self, before: &HistSnapshot) -> HistSnapshot {
+        let prior: BTreeMap<u8, u64> = before.buckets.iter().copied().collect();
+        HistSnapshot {
+            count: self.count.saturating_sub(before.count),
+            sum: self.sum.saturating_sub(before.sum),
+            buckets: self
+                .buckets
+                .iter()
+                .filter_map(|&(i, n)| {
+                    let left = n.saturating_sub(prior.get(&i).copied().unwrap_or(0));
+                    (left > 0).then_some((i, left))
+                })
+                .collect(),
+        }
+    }
 }
 
 /// An immutable snapshot of a [`Recorder`]: the four schema sections.
@@ -497,7 +558,7 @@ pub struct Snapshot {
     pub diagnostics: Vec<DiagRecord>,
 }
 
-fn json_hist(out: &mut String, indent: &str, h: &HistSnapshot) {
+fn json_hist(out: &mut String, h: &HistSnapshot) {
     out.push_str("{ \"count\": ");
     out.push_str(&h.count.to_string());
     out.push_str(", \"sum\": ");
@@ -510,7 +571,6 @@ fn json_hist(out: &mut String, indent: &str, h: &HistSnapshot) {
         out.push_str(&format!("\"{b}\": {n}"));
     }
     out.push_str(if h.buckets.is_empty() { "} }" } else { " } }" });
-    let _ = indent;
 }
 
 fn json_counter_section(out: &mut String, name: &str, map: &BTreeMap<String, u64>, last: bool) {
@@ -532,7 +592,7 @@ fn json_hist_section(
     for (i, (k, h)) in map.iter().enumerate() {
         let comma = if i + 1 < map.len() { "," } else { "" };
         out.push_str(&format!("    \"{}\": ", json::escape(k)));
-        json_hist(out, "    ", h);
+        json_hist(out, h);
         out.push_str(comma);
         out.push('\n');
     }
@@ -713,6 +773,97 @@ mod tests {
         assert_eq!(hs.quantile(0.5), 7); // 3rd of 5 lands in bucket 3
         assert_eq!(hs.quantile(0.99), 2047);
         assert_eq!(hs.quantile(2.0), 2047); // clamped
+    }
+
+    #[test]
+    fn quantile_and_bucket_range_edge_cases() {
+        // Empty histogram: every quantile is 0, as is the max bound.
+        let empty = HistSnapshot::default();
+        assert_eq!(empty.quantile(0.0), 0);
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.quantile(1.0), 0);
+        assert_eq!(empty.max_bucket_bound(), 0);
+
+        // Single-bucket histogram: every quantile lands in that bucket.
+        let single = HistSnapshot {
+            count: 7,
+            sum: 7 * 5,
+            buckets: vec![(3, 7)], // bucket 3 covers [4, 7]
+        };
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(single.quantile(q), 7, "q={q}");
+        }
+
+        // q = 0.0 has rank clamped up to 1: the smallest observation.
+        let hs = HistSnapshot {
+            count: 4,
+            sum: 1 + 2 + 2 + 1024,
+            buckets: vec![(1, 1), (2, 2), (11, 1)],
+        };
+        assert_eq!(hs.quantile(0.0), 1);
+        // q above 1.0 clamps to the maximum observation's bucket.
+        assert_eq!(hs.quantile(1.0), 2047);
+        assert_eq!(hs.quantile(7.5), 2047);
+        assert_eq!(hs.quantile(f64::INFINITY), 2047);
+        // Rank landing exactly on a cumulative bucket boundary stays in
+        // that bucket: rank 3 of 4 (q = 0.75) is the last observation of
+        // bucket 2, not the first of bucket 11.
+        assert_eq!(hs.quantile(0.75), 3);
+        // One observation past the boundary moves to the next bucket.
+        assert_eq!(hs.quantile(0.76), 2047);
+
+        // bucket_range endpoints: adjacent buckets tile the u64 line.
+        assert_eq!(bucket_range(0), (0, 0));
+        assert_eq!(bucket_range(1), (1, 1));
+        assert_eq!(bucket_range(2), (2, 3));
+        for i in 1..HIST_BUCKETS - 1 {
+            let (_, hi) = bucket_range(i);
+            let (lo_next, _) = bucket_range(i + 1);
+            assert_eq!(hi + 1, lo_next, "gap after bucket {i}");
+        }
+        assert_eq!(bucket_range(HIST_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn saturating_delta_subtracts_bucketwise() {
+        let before = HistSnapshot {
+            count: 3,
+            sum: 1 + 2 + 2,
+            buckets: vec![(1, 1), (2, 2)],
+        };
+        let after = HistSnapshot {
+            count: 6,
+            sum: 1 + 2 + 2 + 3 + 1024 + 1500,
+            buckets: vec![(1, 1), (2, 3), (11, 2)],
+        };
+        let delta = after.saturating_delta(&before);
+        assert_eq!(delta.count, 3);
+        assert_eq!(delta.sum, 3 + 1024 + 1500);
+        assert_eq!(delta.buckets, vec![(2, 1), (11, 2)]);
+        // Delta against itself is empty; against a larger snapshot it
+        // saturates instead of underflowing.
+        assert_eq!(after.saturating_delta(&after).count, 0);
+        let under = before.saturating_delta(&after);
+        assert_eq!(under.count, 0);
+        assert!(under.buckets.is_empty());
+    }
+
+    #[test]
+    fn standalone_histogram_snapshots_without_a_recorder() {
+        let h = Histogram::standalone();
+        h.record(5);
+        h.record(1024);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 1029);
+        assert_eq!(snap.buckets, vec![(3, 1), (11, 1)]);
+        // Disabled handles snapshot to empty.
+        assert_eq!(Histogram::default().snapshot(), HistSnapshot::default());
+        // Publishing into a recorder lands in the durations section.
+        let rec = Recorder::new();
+        rec.record_duration_snapshot("store.shard00.lock_wait", &snap);
+        let s = rec.snapshot();
+        assert_eq!(s.durations["store.shard00.lock_wait"].count, 2);
     }
 
     #[test]

@@ -34,8 +34,9 @@ use crate::registry::Registry;
 use spo_cache::PolicyCache;
 use spo_guard::{Diagnostic, GuardConfig};
 use spo_obs::json;
-use spo_obs::Recorder;
-use std::collections::VecDeque;
+use spo_obs::trace::{self, TraceLane, Tracer};
+use spo_obs::{Histogram, Recorder};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, TcpListener};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -115,6 +116,10 @@ type SessionWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 struct Job {
     line: String,
     out: SessionWriter,
+    /// When the session reader enqueued the line; traced requests turn
+    /// this into a `queue.wait` event, so admission latency is visible on
+    /// the timeline next to the compute it delayed.
+    queued_at: Instant,
 }
 
 #[derive(Default)]
@@ -188,6 +193,12 @@ impl JobQueue {
         self.space.notify_all();
     }
 
+    /// Currently queued (not yet popped) jobs — the `stats` queue-depth
+    /// gauge and the per-trace dequeue counter.
+    fn depth(&self) -> usize {
+        self.state.lock().unwrap().jobs.len()
+    }
+
     /// Waits until no job is queued or in flight, up to `grace`.
     fn wait_idle(&self, grace: Duration) -> bool {
         let deadline = Instant::now() + grace;
@@ -206,6 +217,19 @@ impl JobQueue {
     }
 }
 
+/// How many finished request traces the daemon keeps for the `trace`
+/// method. Oldest captures fall off first.
+const TRACE_RING: usize = 64;
+
+/// Rolling per-method telemetry behind the `stats` response: a request
+/// counter plus an always-on latency histogram (p50/p99 come from its
+/// log₂ buckets). Purely wall-clock — lives beside, never inside, the
+/// deterministic report state.
+struct MethodStat {
+    count: u64,
+    latency: Histogram,
+}
+
 struct Shared {
     registry: Registry,
     guard: GuardConfig,
@@ -218,6 +242,9 @@ struct Shared {
     warm_hits: AtomicU64,
     sessions_open: AtomicU64,
     sessions_total: AtomicU64,
+    started: Instant,
+    methods: Mutex<BTreeMap<String, MethodStat>>,
+    traces: Mutex<VecDeque<(String, String)>>,
 }
 
 fn write_line(out: &SessionWriter, line: &str) -> bool {
@@ -313,6 +340,7 @@ fn session_reader(shared: Arc<Shared>, stream: Box<dyn Read + Send>, out: Sessio
                 let job = Job {
                     line,
                     out: Arc::clone(&out),
+                    queued_at: Instant::now(),
                 };
                 if !shared.queue.push(job) {
                     let err = RequestError::new(ErrorKind::ShuttingDown, "daemon is draining");
@@ -328,7 +356,7 @@ fn session_reader(shared: Arc<Shared>, stream: Box<dyn Read + Send>, out: Sessio
 fn worker(shared: Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         let t0 = Instant::now();
-        let (response, label, is_shutdown) = route(&shared, &job.line);
+        let (response, label, is_shutdown) = route(&shared, &job.line, job.queued_at);
         write_line(&job.out, &response);
         let nanos = t0.elapsed().as_nanos() as u64;
         shared.recorder.duration("serve.request").record(nanos);
@@ -336,6 +364,17 @@ fn worker(shared: Arc<Shared>) {
             .recorder
             .duration(&format!("serve.request.{label}"))
             .record(nanos);
+        {
+            let mut methods = shared.methods.lock().unwrap();
+            let stat = methods
+                .entry(label.to_owned())
+                .or_insert_with(|| MethodStat {
+                    count: 0,
+                    latency: Histogram::standalone(),
+                });
+            stat.count += 1;
+            stat.latency.record(nanos);
+        }
         shared.requests.fetch_add(1, Ordering::Relaxed);
         shared.recorder.work_counter("serve.requests").incr();
         shared
@@ -354,7 +393,7 @@ enum Rendered {
     Degraded(String, Vec<Diagnostic>),
 }
 
-fn route(shared: &Shared, line: &str) -> (String, &'static str, bool) {
+fn route(shared: &Shared, line: &str, queued_at: Instant) -> (String, &'static str, bool) {
     let req = match proto::parse_request(line) {
         Ok(r) => r,
         Err((id, e)) => {
@@ -368,9 +407,44 @@ fn route(shared: &Shared, line: &str) -> (String, &'static str, bool) {
         .guard
         .for_request(req.timeout.or(shared.default_timeout));
     let id = req.id.clone();
-    let response = match dispatch(shared, req, &guard) {
-        Ok(Rendered::Ok(result)) => proto::render_ok(&id, &result),
-        Ok(Rendered::Degraded(result, diags)) => proto::render_degraded(&id, &result, &diags),
+    let trace_id = req.trace_id.clone();
+    // A client-supplied trace_id turns the flight recorder on for exactly
+    // this request; untraced requests keep the disabled-tracer fast path
+    // and byte-identical responses.
+    let tracer = if trace_id.is_some() {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    };
+    let outcome = {
+        let lane = if tracer.is_enabled() {
+            tracer.lane("rpc/request")
+        } else {
+            TraceLane::disabled()
+        };
+        let _bound = tracer.is_enabled().then(|| trace::bind(&lane));
+        lane.complete_since(queued_at, "queue.wait", "serve");
+        lane.counter("queue.depth", "serve", shared.queue.depth() as u64);
+        let _span = lane.span(label, "rpc");
+        dispatch(shared, req, &guard, &tracer)
+    };
+    if let Some(tid) = &trace_id {
+        // The file-oriented rendering is one event per line; collapse it
+        // so the capture can embed in a single line-delimited response.
+        // Real newlines only ever separate events (escape() encodes any
+        // inside names), so this cannot corrupt the document.
+        let doc = tracer.to_chrome_json().replace('\n', "");
+        let mut ring = shared.traces.lock().unwrap();
+        if ring.len() >= TRACE_RING {
+            ring.pop_front();
+        }
+        ring.push_back((tid.clone(), doc));
+    }
+    let response = match outcome {
+        Ok(Rendered::Ok(result)) => proto::render_ok(&id, trace_id.as_deref(), &result),
+        Ok(Rendered::Degraded(result, diags)) => {
+            proto::render_degraded(&id, trace_id.as_deref(), &result, &diags)
+        }
         Err(e) => {
             shared.recorder.work_counter("serve.errors").incr();
             proto::render_error(&id, &e)
@@ -386,7 +460,12 @@ fn note_warm(shared: &Shared, warm: bool) {
     }
 }
 
-fn dispatch(shared: &Shared, req: Request, guard: &GuardConfig) -> Result<Rendered, RequestError> {
+fn dispatch(
+    shared: &Shared,
+    req: Request,
+    guard: &GuardConfig,
+    tracer: &Tracer,
+) -> Result<Rendered, RequestError> {
     match req.method {
         Method::Load { name, paths } => {
             let summary = shared.registry.load(&name, &paths)?;
@@ -405,7 +484,9 @@ fn dispatch(shared: &Shared, req: Request, guard: &GuardConfig) -> Result<Render
         }
         Method::Analyze { name, options } => {
             let entry = shared.registry.get(&name)?;
-            let (a, warm) = shared.registry.analysis(&entry, options, guard);
+            let (a, warm) = shared
+                .registry
+                .analysis_traced(&entry, options, guard, tracer);
             note_warm(shared, warm);
             let result = JsonObj::new()
                 .str("name", &name)
@@ -424,7 +505,9 @@ fn dispatch(shared: &Shared, req: Request, guard: &GuardConfig) -> Result<Render
             options,
         } => {
             let prog = shared.registry.get(&name)?;
-            let (a, warm) = shared.registry.analysis(&prog, options, guard);
+            let (a, warm) = shared
+                .registry
+                .analysis_traced(&prog, options, guard, tracer);
             note_warm(shared, warm);
             let report = match &entry {
                 None => a.report.clone(),
@@ -459,7 +542,7 @@ fn dispatch(shared: &Shared, req: Request, guard: &GuardConfig) -> Result<Render
         } => {
             let l = shared.registry.get(&left)?;
             let r = shared.registry.get(&right)?;
-            let (d, warm) = shared.registry.diff(&l, &r, options, guard);
+            let (d, warm) = shared.registry.diff_traced(&l, &r, options, guard, tracer);
             note_warm(shared, warm);
             let result = JsonObj::new()
                 .str("left", &left)
@@ -479,6 +562,23 @@ fn dispatch(shared: &Shared, req: Request, guard: &GuardConfig) -> Result<Render
             let compact = json::parse(&snapshot)
                 .map(|v| v.to_compact())
                 .unwrap_or_else(|_| "null".to_owned());
+            // Per-method rolling telemetry: request count plus latency
+            // p50/p99 in microseconds, keyed and emitted in sorted method
+            // order so the field order stays fixed.
+            let mut methods = String::from("{");
+            for (i, (name, stat)) in shared.methods.lock().unwrap().iter().enumerate() {
+                if i > 0 {
+                    methods.push(',');
+                }
+                let snap = stat.latency.snapshot();
+                let row = JsonObj::new()
+                    .u64("count", stat.count)
+                    .u64("p50_us", snap.quantile(0.5) / 1_000)
+                    .u64("p99_us", snap.quantile(0.99) / 1_000)
+                    .finish();
+                methods.push_str(&format!("\"{name}\":{row}"));
+            }
+            methods.push('}');
             let result = JsonObj::new()
                 .u64("programs", shared.registry.names().len() as u64)
                 .u64(
@@ -491,7 +591,31 @@ fn dispatch(shared: &Shared, req: Request, guard: &GuardConfig) -> Result<Render
                 )
                 .u64("requests", shared.requests.load(Ordering::Relaxed))
                 .u64("warm_hits", shared.warm_hits.load(Ordering::Relaxed))
+                .u64("uptime_secs", shared.started.elapsed().as_secs())
+                .u64("queue_depth", shared.queue.depth() as u64)
+                .raw("methods", &methods)
                 .raw("stats", &compact)
+                .finish();
+            Ok(Rendered::Ok(result))
+        }
+        Method::Trace { id } => {
+            let ring = shared.traces.lock().unwrap();
+            let found = match &id {
+                Some(wanted) => ring.iter().rev().find(|(tid, _)| tid == wanted),
+                None => ring.back(),
+            };
+            let (tid, doc) = found.ok_or_else(|| {
+                RequestError::new(
+                    ErrorKind::NotFound,
+                    match &id {
+                        Some(wanted) => format!("no recorded trace \"{wanted}\""),
+                        None => "no request traces recorded yet".to_owned(),
+                    },
+                )
+            })?;
+            let result = JsonObj::new()
+                .str("trace_id", tid)
+                .raw("trace", doc)
                 .finish();
             Ok(Rendered::Ok(result))
         }
@@ -569,6 +693,9 @@ pub fn run(config: ServeConfig) -> Result<DrainReport, String> {
         warm_hits: AtomicU64::new(0),
         sessions_open: AtomicU64::new(0),
         sessions_total: AtomicU64::new(0),
+        started: Instant::now(),
+        methods: Mutex::new(BTreeMap::new()),
+        traces: Mutex::new(VecDeque::new()),
     });
     for (name, paths) in &config.preload {
         shared
@@ -762,13 +889,17 @@ mod tests {
         assert!(q.push(Job {
             line: "a".to_owned(),
             out: Arc::clone(&out),
+            queued_at: Instant::now(),
         }));
+        assert_eq!(q.depth(), 1);
         let job = q.pop().unwrap();
         assert_eq!(job.line, "a");
+        assert_eq!(q.depth(), 0);
         q.close();
         assert!(!q.push(Job {
             line: "b".to_owned(),
             out,
+            queued_at: Instant::now(),
         }));
         assert!(
             !q.wait_idle(Duration::from_millis(10)),
@@ -869,9 +1000,54 @@ class t.A {
         assert!(report(&q1).contains("checkRead"));
         let garbage = rpc("this is not json");
         assert_eq!(garbage.get("status").and_then(Value::as_str), Some("error"));
+        // A traced request echoes its trace_id and leaves a retrievable
+        // spo-trace/1 capture behind, without perturbing the report bytes.
+        let traced = rpc(
+            r#"{"spo-rpc":1,"id":4,"method":"query","params":{"name":"lib","broad":true},"trace_id":"req-t1"}"#,
+        );
+        assert_eq!(
+            traced.get("trace_id").and_then(Value::as_str),
+            Some("req-t1")
+        );
+        assert_eq!(traced.get("status").and_then(Value::as_str), Some("ok"));
+        let fetched =
+            rpc(r#"{"spo-rpc":1,"id":5,"method":"trace","params":{"trace_id":"req-t1"}}"#);
+        assert_eq!(fetched.get("status").and_then(Value::as_str), Some("ok"));
+        let capture = fetched.get("result").unwrap();
+        assert_eq!(
+            capture.get("trace_id").and_then(Value::as_str),
+            Some("req-t1")
+        );
+        let doc = capture.get("trace").unwrap().to_compact();
+        spo_obs::json::validate_trace(&doc).expect("stored capture conforms to spo-trace/1");
+        assert!(
+            doc.contains("queue.wait"),
+            "admission latency is on the timeline"
+        );
+        assert!(
+            doc.contains("/worker"),
+            "engine worker lanes made it into the capture"
+        );
+        let missing = rpc(r#"{"spo-rpc":1,"id":6,"method":"trace","params":{"trace_id":"nope"}}"#);
+        assert_eq!(missing.get("status").and_then(Value::as_str), Some("error"));
         let stats = rpc(r#"{"spo-rpc":1,"method":"stats"}"#);
         let result = stats.get("result").unwrap();
         assert_eq!(result.get("warm_hits").and_then(Value::as_u64), Some(1));
+        assert!(result.get("uptime_secs").and_then(Value::as_u64).is_some());
+        assert_eq!(result.get("queue_depth").and_then(Value::as_u64), Some(0));
+        let methods = result.get("methods").unwrap();
+        assert_eq!(
+            methods
+                .get("query")
+                .and_then(|m| m.get("count"))
+                .and_then(Value::as_u64),
+            Some(3)
+        );
+        assert!(methods
+            .get("query")
+            .and_then(|m| m.get("p99_us"))
+            .and_then(Value::as_u64)
+            .is_some());
         spo_obs::json::validate_stats(&result.get("stats").unwrap().to_compact())
             .expect("embedded stats payload conforms to spo-stats/1");
         let bye = rpc(r#"{"spo-rpc":1,"id":9,"method":"shutdown"}"#);

@@ -10,17 +10,23 @@
 //! * `spo-rpc` — protocol version, required, must be `1`;
 //! * `id` — optional number or string, echoed verbatim in the response;
 //! * `method` — one of `load`, `analyze`, `query`, `diff`, `stats`,
-//!   `reload`, `shutdown`;
+//!   `trace`, `reload`, `shutdown`;
 //! * `params` — method-specific object (may be omitted when empty);
-//! * `timeout_ms` — optional per-request admission deadline (≥ 1).
+//! * `timeout_ms` — optional per-request admission deadline (≥ 1);
+//! * `trace_id` — optional string naming this request's flight-recorder
+//!   capture, echoed in the response and usable with the `trace` method
+//!   to fetch the request's timeline afterwards.
 //!
 //! Responses are rendered by hand with a **fixed field order** (`spo-rpc`,
-//! `id`, `status`, then the payload), so a response is a pure function of
-//! the request and the served state — the byte-identity guarantee rests on
-//! this, not on any map-iteration accident:
+//! `id`, `status`, `trace_id` when the request carried one, then the
+//! payload), so a response is a pure function of the request and the
+//! served state — the byte-identity guarantee rests on this, not on any
+//! map-iteration accident. Requests without a `trace_id` get responses
+//! without one, byte-identical to pre-trace daemons:
 //!
 //! ```text
 //! {"spo-rpc":1,"id":7,"status":"ok","result":{...}}
+//! {"spo-rpc":1,"id":7,"status":"ok","trace_id":"t1","result":{...}}
 //! {"spo-rpc":1,"id":7,"status":"degraded","result":{...},"diagnostics":[...]}
 //! {"spo-rpc":1,"id":7,"status":"error","error":{"kind":"...","message":"..."}}
 //! ```
@@ -193,6 +199,11 @@ pub enum Method {
     },
     /// Daemon counters plus an embedded `spo-stats/1` snapshot.
     Stats,
+    /// Fetch a recent request's flight-recorder timeline (`spo-trace/1`).
+    Trace {
+        /// The `trace_id` of the capture to fetch; absent = most recent.
+        id: Option<String>,
+    },
     /// Re-read a program's sources and re-analyze warm option sets.
     Reload {
         /// Program name.
@@ -211,6 +222,7 @@ impl Method {
             Method::Query { .. } => "query",
             Method::Diff { .. } => "diff",
             Method::Stats => "stats",
+            Method::Trace { .. } => "trace",
             Method::Reload { .. } => "reload",
             Method::Shutdown => "shutdown",
         }
@@ -226,6 +238,10 @@ pub struct Request {
     pub method: Method,
     /// Per-request admission deadline.
     pub timeout: Option<Duration>,
+    /// Client-supplied flight-recorder capture name. When present the
+    /// daemon records a timeline for this request, echoes the id in the
+    /// response envelope, and serves the capture via the `trace` method.
+    pub trace_id: Option<String>,
 }
 
 /// Parses one request line. On failure the id (when one could be read)
@@ -290,6 +306,17 @@ pub fn parse_request(line: &str) -> Result<Request, (RequestId, RequestError)> {
             )
         }
     };
+    let trace_id = match doc.get("trace_id") {
+        None => None,
+        Some(Value::Str(s)) if !s.is_empty() => Some(s.clone()),
+        Some(_) => {
+            return bad(
+                &id,
+                ErrorKind::Protocol,
+                "\"trace_id\" must be a non-empty string".to_owned(),
+            )
+        }
+    };
     let Some(method_name) = doc.get("method").and_then(Value::as_str) else {
         return bad(
             &id,
@@ -315,6 +342,7 @@ pub fn parse_request(line: &str) -> Result<Request, (RequestId, RequestError)> {
         id,
         method,
         timeout,
+        trace_id,
     })
 }
 
@@ -401,6 +429,9 @@ fn decode_method(name: &str, params: Option<&Value>) -> Result<Method, RequestEr
             options: options_spec(params)?,
         }),
         "stats" => Ok(Method::Stats),
+        "trace" => Ok(Method::Trace {
+            id: optional_str(params, "trace_id")?,
+        }),
         "reload" => Ok(Method::Reload {
             name: require_str(params, "name")?,
         }),
@@ -480,16 +511,24 @@ impl JsonObj {
     }
 }
 
-fn envelope(id: &RequestId, status: &str) -> String {
-    format!(
+fn envelope(id: &RequestId, status: &str, trace_id: Option<&str>) -> String {
+    let mut out = format!(
         "{{\"{PROTOCOL_FIELD}\":{PROTOCOL_VERSION},\"id\":{},\"status\":\"{status}\"",
         id.as_json()
-    )
+    );
+    if let Some(t) = trace_id {
+        out.push_str(",\"trace_id\":\"");
+        out.push_str(&escape(t));
+        out.push('"');
+    }
+    out
 }
 
 /// Renders a `status:"ok"` response around a pre-rendered result object.
-pub fn render_ok(id: &RequestId, result: &str) -> String {
-    let mut out = envelope(id, "ok");
+/// The `trace_id` is echoed right after `status` only when the request
+/// carried one, keeping untraced responses byte-identical.
+pub fn render_ok(id: &RequestId, trace_id: Option<&str>, result: &str) -> String {
+    let mut out = envelope(id, "ok", trace_id);
     out.push_str(",\"result\":");
     out.push_str(result);
     out.push('}');
@@ -499,8 +538,13 @@ pub fn render_ok(id: &RequestId, result: &str) -> String {
 /// Renders a `status:"degraded"` response: the partial result plus the
 /// sorted degradation records, mirroring the one-shot CLI's exit-code-2
 /// contract (results are a lower bound).
-pub fn render_degraded(id: &RequestId, result: &str, diagnostics: &[Diagnostic]) -> String {
-    let mut out = envelope(id, "degraded");
+pub fn render_degraded(
+    id: &RequestId,
+    trace_id: Option<&str>,
+    result: &str,
+    diagnostics: &[Diagnostic],
+) -> String {
+    let mut out = envelope(id, "degraded", trace_id);
     out.push_str(",\"result\":");
     out.push_str(result);
     out.push_str(",\"diagnostics\":[");
@@ -524,7 +568,7 @@ pub fn render_degraded(id: &RequestId, result: &str, diagnostics: &[Diagnostic])
 
 /// Renders a `status:"error"` response.
 pub fn render_error(id: &RequestId, error: &RequestError) -> String {
-    let mut out = envelope(id, "error");
+    let mut out = envelope(id, "error", None);
     out.push_str(",\"error\":");
     out.push_str(
         &JsonObj::new()
@@ -548,6 +592,7 @@ mod tests {
         .unwrap();
         assert_eq!(req.id.as_json(), "7");
         assert_eq!(req.timeout, Some(Duration::from_millis(250)));
+        assert_eq!(req.trace_id, None);
         assert_eq!(
             req.method,
             Method::Query {
@@ -600,13 +645,46 @@ mod tests {
             .u64("exit_code", 0)
             .finish();
         assert_eq!(
-            render_ok(&id, &result),
+            render_ok(&id, None, &result),
             r#"{"spo-rpc":1,"id":9,"status":"ok","result":{"report":"r\n","exit_code":0}}"#
+        );
+        assert_eq!(
+            render_ok(&id, Some("t-1"), &result),
+            r#"{"spo-rpc":1,"id":9,"status":"ok","trace_id":"t-1","result":{"report":"r\n","exit_code":0}}"#
         );
         let err = RequestError::new(ErrorKind::Oversized, "line exceeds 4096 bytes");
         assert_eq!(
             render_error(&RequestId::none(), &err),
             r#"{"spo-rpc":1,"id":null,"status":"error","error":{"kind":"oversized","message":"line exceeds 4096 bytes"}}"#
+        );
+    }
+
+    #[test]
+    fn trace_ids_parse_and_gate() {
+        let req =
+            parse_request(r#"{"spo-rpc":1,"id":1,"method":"stats","trace_id":"req-42"}"#).unwrap();
+        assert_eq!(req.trace_id.as_deref(), Some("req-42"));
+        let (_, e) =
+            parse_request(r#"{"spo-rpc":1,"id":1,"method":"stats","trace_id":7}"#).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Protocol);
+        let (_, e) =
+            parse_request(r#"{"spo-rpc":1,"id":1,"method":"stats","trace_id":""}"#).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Protocol);
+        let req = parse_request(
+            r#"{"spo-rpc":1,"id":1,"method":"trace","params":{"trace_id":"req-42"}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req.method,
+            Method::Trace {
+                id: Some("req-42".to_owned())
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"spo-rpc":1,"id":1,"method":"trace"}"#)
+                .unwrap()
+                .method,
+            Method::Trace { id: None }
         );
     }
 

@@ -27,6 +27,7 @@ use spo_core::{
 use spo_engine::{AnalysisEngine, ResidentStore};
 use spo_guard::{Cause, Diagnostic, GuardConfig, Phase, Severity};
 use spo_jir::Program;
+use spo_obs::trace::Tracer;
 use spo_obs::Recorder;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, RwLock};
@@ -228,6 +229,21 @@ impl Registry {
         spec: OptionsSpec,
         guard: &GuardConfig,
     ) -> (Arc<Analysis>, bool) {
+        self.analysis_traced(entry, spec, guard, &Tracer::disabled())
+    }
+
+    /// [`Registry::analysis`] with a flight recorder attached: when
+    /// `tracer` is enabled the engine opens per-worker lanes in it for
+    /// this request's computation. Warm hits never touch the engine, so a
+    /// warm trace shows only the request-level span — which is itself the
+    /// telemetry (the request cost nothing).
+    pub fn analysis_traced(
+        &self,
+        entry: &ProgramEntry,
+        spec: OptionsSpec,
+        guard: &GuardConfig,
+        tracer: &Tracer,
+    ) -> (Arc<Analysis>, bool) {
         if let Some(a) = entry.analyses.lock().unwrap().get(&spec) {
             return (Arc::clone(a), true);
         }
@@ -242,6 +258,7 @@ impl Registry {
         let mut engine = AnalysisEngine::new(self.jobs)
             .with_recorder(self.recorder.clone())
             .with_guard(guard.clone())
+            .with_tracer(tracer.clone())
             .with_resident(resident);
         if let Some(cache) = &self.cache {
             engine = engine.with_cache(Arc::clone(cache));
@@ -302,10 +319,23 @@ impl Registry {
         spec: OptionsSpec,
         guard: &GuardConfig,
     ) -> (DiffOutcome, bool) {
-        let (left_full, w1) = self.analysis(left, spec, guard);
-        let (right_full, w2) = self.analysis(right, spec, guard);
-        let (left_intra, w3) = self.analysis(left, spec.intra(), guard);
-        let (right_intra, w4) = self.analysis(right, spec.intra(), guard);
+        self.diff_traced(left, right, spec, guard, &Tracer::disabled())
+    }
+
+    /// [`Registry::diff`] with a flight recorder attached; all four
+    /// constituent analyses share the request's tracer.
+    pub fn diff_traced(
+        &self,
+        left: &ProgramEntry,
+        right: &ProgramEntry,
+        spec: OptionsSpec,
+        guard: &GuardConfig,
+        tracer: &Tracer,
+    ) -> (DiffOutcome, bool) {
+        let (left_full, w1) = self.analysis_traced(left, spec, guard, tracer);
+        let (right_full, w2) = self.analysis_traced(right, spec, guard, tracer);
+        let (left_intra, w3) = self.analysis_traced(left, spec.intra(), guard, tracer);
+        let (right_intra, w4) = self.analysis_traced(right, spec.intra(), guard, tracer);
         let diff = diff_libraries(&left_full.lib, &right_full.lib);
         let intra_keys = root_keys(&diff_libraries(&left_intra.lib, &right_intra.lib));
         let groups = group_differences(&diff, &intra_keys);

@@ -16,6 +16,7 @@
 
 use security_policy_oracle::compare_implementations_with;
 use security_policy_oracle::guard::{CancelToken, Cause, Diagnostic, GuardConfig, Phase, Severity};
+use security_policy_oracle::obs::trace::{TraceLane, Tracer};
 use security_policy_oracle::obs::{self, Recorder};
 use spo_cache::PolicyCache;
 use spo_core::{
@@ -50,6 +51,7 @@ fn main() -> ExitCode {
         Some("cache") => cmd_cache(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("rpc") => cmd_rpc(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -69,16 +71,17 @@ const USAGE: &str = "\
 spo — security policy oracle (PLDI 2011 reproduction)
 
 USAGE:
-  spo check <file.jir>... [--lint] [--jobs N] [--stats] [--stats-json PATH]
-  spo analyze <file.jir>... [--broad] [--jobs N] [--budget-steps N] [--budget-frames N] [--deadline SECS] [--cache-dir PATH] [--no-cache] [--stats] [--stats-json PATH]
-  spo export <file.jir>... [--name NAME] [--jobs N] [--cache-dir PATH] [--no-cache] [--stats] [--stats-json PATH]
-  spo diff <left.jir>... --vs <right.jir>... [--no-icp] [--broad] [--intra-only] [--html] [--jobs N] [--cache-dir PATH] [--no-cache] [--stats] [--stats-json PATH]
+  spo check <file.jir>... [--lint] [--jobs N] [--trace-out PATH] [--stats] [--stats-json PATH]
+  spo analyze <file.jir>... [--broad] [--jobs N] [--budget-steps N] [--budget-frames N] [--deadline SECS] [--cache-dir PATH] [--no-cache] [--trace-out PATH] [--stats] [--stats-json PATH]
+  spo export <file.jir>... [--name NAME] [--jobs N] [--cache-dir PATH] [--no-cache] [--trace-out PATH] [--stats] [--stats-json PATH]
+  spo diff <left.jir>... --vs <right.jir>... [--no-icp] [--broad] [--intra-only] [--html] [--jobs N] [--cache-dir PATH] [--no-cache] [--trace-out PATH] [--stats] [--stats-json PATH]
   spo diff-policies <left-policies.txt> <right-policies.txt>
   spo throws <left.jir>... --vs <right.jir>...
-  spo stats-validate <stats.json>
+  spo stats-validate [--schema spo-stats/1|spo-trace/1] <snapshot.json>
   spo cache (stats|clear) --cache-dir PATH
   spo serve --socket PATH [--tcp ADDR] [--workers N] [--jobs N] [--load NAME=FILE[,FILE...]]... [--cache-dir PATH] [--no-cache] [--default-timeout-ms N] [--max-line-bytes N] [--drain-grace SECS] [--stats] [--stats-json PATH]
   spo rpc --socket PATH | --tcp ADDR [--stats-json PATH] <request-json>...
+  spo trace --socket PATH | --tcp ADDR [--trace-id ID] [--out PATH]
 
 `--jobs N` sets the analysis worker count (default: all CPUs; results are
 identical for any N). `--stats` prints a metrics summary to stderr;
@@ -101,6 +104,15 @@ request may carry `timeout_ms` for per-request admission control; an
 over-budget request returns a typed degraded response without disturbing
 other sessions. `spo rpc` sends request lines to a running daemon and
 prints the responses (exit: 0 ok, 2 any degraded, 3 any error).
+
+`--trace-out PATH` writes a flight-recorder timeline of the run as
+Chrome-trace JSON (`spo-trace/1`): one lane per engine worker, per-root
+spans, dataflow fixpoint spans, shard lock-wait events, and cache
+hit/miss instants. Load the file in Perfetto (ui.perfetto.dev) or
+chrome://tracing. Tracing is wall-clock telemetry only — report bytes
+and `--stats-json` output are byte-identical with or without it. Against
+a daemon, put a `trace_id` field in any `spo rpc` request to capture
+that request's timeline, then fetch it with `spo trace`.
 
 `--cache-dir PATH` warm-starts the analysis from a persistent summary
 cache at PATH (created on first use): roots whose call-graph cone is
@@ -358,6 +370,54 @@ fn extract_stats(args: &[String]) -> Result<(StatsOpts, Vec<String>), String> {
     Ok((opts, rest))
 }
 
+/// `--trace-out PATH`: the flight-recorder capture for one run.
+#[derive(Debug)]
+struct TraceOpts {
+    out: Option<String>,
+}
+
+impl TraceOpts {
+    /// An enabled tracer when a capture was requested, else the
+    /// never-reads-the-clock disabled tracer.
+    fn tracer(&self) -> Tracer {
+        if self.out.is_some() {
+            Tracer::new()
+        } else {
+            Tracer::disabled()
+        }
+    }
+
+    /// Writes the finished capture. Called strictly after the report has
+    /// been printed, so even a write failure cannot perturb stdout.
+    fn write(&self, tracer: &Tracer) -> Result<(), String> {
+        let Some(path) = &self.out else {
+            return Ok(());
+        };
+        std::fs::write(path, tracer.to_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "# trace: {} event(s) ({} dropped) -> {path}",
+            tracer.event_count(),
+            tracer.dropped()
+        );
+        Ok(())
+    }
+}
+
+/// Extracts `--trace-out PATH` / `--trace-out=PATH`, returning the trace
+/// options and the remaining arguments.
+fn extract_trace(args: &[String]) -> Result<(TraceOpts, Vec<String>), String> {
+    let mut opts = TraceOpts { out: None };
+    let mut rest = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match flag_value(a, "--trace-out", &mut iter)? {
+            Some(p) => opts.out = Some(p),
+            None => rest.push(a.clone()),
+        }
+    }
+    Ok((opts, rest))
+}
+
 /// Extracts `--cache-dir PATH` / `--cache-dir=PATH` and `--no-cache`,
 /// returning the cache directory (`None` when absent or disabled by
 /// `--no-cache`) and the remaining arguments.
@@ -525,16 +585,30 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     // uniformity with `analyze`/`diff`.
     let (_jobs, args) = extract_jobs(args)?;
     let (stats_opts, args) = extract_stats(&args)?;
+    let (trace_opts, args) = extract_trace(&args)?;
     let rec = stats_opts.recorder();
+    let tracer = trace_opts.tracer();
     let mut flags = Vec::new();
     let paths = split_flags(&args, &mut flags);
     reject_unknown_flags("check", &flags, &["--lint"])?;
     let lint = flags.contains(&"--lint");
     let mut diags = Vec::new();
-    let program = load_program(&paths, &rec, &mut diags)?;
+    // `check` runs no engine, so the timeline is a single CLI lane with
+    // load and call-graph phases.
+    let lane = if tracer.is_enabled() {
+        tracer.lane("cli")
+    } else {
+        TraceLane::disabled()
+    };
+    let program = {
+        let _span = lane.span("load", "cli");
+        load_program(&paths, &rec, &mut diags)?
+    };
+    let cg_span = lane.span("call-graph", "cli");
     let entries = spo_resolve::entry_points(&program);
     let hierarchy = spo_resolve::Hierarchy::new(&program);
     let cg = spo_resolve::CallGraph::from_entry_points_traced(&hierarchy, &rec);
+    drop(cg_span);
     let stats = cg.stats();
     println!(
         "{} classes, {} statements, {} entry points, {} reachable methods",
@@ -559,6 +633,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         println!("{} lint finding(s)", lints.len());
         findings = !lints.is_empty();
     }
+    trace_opts.write(&tracer)?;
     stats_opts.emit(&rec)?;
     Ok(finish(&diags, findings))
 }
@@ -568,7 +643,9 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let (stats_opts, args) = extract_stats(&args)?;
     let (guard, args) = extract_guard(&args)?;
     let (cache_dir, args) = extract_cache(&args)?;
+    let (trace_opts, args) = extract_trace(&args)?;
     let rec = stats_opts.recorder();
+    let tracer = trace_opts.tracer();
     let mut flags = Vec::new();
     let paths = split_flags(&args, &mut flags);
     let options = options_from(&flags)?;
@@ -576,7 +653,8 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let program = load_program(&paths, &rec, &mut diags)?;
     let engine = AnalysisEngine::new(jobs)
         .with_recorder(rec.clone())
-        .with_guard(guard);
+        .with_guard(guard)
+        .with_tracer(tracer.clone());
     let (engine, cache) = attach_cache(engine, &cache_dir)?;
     let (lib, _stats) = engine.analyze_library(&program, "input", options);
     report_cache_diags(&cache);
@@ -584,6 +662,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     // resident and one-shot reports stay byte-identical by construction.
     print!("{}", spo_core::render_analysis(&lib));
     diags.extend(lib.degraded.values().cloned());
+    trace_opts.write(&tracer)?;
     stats_opts.emit(&rec)?;
     Ok(finish(&diags, false))
 }
@@ -593,7 +672,9 @@ fn cmd_export(args: &[String]) -> Result<ExitCode, String> {
     let (stats_opts, args) = extract_stats(&args)?;
     let (guard, args) = extract_guard(&args)?;
     let (cache_dir, args) = extract_cache(&args)?;
+    let (trace_opts, args) = extract_trace(&args)?;
     let rec = stats_opts.recorder();
+    let tracer = trace_opts.tracer();
     let mut flags = Vec::new();
     let mut name = "library".to_owned();
     let mut positional: Vec<&String> = Vec::new();
@@ -612,12 +693,14 @@ fn cmd_export(args: &[String]) -> Result<ExitCode, String> {
     let program = load_program(&positional, &rec, &mut diags)?;
     let engine = AnalysisEngine::new(jobs)
         .with_recorder(rec.clone())
-        .with_guard(guard);
+        .with_guard(guard)
+        .with_tracer(tracer.clone());
     let (engine, cache) = attach_cache(engine, &cache_dir)?;
     let (lib, _stats) = engine.analyze_library(&program, &name, options);
     report_cache_diags(&cache);
     print!("{}", export_policies(&lib));
     diags.extend(lib.degraded.values().cloned());
+    trace_opts.write(&tracer)?;
     stats_opts.emit(&rec)?;
     Ok(finish(&diags, false))
 }
@@ -627,7 +710,9 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let (stats_opts, args) = extract_stats(&args)?;
     let (guard, args) = extract_guard(&args)?;
     let (cache_dir, args) = extract_cache(&args)?;
+    let (trace_opts, args) = extract_trace(&args)?;
     let rec = stats_opts.recorder();
+    let tracer = trace_opts.tracer();
     let vs = args
         .iter()
         .position(|a| a == "--vs")
@@ -643,7 +728,8 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let right = load_program(&right_paths, &rec, &mut diags)?;
     let engine = AnalysisEngine::new(jobs)
         .with_recorder(rec.clone())
-        .with_guard(guard);
+        .with_guard(guard)
+        .with_tracer(tracer.clone());
     let (engine, cache) = attach_cache(engine, &cache_dir)?;
     let report = compare_implementations_with(&left, "left", &right, "right", options, &engine);
     report_cache_diags(&cache);
@@ -656,6 +742,7 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     // so the diff silently skips it; surface the exclusion instead.
     diags.extend(report.left.degraded.values().cloned());
     diags.extend(report.right.degraded.values().cloned());
+    trace_opts.write(&tracer)?;
     stats_opts.emit(&rec)?;
     Ok(finish(&diags, !report.groups.is_empty()))
 }
@@ -690,12 +777,35 @@ fn cmd_throws(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_stats_validate(args: &[String]) -> Result<ExitCode, String> {
-    let [path] = args else {
-        return Err("stats-validate needs exactly one stats JSON file".to_owned());
+    let mut schema = obs::SCHEMA.to_owned();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if let Some(v) = flag_value(a, "--schema", &mut iter)? {
+            schema = v;
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag `{a}` for `stats-validate`"));
+        } else {
+            paths.push(a);
+        }
+    }
+    let [path] = paths[..] else {
+        return Err("stats-validate needs exactly one snapshot JSON file".to_owned());
     };
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    obs::json::validate_stats(&src).map_err(|e| format!("{path}: {e}"))?;
-    println!("{path}: valid {} snapshot", obs::SCHEMA);
+    let validate = match schema.as_str() {
+        obs::SCHEMA => obs::json::validate_stats,
+        obs::trace::TRACE_SCHEMA => obs::json::validate_trace,
+        other => {
+            return Err(format!(
+                "--schema: unknown schema `{other}` (expected {} or {})",
+                obs::SCHEMA,
+                obs::trace::TRACE_SCHEMA
+            ))
+        }
+    };
+    validate(&src).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: valid {schema} snapshot");
     Ok(ExitCode::SUCCESS)
 }
 
@@ -904,6 +1014,91 @@ fn cmd_rpc(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     Ok(ExitCode::from(exit))
+}
+
+/// `spo trace`: fetch a recent request's flight-recorder capture from a
+/// running daemon (the request must have carried a `trace_id`). Prints
+/// the `spo-trace/1` document to stdout, or writes it to `--out PATH` —
+/// ready to load in Perfetto or chrome://tracing.
+fn cmd_trace(args: &[String]) -> Result<ExitCode, String> {
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut trace_id: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if let Some(v) = flag_value(a, "--socket", &mut iter)? {
+            socket = Some(v);
+        } else if let Some(v) = flag_value(a, "--tcp", &mut iter)? {
+            tcp = Some(v);
+        } else if let Some(v) = flag_value(a, "--trace-id", &mut iter)? {
+            trace_id = Some(v);
+        } else if let Some(v) = flag_value(a, "--out", &mut iter)? {
+            out_path = Some(v);
+        } else {
+            return Err(format!("unknown argument `{a}` for `trace`"));
+        }
+    }
+    use std::io::{BufRead, BufReader, Read, Write};
+    let (mut writer, reader): (Box<dyn Write>, Box<dyn Read>) = match (&socket, &tcp) {
+        (Some(path), None) => {
+            let s = std::os::unix::net::UnixStream::connect(path)
+                .map_err(|e| format!("{path}: {e}"))?;
+            let r = s.try_clone().map_err(|e| format!("{path}: {e}"))?;
+            (Box::new(s), Box::new(r))
+        }
+        (None, Some(addr)) => {
+            let s = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+            let r = s.try_clone().map_err(|e| format!("{addr}: {e}"))?;
+            (Box::new(s), Box::new(r))
+        }
+        _ => return Err("trace needs exactly one of --socket PATH or --tcp ADDR".to_owned()),
+    };
+    let request = match &trace_id {
+        Some(id) => format!(
+            r#"{{"spo-rpc":1,"id":0,"method":"trace","params":{{"trace_id":"{}"}}}}"#,
+            obs::json::escape(id)
+        ),
+        None => r#"{"spo-rpc":1,"id":0,"method":"trace"}"#.to_owned(),
+    };
+    writeln!(writer, "{request}").map_err(|e| format!("send: {e}"))?;
+    writer.flush().map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    let n = BufReader::new(reader)
+        .read_line(&mut response)
+        .map_err(|e| format!("receive: {e}"))?;
+    if n == 0 {
+        return Err("connection closed before a response arrived".to_owned());
+    }
+    let doc = obs::json::parse(response.trim_end_matches('\n'))
+        .map_err(|e| format!("malformed response from daemon: {e}"))?;
+    if doc.get("status").and_then(obs::json::Value::as_str) != Some("ok") {
+        let message = doc
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(obs::json::Value::as_str)
+            .unwrap_or("daemon returned a non-ok status");
+        return Err(message.to_owned());
+    }
+    let result = doc.get("result").ok_or("response carries no result")?;
+    let capture = result
+        .get("trace")
+        .ok_or("response carries no trace document")?
+        .to_compact();
+    let id = result
+        .get("trace_id")
+        .and_then(obs::json::Value::as_str)
+        .unwrap_or("?");
+    match &out_path {
+        Some(path) => {
+            let mut payload = capture;
+            payload.push('\n');
+            std::fs::write(path, payload).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("# trace {id} -> {path}");
+        }
+        None => println!("{capture}"),
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_diff_policies(args: &[String]) -> Result<ExitCode, String> {
