@@ -75,9 +75,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use spo_chaos::FaultPlan;
 use spo_core::{AnalysisOptions, EntryPolicy, EventKey, EventPolicy};
 use spo_dataflow::{BitSet32, Dnf};
-use spo_guard::Diagnostic;
+use spo_guard::{Cause, Diagnostic, Phase, Severity};
 use spo_jir::{
     method_content_hash, method_identity_hash, structure_hash, Fnv64, MethodId, Program,
 };
@@ -92,10 +93,10 @@ use std::sync::{Mutex, RwLock};
 /// key derivation, or the analysis semantics the cached policies depend on
 /// must bump this; old packs then read as version mismatches and fall
 /// back to cold analysis.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Name of the pack file inside the cache directory.
-const PACK_FILE: &str = "policies.spc";
+pub const PACK_FILE: &str = "policies.spc";
 
 /// Folds one cone's sorted member content hashes into a cache key.
 fn fold_key(opts: &str, salt: u64, sorted_contents: &[u64]) -> u64 {
@@ -252,6 +253,27 @@ pub struct CacheStats {
     pub invalidated: u64,
     /// Total encoded entry bytes read from and written to the cache.
     pub bytes: u64,
+    /// Flush attempts repeated after a transient write error (interrupted
+    /// syscall or injected chaos fault) before the pack landed or the
+    /// flush gave up.
+    pub flush_retries: u64,
+}
+
+/// Flush attempts before a persistently failing pack write degrades to a
+/// diagnostic (the first attempt plus bounded retries of transient
+/// errors).
+pub const FLUSH_ATTEMPTS: u32 = 3;
+
+/// Whether an IO error is worth retrying: interrupted syscalls and
+/// timeout-shaped kinds, which is also the shape `spo-chaos` gives its
+/// injected transient faults.
+fn is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
 }
 
 /// In-memory view of the pack: encoded entry blobs by root key, plus
@@ -279,6 +301,10 @@ pub struct PolicyCache {
     store: RwLock<Store>,
     stats: Mutex<CacheStats>,
     diagnostics: Mutex<Vec<Diagnostic>>,
+    // Captured from the process-wide spo-chaos plan at open (and
+    // overridable per handle for tests): fault sites in the flush path
+    // draw from this plan. Disabled plans cost one branch per probe.
+    chaos: Mutex<FaultPlan>,
 }
 
 impl PolicyCache {
@@ -300,6 +326,7 @@ impl PolicyCache {
             store: RwLock::new(Store::default()),
             stats: Mutex::new(CacheStats::default()),
             diagnostics: Mutex::new(Vec::new()),
+            chaos: Mutex::new(spo_chaos::current()),
         };
         let path = cache.pack_path();
         match std::fs::read(&path) {
@@ -358,6 +385,25 @@ impl PolicyCache {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .push(Diagnostic::cache_fallback(unit.to_owned(), message));
+    }
+
+    fn chaos_diag(&self, message: String) {
+        self.diagnostics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Diagnostic {
+                severity: Severity::Warning,
+                phase: Phase::Chaos,
+                root: PACK_FILE.to_owned(),
+                cause: Cause::Chaos,
+                message,
+            });
+    }
+
+    /// Replaces the fault plan this handle draws injected faults from
+    /// (tests arm a plan without touching the process-wide one).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.chaos.lock().unwrap_or_else(|e| e.into_inner()) = plan;
     }
 
     /// Looks up the policy stored under `root_key`, validating the stored
@@ -426,9 +472,15 @@ impl PolicyCache {
         store.dirty = true;
     }
 
-    /// Writes the pack file atomically (temp file + `rename`) if anything
-    /// changed since open or the last flush. Write failures degrade to a
-    /// diagnostic; the run's results are already computed and unaffected.
+    /// Writes the pack file atomically and durably if anything changed
+    /// since open or the last flush: temp file + `sync_all`, atomic
+    /// `rename` over the pack, then a best-effort `sync_all` on the
+    /// directory so the rename itself survives a crash. Transient errors
+    /// (interrupted syscalls, injected chaos faults) are retried up to
+    /// [`FLUSH_ATTEMPTS`] times with a short backoff; persistent failures
+    /// degrade to a diagnostic — the run's results are already computed
+    /// and unaffected, and the next flush retries from scratch because
+    /// the store stays dirty.
     pub fn flush(&self) {
         let mut store = self.lock_store();
         if !store.dirty {
@@ -446,15 +498,92 @@ impl PolicyCache {
             std::process::id(),
             FLUSH_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        let result = std::fs::write(&tmp, &pack).and_then(|()| std::fs::rename(&tmp, &path));
-        match result {
-            Ok(()) => store.dirty = false,
-            Err(e) => {
-                let _ = std::fs::remove_file(&tmp);
-                drop(store);
-                self.diag(PACK_FILE, format!("{}: write failed: {e}", path.display()));
+        let chaos = self.chaos.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let mut last_err: Option<std::io::Error> = None;
+        for attempt in 0..FLUSH_ATTEMPTS {
+            match self.write_pack_durably(&chaos, &tmp, &path, &pack) {
+                Ok(()) => {
+                    store.dirty = false;
+                    if attempt > 0 {
+                        chaos.note_recovered(PACK_FILE);
+                        let why = last_err
+                            .take()
+                            .map_or_else(String::new, |e| format!(": {e}"));
+                        self.chaos_diag(format!(
+                            "{}: flush recovered after {attempt} retry(s){why}",
+                            path.display()
+                        ));
+                    }
+                    return;
+                }
+                Err(e) if attempt + 1 < FLUSH_ATTEMPTS && is_transient(&e) => {
+                    self.lock_stats().flush_retries += 1;
+                    last_err = Some(e);
+                    // Tiny exponential backoff: 1ms, 2ms. Real transient
+                    // errors (EINTR under signal storms) clear quickly;
+                    // anything slower is persistent and hits the cap.
+                    std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    break;
+                }
             }
         }
+        let _ = std::fs::remove_file(&tmp);
+        drop(store);
+        let e = last_err.expect("every failed attempt records its error");
+        self.diag(PACK_FILE, format!("{}: write failed: {e}", path.display()));
+    }
+
+    /// One durable write attempt: create + write + `sync_all` the temp
+    /// file, `rename` it over the pack, `sync_all` the directory.
+    /// Chaos fault sites are compiled into each step; the bit-flip site
+    /// corrupts the payload but lets the write *succeed* (silent
+    /// corruption for the next open to detect and heal).
+    fn write_pack_durably(
+        &self,
+        chaos: &FaultPlan,
+        tmp: &Path,
+        path: &Path,
+        pack: &[u8],
+    ) -> std::io::Result<()> {
+        use spo_chaos::sites;
+        use std::io::Write as _;
+        let flipped: Vec<u8>;
+        let payload: &[u8] = if !pack.is_empty() && chaos.should_fire(sites::CACHE_BITFLIP) {
+            let pos = chaos.amount(sites::CACHE_BITFLIP, pack.len() as u64) as usize;
+            let mut copy = pack.to_vec();
+            copy[pos] ^= 0x01;
+            flipped = copy;
+            &flipped
+        } else {
+            pack
+        };
+        {
+            let mut f = std::fs::File::create(tmp)?;
+            if chaos.should_fire(sites::CACHE_WRITE_SHORT) {
+                f.write_all(&payload[..payload.len() / 2])?;
+                let _ = f.sync_all();
+                return Err(spo_chaos::injected_io_error(sites::CACHE_WRITE_SHORT));
+            }
+            f.write_all(payload)?;
+            if chaos.should_fire(sites::CACHE_FSYNC_FAIL) {
+                return Err(spo_chaos::injected_io_error(sites::CACHE_FSYNC_FAIL));
+            }
+            f.sync_all()?;
+        }
+        if chaos.should_fire(sites::CACHE_RENAME_FAIL) {
+            return Err(spo_chaos::injected_io_error(sites::CACHE_RENAME_FAIL));
+        }
+        std::fs::rename(tmp, path)?;
+        // The rename is durable only once the directory entry is synced;
+        // a failure here is not worth failing the flush over (the data
+        // file itself is already synced).
+        if let Ok(dir) = std::fs::File::open(&self.dir) {
+            let _ = dir.sync_all();
+        }
+        Ok(())
     }
 
     /// This process's running counters.
@@ -707,7 +836,7 @@ fn decode_blob(blob: &[u8], table: &ContentTable) -> Result<Option<(String, Entr
 
 fn render_pack(entries: &HashMap<u64, Vec<u8>>) -> Vec<u8> {
     let payload: usize = entries.values().map(|b| b.len() + 12).sum();
-    let mut pack = Vec::with_capacity(32 + payload);
+    let mut pack = Vec::with_capacity(40 + payload);
     pack.extend_from_slice(format!("spo-cache {FORMAT_VERSION}\n").as_bytes());
     put_u64(&mut pack, entries.len() as u64);
     // Key order, so identical stores render identical packs regardless of
@@ -720,12 +849,19 @@ fn render_pack(entries: &HashMap<u64, Vec<u8>>) -> Vec<u8> {
         put_u32(&mut pack, blob.len() as u32);
         pack.extend_from_slice(blob);
     }
+    // Trailing whole-pack checksum: a single flipped bit anywhere in the
+    // file must discard the pack, not decode into a different-but-valid
+    // summary (policy bitmasks have no internal redundancy of their own).
+    let mut h = Fnv64::new();
+    h.write(&pack);
+    put_u64(&mut pack, h.finish());
     pack
 }
 
 /// Parses and validates a pack file; the `Err` string names what was
-/// wrong for the diagnostic. Any framing damage discards the whole pack —
-/// per-entry *content* damage is caught later, at lookup decode.
+/// wrong for the diagnostic. Any framing damage or checksum mismatch
+/// discards the whole pack — the cache degrades to cold roots and heals
+/// on the next flush.
 fn parse_pack(bytes: &[u8]) -> Result<HashMap<u64, Vec<u8>>, String> {
     let header_end = bytes
         .iter()
@@ -738,6 +874,17 @@ fn parse_pack(bytes: &[u8]) -> Result<HashMap<u64, Vec<u8>>, String> {
         Some(v) => return Err(format!("cache format version {v} != {FORMAT_VERSION}")),
         None => return Err("missing cache version header".to_owned()),
     }
+    if bytes.len() < header_end + 9 {
+        return Err("truncated pack (no checksum)".to_owned());
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let mut h = Fnv64::new();
+    h.write(body);
+    let want = u64::from_le_bytes(tail.try_into().expect("split_at leaves 8 bytes"));
+    if h.finish() != want {
+        return Err("pack checksum mismatch (corrupt cache)".to_owned());
+    }
+    let bytes = body;
     let mut c = Cursor {
         bytes,
         pos: header_end + 1,
@@ -1083,5 +1230,110 @@ class t.A {
         assert!(bytes > 0);
         assert_eq!(cache.clear().unwrap(), 1);
         assert_eq!(cache.disk_usage().unwrap(), (0, 0));
+    }
+
+    #[test]
+    fn flush_retries_injected_transient_faults_and_recovers() {
+        use spo_chaos::{sites, FaultPlan};
+        for site in [
+            sites::CACHE_WRITE_SHORT,
+            sites::CACHE_FSYNC_FAIL,
+            sites::CACHE_RENAME_FAIL,
+        ] {
+            let (program, root, entry) = analyzed_entry(SRC, "t.A.read");
+            let (rk, key, cone, table) = keyed(&program, root);
+            let dir = temp_dir(&format!("retry-{}", site.replace('.', "-")));
+            let cache = PolicyCache::open(&dir).unwrap();
+            let plan = FaultPlan::seeded(1).site_once(site);
+            cache.set_fault_plan(plan.clone());
+            cache.store(rk, key, &cone, &entry);
+            cache.flush();
+            // The injected failure was absorbed by one retry: the pack
+            // landed, the recovery is on the record, and no temp file
+            // litters the directory.
+            assert_eq!(plan.injected(), 1, "{site}");
+            assert_eq!(plan.recovered(), 1, "{site}");
+            assert_eq!(cache.stats().flush_retries, 1, "{site}");
+            let diags = cache.take_diagnostics();
+            assert_eq!(diags.len(), 1, "{site}: {diags:?}");
+            assert_eq!(diags[0].cause, spo_guard::Cause::Chaos);
+            assert_eq!(diags[0].phase, spo_guard::Phase::Chaos);
+            assert!(diags[0].message.contains("recovered after 1 retry"));
+            let leftovers: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(Result::ok)
+                .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+                .collect();
+            assert!(leftovers.is_empty(), "{site}: {leftovers:?}");
+            drop(cache);
+            let reopened = PolicyCache::open(&dir).unwrap();
+            assert_eq!(
+                reopened.lookup(rk, &table),
+                Some((entry.signature.clone(), entry.clone())),
+                "{site}"
+            );
+        }
+    }
+
+    #[test]
+    fn persistent_flush_failure_degrades_to_a_diagnostic_and_stays_dirty() {
+        use spo_chaos::{sites, FaultPlan};
+        let (program, root, entry) = analyzed_entry(SRC, "t.A.read");
+        let (rk, key, cone, table) = keyed(&program, root);
+        let dir = temp_dir("flush-fail");
+        let cache = PolicyCache::open(&dir).unwrap();
+        // Rate 1.0 fires on every attempt: all FLUSH_ATTEMPTS fail.
+        cache.set_fault_plan(FaultPlan::seeded(2).site(sites::CACHE_RENAME_FAIL, 1.0));
+        cache.store(rk, key, &cone, &entry);
+        cache.flush();
+        assert_eq!(cache.stats().flush_retries, u64::from(FLUSH_ATTEMPTS - 1));
+        let diags = cache.take_diagnostics();
+        assert!(
+            diags.iter().any(|d| d.message.contains("write failed")),
+            "{diags:?}"
+        );
+        assert!(!dir.join(PACK_FILE).exists());
+        // Disarm the plan: the store is still dirty, so the next flush
+        // lands the pack — degradation never loses the computed entries.
+        cache.set_fault_plan(FaultPlan::disabled());
+        cache.flush();
+        drop(cache);
+        let reopened = PolicyCache::open(&dir).unwrap();
+        assert_eq!(
+            reopened.lookup(rk, &table),
+            Some((entry.signature.clone(), entry.clone()))
+        );
+    }
+
+    #[test]
+    fn bitflip_corruption_is_caught_on_reopen_and_heals_on_flush() {
+        use spo_chaos::{sites, FaultPlan};
+        let (program, root, entry) = analyzed_entry(SRC, "t.A.read");
+        let (rk, key, cone, table) = keyed(&program, root);
+        let dir = temp_dir("bitflip");
+        {
+            let cache = PolicyCache::open(&dir).unwrap();
+            cache.set_fault_plan(FaultPlan::seeded(3).site_once(sites::CACHE_BITFLIP));
+            cache.store(rk, key, &cone, &entry);
+            cache.flush();
+            // The flip is silent at write time: the flush "succeeded".
+            assert!(cache.take_diagnostics().is_empty());
+            cache.set_fault_plan(FaultPlan::disabled());
+        }
+        // The corruption surfaces on the next open or lookup as a
+        // degrade-to-cold (never a panic), and a fresh store + flush
+        // heals the pack in place.
+        let reopened = PolicyCache::open(&dir).unwrap();
+        if reopened.lookup(rk, &table) != Some((entry.signature.clone(), entry.clone())) {
+            reopened.store(rk, key, &cone, &entry);
+        }
+        reopened.flush();
+        drop(reopened);
+        let healed = PolicyCache::open(&dir).unwrap();
+        assert!(healed.take_diagnostics().is_empty());
+        assert_eq!(
+            healed.lookup(rk, &table),
+            Some((entry.signature.clone(), entry.clone()))
+        );
     }
 }

@@ -69,6 +69,9 @@ pub enum Cause {
     /// A persistent-cache entry was corrupt, truncated, or written by a
     /// different format version; the root fell back to a cold analysis.
     Cache,
+    /// An injected fault from a `spo-chaos` plan fired (and the layer it
+    /// hit absorbed or recovered from it).
+    Chaos,
 }
 
 impl Cause {
@@ -82,6 +85,7 @@ impl Cause {
             Cause::Cancelled => "cancel",
             Cause::Parse => "parse",
             Cause::Cache => "cache",
+            Cause::Chaos => "chaos",
         }
     }
 }
@@ -119,6 +123,9 @@ pub enum Phase {
     Analysis,
     /// Persistent summary-cache I/O (warm-start lookups and write-back).
     Cache,
+    /// Deterministic fault injection (`spo-chaos`): diagnostics about
+    /// injected faults and the recoveries they exercised.
+    Chaos,
 }
 
 impl fmt::Display for Phase {
@@ -127,6 +134,7 @@ impl fmt::Display for Phase {
             Phase::Parse => "parse",
             Phase::Analysis => "analysis",
             Phase::Cache => "cache",
+            Phase::Chaos => "chaos",
         })
     }
 }

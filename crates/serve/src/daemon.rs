@@ -32,6 +32,7 @@
 use crate::proto::{self, ErrorKind, JsonObj, Method, Request, RequestError, RequestId};
 use crate::registry::Registry;
 use spo_cache::PolicyCache;
+use spo_chaos::{sites, FaultPlan};
 use spo_guard::{Diagnostic, GuardConfig};
 use spo_obs::json;
 use spo_obs::trace::{self, TraceLane, Tracer};
@@ -65,6 +66,10 @@ pub struct ServeConfig {
     pub max_line_bytes: usize,
     /// How long a drain waits for in-flight work before cancelling it.
     pub drain_grace: Duration,
+    /// Per-session write deadline: a response write that blocks longer
+    /// than this sheds the session (slow-client shedding) instead of
+    /// parking a worker forever. `None` disables the deadline.
+    pub write_timeout: Option<Duration>,
     /// Deadline applied to requests that carry no `timeout_ms`.
     pub default_timeout: Option<Duration>,
     /// Base admission config. Its cancel token becomes the parent of the
@@ -89,6 +94,7 @@ impl Default for ServeConfig {
             no_cache: false,
             max_line_bytes: 0,
             drain_grace: Duration::from_secs(10),
+            write_timeout: Some(Duration::from_secs(30)),
             default_timeout: None,
             guard: GuardConfig::default(),
             recorder: Recorder::disabled(),
@@ -111,7 +117,34 @@ pub struct DrainReport {
     pub drained_in: Duration,
 }
 
-type SessionWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+/// One session's write half plus the handle that tears the whole stream
+/// down — slow-client shedding and the chaos connection-drop site both
+/// need to kill the connection from under a blocked peer, which a plain
+/// `Write` cannot do.
+struct SessionOut {
+    w: Box<dyn Write + Send>,
+    /// Shuts down both stream halves; callable more than once.
+    close: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl SessionOut {
+    /// A writer with a no-op closer (tests and in-memory sinks).
+    #[cfg(test)]
+    fn sink(w: Box<dyn Write + Send>) -> SessionOut {
+        SessionOut {
+            w,
+            close: Arc::new(|| {}),
+        }
+    }
+}
+
+type SessionWriter = Arc<Mutex<SessionOut>>;
+
+/// Unpoisons a lock result: daemon state must stay usable after a
+/// panicked holder (the panic itself is already quarantined or fatal).
+fn unpoison<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 struct Job {
     line: String,
@@ -150,7 +183,7 @@ impl JobQueue {
     }
 
     fn push(&self, job: Job) -> bool {
-        let mut st = self.state.lock().unwrap();
+        let mut st = unpoison(self.state.lock());
         loop {
             if st.closed {
                 return false;
@@ -160,12 +193,12 @@ impl JobQueue {
                 self.ready.notify_one();
                 return true;
             }
-            st = self.space.wait(st).unwrap();
+            st = unpoison(self.space.wait(st));
         }
     }
 
     fn pop(&self) -> Option<Job> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = unpoison(self.state.lock());
         loop {
             if let Some(job) = st.jobs.pop_front() {
                 st.in_flight += 1;
@@ -175,19 +208,19 @@ impl JobQueue {
             if st.closed {
                 return None;
             }
-            st = self.ready.wait(st).unwrap();
+            st = unpoison(self.ready.wait(st));
         }
     }
 
     fn done(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = unpoison(self.state.lock());
         st.in_flight -= 1;
         // Wakes both blocked pushers and the drain's idle waiter.
         self.space.notify_all();
     }
 
     fn close(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = unpoison(self.state.lock());
         st.closed = true;
         self.ready.notify_all();
         self.space.notify_all();
@@ -196,13 +229,13 @@ impl JobQueue {
     /// Currently queued (not yet popped) jobs — the `stats` queue-depth
     /// gauge and the per-trace dequeue counter.
     fn depth(&self) -> usize {
-        self.state.lock().unwrap().jobs.len()
+        unpoison(self.state.lock()).jobs.len()
     }
 
     /// Waits until no job is queued or in flight, up to `grace`.
     fn wait_idle(&self, grace: Duration) -> bool {
         let deadline = Instant::now() + grace;
-        let mut st = self.state.lock().unwrap();
+        let mut st = unpoison(self.state.lock());
         loop {
             if st.jobs.is_empty() && st.in_flight == 0 {
                 return true;
@@ -211,7 +244,7 @@ impl JobQueue {
             if now >= deadline {
                 return false;
             }
-            let (guard, _) = self.space.wait_timeout(st, deadline - now).unwrap();
+            let (guard, _) = unpoison(self.space.wait_timeout(st, deadline - now));
             st = guard;
         }
     }
@@ -245,14 +278,66 @@ struct Shared {
     started: Instant,
     methods: Mutex<BTreeMap<String, MethodStat>>,
     traces: Mutex<VecDeque<(String, String)>>,
+    /// Captured from the process-wide spo-chaos plan at startup; session
+    /// IO fault sites draw from it. Disabled costs one branch per probe.
+    chaos: FaultPlan,
 }
 
-fn write_line(out: &SessionWriter, line: &str) -> bool {
-    let mut w = out.lock().unwrap();
-    w.write_all(line.as_bytes())
-        .and_then(|()| w.write_all(b"\n"))
-        .and_then(|()| w.flush())
-        .is_ok()
+/// Writes one framed response line under the session's writer lock.
+/// Chaos sites perturb the frame (drop mid-response, stall, split); a
+/// write that hits the per-session deadline sheds the slow client by
+/// tearing the stream down rather than parking the worker.
+fn write_line(shared: &Shared, out: &SessionWriter, line: &str) -> bool {
+    let mut o = unpoison(out.lock());
+    if shared.chaos.should_fire(sites::SERVE_CONN_DROP) {
+        // Half the frame, then a hard shutdown: the client observes a
+        // mid-response EOF, exactly what a crashed daemon looks like.
+        shared.recorder.work_counter("chaos.injected").incr();
+        shared
+            .recorder
+            .work_counter(&format!("chaos.{}", sites::SERVE_CONN_DROP))
+            .incr();
+        let _ = o.w.write_all(&line.as_bytes()[..line.len() / 2]);
+        let _ = o.w.flush();
+        (o.close)();
+        return false;
+    }
+    if shared.chaos.should_fire(sites::SERVE_WRITE_STALL) {
+        shared.recorder.work_counter("chaos.injected").incr();
+        std::thread::sleep(Duration::from_millis(
+            1 + shared.chaos.amount(sites::SERVE_WRITE_STALL, 25),
+        ));
+    }
+    let result = if shared.chaos.should_fire(sites::SERVE_FRAME_SPLIT) && line.len() >= 2 {
+        // Two separately flushed chunks: readers must assemble on the
+        // newline, never on the read boundary.
+        shared.recorder.work_counter("chaos.injected").incr();
+        let cut = line.len() / 2;
+        o.w.write_all(&line.as_bytes()[..cut])
+            .and_then(|()| o.w.flush())
+            .and_then(|()| o.w.write_all(&line.as_bytes()[cut..]))
+            .and_then(|()| o.w.write_all(b"\n"))
+            .and_then(|()| o.w.flush())
+    } else {
+        o.w.write_all(line.as_bytes())
+            .and_then(|()| o.w.write_all(b"\n"))
+            .and_then(|()| o.w.flush())
+    };
+    match result {
+        Ok(()) => true,
+        Err(e) => {
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) {
+                // The peer stopped reading past the write deadline: shed
+                // the session so the worker pool stays available.
+                shared.recorder.work_counter("serve.shed").incr();
+                (o.close)();
+            }
+            false
+        }
+    }
 }
 
 enum LineRead {
@@ -329,13 +414,23 @@ fn session_reader(shared: Arc<Shared>, stream: Box<dyn Read + Send>, out: Sessio
                     ErrorKind::Oversized,
                     format!("request line exceeds {} bytes", shared.max_line),
                 );
-                if !write_line(&out, &proto::render_error(&RequestId::none(), &err)) {
+                if !write_line(
+                    &shared,
+                    &out,
+                    &proto::render_error(&RequestId::none(), &err),
+                ) {
                     break;
                 }
             }
             Ok(LineRead::Line(line)) => {
                 if line.trim().is_empty() {
                     continue;
+                }
+                if shared.chaos.should_fire(sites::SERVE_READ_STALL) {
+                    shared.recorder.work_counter("chaos.injected").incr();
+                    std::thread::sleep(Duration::from_millis(
+                        1 + shared.chaos.amount(sites::SERVE_READ_STALL, 25),
+                    ));
                 }
                 let job = Job {
                     line,
@@ -344,7 +439,11 @@ fn session_reader(shared: Arc<Shared>, stream: Box<dyn Read + Send>, out: Sessio
                 };
                 if !shared.queue.push(job) {
                     let err = RequestError::new(ErrorKind::ShuttingDown, "daemon is draining");
-                    write_line(&out, &proto::render_error(&RequestId::none(), &err));
+                    write_line(
+                        &shared,
+                        &out,
+                        &proto::render_error(&RequestId::none(), &err),
+                    );
                     break;
                 }
             }
@@ -357,7 +456,7 @@ fn worker(shared: Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         let t0 = Instant::now();
         let (response, label, is_shutdown) = route(&shared, &job.line, job.queued_at);
-        write_line(&job.out, &response);
+        write_line(&shared, &job.out, &response);
         let nanos = t0.elapsed().as_nanos() as u64;
         shared.recorder.duration("serve.request").record(nanos);
         shared
@@ -365,7 +464,7 @@ fn worker(shared: Arc<Shared>) {
             .duration(&format!("serve.request.{label}"))
             .record(nanos);
         {
-            let mut methods = shared.methods.lock().unwrap();
+            let mut methods = unpoison(shared.methods.lock());
             let stat = methods
                 .entry(label.to_owned())
                 .or_insert_with(|| MethodStat {
@@ -434,7 +533,7 @@ fn route(shared: &Shared, line: &str, queued_at: Instant) -> (String, &'static s
         // Real newlines only ever separate events (escape() encodes any
         // inside names), so this cannot corrupt the document.
         let doc = tracer.to_chrome_json().replace('\n', "");
-        let mut ring = shared.traces.lock().unwrap();
+        let mut ring = unpoison(shared.traces.lock());
         if ring.len() >= TRACE_RING {
             ring.pop_front();
         }
@@ -566,7 +665,7 @@ fn dispatch(
             // p50/p99 in microseconds, keyed and emitted in sorted method
             // order so the field order stays fixed.
             let mut methods = String::from("{");
-            for (i, (name, stat)) in shared.methods.lock().unwrap().iter().enumerate() {
+            for (i, (name, stat)) in unpoison(shared.methods.lock()).iter().enumerate() {
                 if i > 0 {
                     methods.push(',');
                 }
@@ -599,7 +698,7 @@ fn dispatch(
             Ok(Rendered::Ok(result))
         }
         Method::Trace { id } => {
-            let ring = shared.traces.lock().unwrap();
+            let ring = unpoison(shared.traces.lock());
             let found = match &id {
                 Some(wanted) => ring.iter().rev().find(|(tid, _)| tid == wanted),
                 None => ring.back(),
@@ -696,6 +795,7 @@ pub fn run(config: ServeConfig) -> Result<DrainReport, String> {
         started: Instant::now(),
         methods: Mutex::new(BTreeMap::new()),
         traces: Mutex::new(VecDeque::new()),
+        chaos: spo_chaos::current(),
     });
     for (name, paths) in &config.preload {
         shared
@@ -713,6 +813,9 @@ pub fn run(config: ServeConfig) -> Result<DrainReport, String> {
                         path.display()
                     ));
                 }
+                // Nobody answers: a previous daemon died without
+                // unlinking its socket. Take the address over.
+                eprintln!("spo serve: taking over stale socket {}", path.display());
                 let _ = std::fs::remove_file(path);
             }
             let listener =
@@ -740,7 +843,7 @@ pub fn run(config: ServeConfig) -> Result<DrainReport, String> {
         worker_handles.push(std::thread::spawn(move || worker(sh)));
     }
     let mut reader_handles = Vec::new();
-    let mut closers: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    let mut closers: Vec<Arc<dyn Fn() + Send + Sync>> = Vec::new();
 
     if let Some(path) = &config.socket {
         eprintln!("spo serve: listening on {}", path.display());
@@ -756,6 +859,7 @@ pub fn run(config: ServeConfig) -> Result<DrainReport, String> {
             if let Ok((stream, _)) = listener.accept() {
                 accepted = true;
                 let _ = stream.set_nonblocking(false);
+                let _ = stream.set_write_timeout(config.write_timeout);
                 if let (Ok(writer), Ok(closer)) = (stream.try_clone(), stream.try_clone()) {
                     start_session(
                         &shared,
@@ -763,7 +867,7 @@ pub fn run(config: ServeConfig) -> Result<DrainReport, String> {
                         &mut closers,
                         Box::new(stream),
                         Box::new(writer),
-                        Box::new(move || {
+                        Arc::new(move || {
                             let _ = closer.shutdown(Shutdown::Both);
                         }),
                     );
@@ -774,6 +878,7 @@ pub fn run(config: ServeConfig) -> Result<DrainReport, String> {
             if let Ok((stream, _)) = listener.accept() {
                 accepted = true;
                 let _ = stream.set_nonblocking(false);
+                let _ = stream.set_write_timeout(config.write_timeout);
                 if let (Ok(writer), Ok(closer)) = (stream.try_clone(), stream.try_clone()) {
                     start_session(
                         &shared,
@@ -781,7 +886,7 @@ pub fn run(config: ServeConfig) -> Result<DrainReport, String> {
                         &mut closers,
                         Box::new(stream),
                         Box::new(writer),
-                        Box::new(move || {
+                        Arc::new(move || {
                             let _ = closer.shutdown(Shutdown::Both);
                         }),
                     );
@@ -862,16 +967,19 @@ fn open_cache(config: &ServeConfig) -> Result<(Option<Arc<PolicyCache>>, Option<
 fn start_session(
     shared: &Arc<Shared>,
     handles: &mut Vec<std::thread::JoinHandle<()>>,
-    closers: &mut Vec<Box<dyn FnOnce() + Send>>,
+    closers: &mut Vec<Arc<dyn Fn() + Send + Sync>>,
     reader: Box<dyn Read + Send>,
     writer: Box<dyn Write + Send>,
-    closer: Box<dyn FnOnce() + Send>,
+    closer: Arc<dyn Fn() + Send + Sync>,
 ) {
     shared.sessions_total.fetch_add(1, Ordering::Relaxed);
     shared.sessions_open.fetch_add(1, Ordering::Relaxed);
     shared.recorder.work_counter("serve.sessions").incr();
-    closers.push(closer);
-    let out: SessionWriter = Arc::new(Mutex::new(writer));
+    closers.push(Arc::clone(&closer));
+    let out: SessionWriter = Arc::new(Mutex::new(SessionOut {
+        w: writer,
+        close: closer,
+    }));
     let sh = Arc::clone(shared);
     handles.push(std::thread::spawn(move || session_reader(sh, reader, out)));
 }
@@ -885,7 +993,7 @@ mod tests {
     #[test]
     fn queue_applies_backpressure_and_drains_after_close() {
         let q = JobQueue::new(1);
-        let out: SessionWriter = Arc::new(Mutex::new(Box::new(Vec::new())));
+        let out: SessionWriter = Arc::new(Mutex::new(SessionOut::sink(Box::new(Vec::new()))));
         assert!(q.push(Job {
             line: "a".to_owned(),
             out: Arc::clone(&out),

@@ -141,14 +141,19 @@ impl Registry {
 
     /// Currently loaded program names.
     pub fn names(&self) -> Vec<String> {
-        self.programs.read().unwrap().keys().cloned().collect()
+        self.programs
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect()
     }
 
     /// Looks up a loaded program.
     pub fn get(&self, name: &str) -> Result<Arc<ProgramEntry>, RequestError> {
         self.programs
             .read()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .get(name)
             .cloned()
             .ok_or_else(|| {
@@ -207,7 +212,7 @@ impl Registry {
         let replaced = self
             .programs
             .write()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .insert(name.to_owned(), entry)
             .is_some();
         Ok(LoadSummary {
@@ -244,14 +249,19 @@ impl Registry {
         guard: &GuardConfig,
         tracer: &Tracer,
     ) -> (Arc<Analysis>, bool) {
-        if let Some(a) = entry.analyses.lock().unwrap().get(&spec) {
+        if let Some(a) = entry
+            .analyses
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&spec)
+        {
             return (Arc::clone(a), true);
         }
         let resident = Arc::clone(
             entry
                 .residents
                 .lock()
-                .unwrap()
+                .unwrap_or_else(|e| e.into_inner())
                 .entry(spec)
                 .or_insert_with(|| Arc::new(ResidentStore::default())),
         );
@@ -301,7 +311,7 @@ impl Registry {
             entry
                 .analyses
                 .lock()
-                .unwrap()
+                .unwrap_or_else(|e| e.into_inner())
                 .entry(spec)
                 .or_insert(analysis),
         );
@@ -372,7 +382,13 @@ impl Registry {
     pub fn reload(&self, name: &str, guard: &GuardConfig) -> Result<ReloadSummary, RequestError> {
         let old = self.get(name)?;
         let fresh = self.build_entry(name, &old.paths)?;
-        let warm_specs: Vec<OptionsSpec> = old.analyses.lock().unwrap().keys().copied().collect();
+        let warm_specs: Vec<OptionsSpec> = old
+            .analyses
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .copied()
+            .collect();
         let load = LoadSummary {
             classes: fresh.classes,
             entry_points: fresh.entry_points,
@@ -381,7 +397,7 @@ impl Registry {
         };
         self.programs
             .write()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .insert(name.to_owned(), Arc::clone(&fresh));
         let mut reanalyzed = Vec::new();
         for spec in warm_specs {

@@ -39,6 +39,13 @@ const EXIT_DEGRADED: u8 = 2;
 const EXIT_FATAL: u8 = 3;
 
 fn main() -> ExitCode {
+    // Arm deterministic fault injection from `SPO_CHAOS` before any layer
+    // captures the global plan (cache open, engine construction, daemon
+    // start all read it exactly once).
+    if let Err(e) = spo_chaos::init_from_env() {
+        eprintln!("error: {}: {e}", spo_chaos::ENV_VAR);
+        return ExitCode::from(EXIT_FATAL);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
@@ -52,19 +59,32 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("rpc") => cmd_rpc(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
         }
         Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
-    match result {
+    let code = match result {
         Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::from(EXIT_FATAL)
         }
+    };
+    // One machine-parseable summary line per chaos-armed process: `spo
+    // chaos soak` reads these from child stderr to attribute fault counts.
+    let chaos = spo_chaos::current();
+    if chaos.is_enabled() {
+        eprintln!(
+            "# chaos: injected={} recovered={} seed={}",
+            chaos.injected(),
+            chaos.recovered(),
+            chaos.seed().unwrap_or(0),
+        );
     }
+    code
 }
 
 const USAGE: &str = "\
@@ -79,9 +99,10 @@ USAGE:
   spo throws <left.jir>... --vs <right.jir>...
   spo stats-validate [--schema spo-stats/1|spo-trace/1] <snapshot.json>
   spo cache (stats|clear) --cache-dir PATH
-  spo serve --socket PATH [--tcp ADDR] [--workers N] [--jobs N] [--load NAME=FILE[,FILE...]]... [--cache-dir PATH] [--no-cache] [--default-timeout-ms N] [--max-line-bytes N] [--drain-grace SECS] [--stats] [--stats-json PATH]
-  spo rpc --socket PATH | --tcp ADDR [--stats-json PATH] <request-json>...
+  spo serve --socket PATH [--tcp ADDR] [--workers N] [--jobs N] [--load NAME=FILE[,FILE...]]... [--cache-dir PATH] [--no-cache] [--default-timeout-ms N] [--write-timeout-ms N] [--max-line-bytes N] [--drain-grace SECS] [--stats] [--stats-json PATH]
+  spo rpc --socket PATH | --tcp ADDR [--stats-json PATH] [--retries N] [--retry-base-ms N] <request-json>...
   spo trace --socket PATH | --tcp ADDR [--trace-id ID] [--out PATH]
+  spo chaos soak [--seed N] [--schedules N] [--rate P] [--keep-going]
 
 `--jobs N` sets the analysis worker count (default: all CPUs; results are
 identical for any N). `--stats` prints a metrics summary to stderr;
@@ -113,6 +134,20 @@ chrome://tracing. Tracing is wall-clock telemetry only — report bytes
 and `--stats-json` output are byte-identical with or without it. Against
 a daemon, put a `trace_id` field in any `spo rpc` request to capture
 that request's timeline, then fetch it with `spo trace`.
+
+Every command honours the `SPO_CHAOS` environment variable
+(`seed=N[,rate=P][,sites=SITE[:RATE|:once][+SITE...]]`, `sites=all` arms
+everything): a deterministic fault-injection plan that fires at named
+sites in the cache, the engine, and the daemon. The same seed replays
+the same fault schedule; a chaos-armed process prints a one-line
+`# chaos:` summary to stderr at exit. `spo chaos soak` drives randomized
+schedules against all three layers and checks the standing invariants
+(no panics, stable exit codes, byte-identical surviving output,
+self-healing cache), printing the minimized failing seed on violation.
+`spo rpc` retries idempotent requests over a dropped connection with
+exponential backoff (`--retries`, `--retry-base-ms`); `spo serve
+--write-timeout-ms N` bounds each response write, shedding clients that
+stall past it.
 
 `--cache-dir PATH` warm-starts the analysis from a persistent summary
 cache at PATH (created on first use): roots whose call-graph cone is
@@ -334,7 +369,7 @@ impl StatsOpts {
             let mut json = snap.to_json();
             json.push('\n');
             if path == "-" {
-                print!("{json}");
+                print_report(&json)?;
             } else {
                 std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
             }
@@ -566,6 +601,21 @@ fn finish(diags: &[Diagnostic], findings: bool) -> ExitCode {
     }
 }
 
+/// Writes a rendered report to stdout, treating a broken pipe as a quiet
+/// success: `spo analyze ... | head` must exit with the analysis verdict,
+/// not a panic, when the reader hangs up early. Any other write error is
+/// still fatal — a truncated report on a healthy pipe would be silent
+/// data loss.
+fn print_report(s: &str) -> Result<(), String> {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    match out.write_all(s.as_bytes()).and_then(|()| out.flush()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("stdout: {e}")),
+    }
+}
+
 fn options_from(flags: &[&str]) -> Result<AnalysisOptions, String> {
     let mut options = AnalysisOptions::default();
     for f in flags {
@@ -660,7 +710,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     report_cache_diags(&cache);
     // The daemon's `analyze`/`query` responses embed this same string, so
     // resident and one-shot reports stay byte-identical by construction.
-    print!("{}", spo_core::render_analysis(&lib));
+    print_report(&spo_core::render_analysis(&lib))?;
     diags.extend(lib.degraded.values().cloned());
     trace_opts.write(&tracer)?;
     stats_opts.emit(&rec)?;
@@ -698,7 +748,7 @@ fn cmd_export(args: &[String]) -> Result<ExitCode, String> {
     let (engine, cache) = attach_cache(engine, &cache_dir)?;
     let (lib, _stats) = engine.analyze_library(&program, &name, options);
     report_cache_diags(&cache);
-    print!("{}", export_policies(&lib));
+    print_report(&export_policies(&lib))?;
     diags.extend(lib.degraded.values().cloned());
     trace_opts.write(&tracer)?;
     stats_opts.emit(&rec)?;
@@ -734,9 +784,9 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let report = compare_implementations_with(&left, "left", &right, "right", options, &engine);
     report_cache_diags(&cache);
     if html {
-        print!("{}", spo_core::render_html(&report.diff, &report.groups));
+        print_report(&spo_core::render_html(&report.diff, &report.groups))?;
     } else {
-        print!("{}", report.render());
+        print_report(&report.render())?;
     }
     // A degraded root on either side is excluded from that side's entries,
     // so the diff silently skips it; surface the exclusion instead.
@@ -912,6 +962,13 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
                 );
             }
             config.default_timeout = Some(Duration::from_millis(n));
+        } else if let Some(v) = flag_value(a, "--write-timeout-ms", &mut iter)? {
+            let n: u64 = v
+                .parse()
+                .map_err(|_| format!("--write-timeout-ms: invalid milliseconds `{v}`"))?;
+            // 0 disables the per-session write deadline (a stalled client
+            // can then hold a response writer forever — test use only).
+            config.write_timeout = (n > 0).then(|| Duration::from_millis(n));
         } else if let Some(v) = flag_value(a, "--load", &mut iter)? {
             let (name, paths) = v
                 .split_once('=')
@@ -944,13 +1001,36 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+/// Methods whose daemon-side effect is safe to repeat after a dropped
+/// connection: either read-only (`analyze`, `query`, `diff`, `stats`,
+/// `trace`) or convergent (`load` of the same NAME=FILES is a no-op
+/// replace). `reload` re-reads sources (a concurrent edit could make the
+/// retry observe different bytes) and `shutdown` tears the daemon down,
+/// so a lost response leaves their outcome genuinely unknown — those are
+/// never retried.
+const RPC_IDEMPOTENT: [&str; 6] = ["load", "analyze", "query", "diff", "stats", "trace"];
+
+/// One connected rpc stream pair.
+struct RpcConn {
+    writer: Box<dyn std::io::Write>,
+    reader: std::io::BufReader<Box<dyn std::io::Read>>,
+}
+
 /// `spo rpc`: send request lines to a running daemon in lock-step and
 /// print each response. Exit code folds the response statuses: any
 /// `error` -> 3, else any `degraded` -> 2, else 0.
+///
+/// A dropped connection (daemon restart, injected fault, flaky network)
+/// is retried with exponential backoff plus jitter — but only for
+/// [`RPC_IDEMPOTENT`] methods, and only until `--retries` attempts are
+/// spent. Reconnects are surfaced on stderr, never stdout: a retried
+/// run's stdout stays byte-identical to an undisturbed one.
 fn cmd_rpc(args: &[String]) -> Result<ExitCode, String> {
     let mut socket: Option<String> = None;
     let mut tcp: Option<String> = None;
     let mut stats_json: Option<String> = None;
+    let mut retries: u32 = 5;
+    let mut retry_base = Duration::from_millis(50);
     let mut requests: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -960,6 +1040,15 @@ fn cmd_rpc(args: &[String]) -> Result<ExitCode, String> {
             tcp = Some(v);
         } else if let Some(v) = flag_value(a, "--stats-json", &mut iter)? {
             stats_json = Some(v);
+        } else if let Some(v) = flag_value(a, "--retries", &mut iter)? {
+            retries = v
+                .parse()
+                .map_err(|_| format!("--retries: invalid retry count `{v}` (0 disables)"))?;
+        } else if let Some(v) = flag_value(a, "--retry-base-ms", &mut iter)? {
+            let n: u64 = v
+                .parse()
+                .map_err(|_| format!("--retry-base-ms: invalid milliseconds `{v}`"))?;
+            retry_base = Duration::from_millis(n);
         } else if a.starts_with("--") {
             return Err(format!("unknown flag `{a}` for `rpc`"));
         } else {
@@ -969,35 +1058,114 @@ fn cmd_rpc(args: &[String]) -> Result<ExitCode, String> {
     if requests.is_empty() {
         return Err("rpc needs at least one request line".to_owned());
     }
-    use std::io::{BufRead, BufReader, Read, Write};
-    let (mut writer, reader): (Box<dyn Write>, Box<dyn Read>) = match (&socket, &tcp) {
-        (Some(path), None) => {
-            let s = std::os::unix::net::UnixStream::connect(path)
-                .map_err(|e| format!("{path}: {e}"))?;
-            let r = s.try_clone().map_err(|e| format!("{path}: {e}"))?;
-            (Box::new(s), Box::new(r))
+    use std::io::{BufRead, Write};
+    let connect = || -> Result<RpcConn, String> {
+        match (&socket, &tcp) {
+            (Some(path), None) => {
+                let s = std::os::unix::net::UnixStream::connect(path)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                let r = s.try_clone().map_err(|e| format!("{path}: {e}"))?;
+                Ok(RpcConn {
+                    writer: Box::new(s),
+                    reader: std::io::BufReader::new(Box::new(r) as Box<dyn std::io::Read>),
+                })
+            }
+            (None, Some(addr)) => {
+                let s = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+                let r = s.try_clone().map_err(|e| format!("{addr}: {e}"))?;
+                Ok(RpcConn {
+                    writer: Box::new(s),
+                    reader: std::io::BufReader::new(Box::new(r) as Box<dyn std::io::Read>),
+                })
+            }
+            _ => Err("rpc needs exactly one of --socket PATH or --tcp ADDR".to_owned()),
         }
-        (None, Some(addr)) => {
-            let s = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
-            let r = s.try_clone().map_err(|e| format!("{addr}: {e}"))?;
-            (Box::new(s), Box::new(r))
-        }
-        _ => return Err("rpc needs exactly one of --socket PATH or --tcp ADDR".to_owned()),
     };
-    let mut reader = BufReader::new(reader);
+    // Jitter decorrelates concurrent clients hammering a restarting
+    // daemon; correctness never depends on the values drawn.
+    let mut rng = spo_rng::SmallRng::seed_from_u64(
+        u64::from(std::process::id()).rotate_left(32)
+            ^ std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos() as u64)
+                .unwrap_or(0),
+    );
+    let mut conn: Option<RpcConn> = Some(connect()?);
+    let mut reconnects: u64 = 0;
     let mut exit = 0u8;
     for request in &requests {
-        writeln!(writer, "{request}").map_err(|e| format!("send: {e}"))?;
-        writer.flush().map_err(|e| format!("send: {e}"))?;
-        let mut response = String::new();
-        let n = reader
-            .read_line(&mut response)
-            .map_err(|e| format!("receive: {e}"))?;
-        if n == 0 {
-            return Err("connection closed before a response arrived".to_owned());
-        }
+        let method = obs::json::parse(request)
+            .ok()
+            .and_then(|doc| {
+                doc.get("method")
+                    .and_then(obs::json::Value::as_str)
+                    .map(str::to_owned)
+            })
+            .unwrap_or_default();
+        let retryable = RPC_IDEMPOTENT.contains(&method.as_str());
+        let mut attempt: u32 = 0;
+        let response = loop {
+            let step = (|| -> std::io::Result<String> {
+                if conn.is_none() {
+                    let fresh =
+                        connect().map_err(std::io::Error::other)?;
+                    conn = Some(fresh);
+                }
+                let c = conn.as_mut().expect("connection established above");
+                writeln!(c.writer, "{request}")?;
+                c.writer.flush()?;
+                let mut response = String::new();
+                let n = c.reader.read_line(&mut response)?;
+                if n == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed before a response arrived",
+                    ));
+                }
+                // A line without its terminator is a connection torn down
+                // mid-response: the frame is incomplete, not a payload.
+                if !response.ends_with('\n') {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-response",
+                    ));
+                }
+                Ok(response)
+            })();
+            match step {
+                Ok(response) => break response,
+                Err(e) => {
+                    // The stream is in an unknown state; always reconnect.
+                    conn = None;
+                    if !retryable || attempt >= retries {
+                        let verb = if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::UnexpectedEof | std::io::ErrorKind::BrokenPipe
+                        ) {
+                            "receive"
+                        } else {
+                            "send"
+                        };
+                        return Err(format!("{verb}: {e}"));
+                    }
+                    let backoff = retry_base
+                        .saturating_mul(1u32 << attempt.min(10))
+                        .saturating_add(Duration::from_millis(
+                            rng.gen_range(0..retry_base.as_millis().max(1) as u64),
+                        ));
+                    eprintln!(
+                        "spo rpc: {e}; retrying `{method}` in {backoff:.1?} \
+                         (attempt {}/{retries})",
+                        attempt + 1,
+                    );
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                    reconnects += 1;
+                }
+            }
+        };
         let response = response.trim_end_matches('\n');
-        println!("{response}");
+        print_report(&format!("{response}\n"))?;
         let doc = obs::json::parse(response)
             .map_err(|e| format!("malformed response from daemon: {e}"))?;
         match doc.get("status").and_then(obs::json::Value::as_str) {
@@ -1012,6 +1180,9 @@ fn cmd_rpc(args: &[String]) -> Result<ExitCode, String> {
             payload.push('\n');
             std::fs::write(path, payload).map_err(|e| format!("{path}: {e}"))?;
         }
+    }
+    if reconnects > 0 {
+        eprintln!("# rpc: {reconnects} reconnect(s)");
     }
     Ok(ExitCode::from(exit))
 }
@@ -1096,7 +1267,11 @@ fn cmd_trace(args: &[String]) -> Result<ExitCode, String> {
             std::fs::write(path, payload).map_err(|e| format!("{path}: {e}"))?;
             eprintln!("# trace {id} -> {path}");
         }
-        None => println!("{capture}"),
+        None => {
+            let mut payload = capture;
+            payload.push('\n');
+            print_report(&payload)?;
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -1110,12 +1285,609 @@ fn cmd_diff_policies(args: &[String]) -> Result<ExitCode, String> {
     let right = import_policies(&read(right_path)?).map_err(|e| format!("{right_path}: {e}"))?;
     let diff = diff_libraries(&left, &right);
     let groups = group_differences(&diff, &Default::default());
-    print!("{}", render_reports(&diff, &groups));
+    print_report(&render_reports(&diff, &groups))?;
     Ok(if groups.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     })
+}
+
+/// Embedded soak fixture: a six-class library over a tiny
+/// `SecurityManager` prelude, giving the engine multiple independent
+/// roots (so keyed fault injection can perturb a strict subset) and the
+/// cache several cones to pack.
+const CHAOS_FIXTURE_A: &str = r#"
+class java.lang.SecurityManager {
+  method public native void checkRead(java.lang.String file);
+  method public native void checkWrite(java.lang.String file);
+}
+class java.lang.System {
+  field static java.lang.SecurityManager security;
+  method public static java.lang.SecurityManager getSecurityManager() {
+    local java.lang.SecurityManager sm;
+    sm = java.lang.System.security;
+    return sm;
+  }
+}
+class chaos.A {
+  method public void read() {
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    virtualinvoke sm.checkRead("a");
+    staticinvoke chaos.A.op();
+    return;
+  }
+  method private static native void op();
+}
+class chaos.B {
+  method public void write() {
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    virtualinvoke sm.checkWrite("b");
+    staticinvoke chaos.B.op();
+    return;
+  }
+  method private static native void op();
+}
+class chaos.C {
+  method public void readwrite() {
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    virtualinvoke sm.checkRead("c");
+    virtualinvoke sm.checkWrite("c");
+    staticinvoke chaos.C.op();
+    return;
+  }
+  method private static native void op();
+}
+class chaos.D {
+  method public void unguarded() {
+    staticinvoke chaos.D.op();
+    return;
+  }
+  method private static native void op();
+}
+class chaos.E {
+  method public void delegated() {
+    local chaos.A a;
+    a = new chaos.A;
+    virtualinvoke a.read();
+    return;
+  }
+}
+class chaos.F {
+  method public void idle() {
+    local int i;
+    i = 0;
+    return;
+  }
+}
+"#;
+
+/// Layered variant: two extra classes over the same prelude, one of them
+/// an unguarded twin of `chaos.A.read` (a deliberate policy hole).
+/// Layering it onto [`CHAOS_FIXTURE_A`] grows the root set without
+/// disturbing existing cones — a pack-extending cache write.
+const CHAOS_FIXTURE_B: &str = r#"
+class chaos.X {
+  method public void read() {
+    staticinvoke chaos.X.op();
+    return;
+  }
+  method private static native void op();
+}
+class chaos.Y {
+  method public void write() {
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    virtualinvoke sm.checkWrite("y");
+    staticinvoke chaos.Y.op();
+    return;
+  }
+  method private static native void op();
+}
+"#;
+
+/// `spo chaos <action>`: fault-injection tooling. `soak` is the only
+/// action today.
+fn cmd_chaos(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(String::as_str) {
+        Some("soak") => chaos_soak(&args[1..]),
+        Some(other) => Err(format!("chaos: unknown action `{other}` (use soak)")),
+        None => Err("chaos needs an action: `soak`".to_owned()),
+    }
+}
+
+/// One soak schedule's invariant violation.
+struct SoakViolation {
+    why: String,
+    replay: String,
+}
+
+/// Everything a soak schedule needs from the surrounding run.
+struct SoakEnv {
+    exe: std::path::PathBuf,
+    work: std::path::PathBuf,
+    fixture_a: std::path::PathBuf,
+    fixture_ab: std::path::PathBuf,
+    rate: f64,
+    clean_a: Vec<u8>,
+    clean_ab: Vec<u8>,
+    serve_baseline: Vec<u8>,
+}
+
+/// The two fixed rpc requests every serve-mode schedule (and the
+/// baseline) sends; responses are byte-deterministic, so a faulted run
+/// must reproduce the baseline exactly.
+const SOAK_RPC_REQUESTS: [&str; 2] = [
+    r#"{"spo-rpc":1,"id":1,"method":"analyze","params":{"name":"lib"}}"#,
+    r#"{"spo-rpc":1,"id":2,"method":"query","params":{"name":"lib"}}"#,
+];
+
+/// `spo chaos soak`: drive randomized fault schedules against the cache,
+/// the engine, and a live daemon, asserting the standing invariants —
+/// no panic escapes, exit codes keep their contract, surviving output is
+/// byte-identical to a clean run, and the cache self-heals. Every
+/// schedule derives from `--seed`, so a red run replays exactly.
+fn chaos_soak(args: &[String]) -> Result<ExitCode, String> {
+    let mut seed: u64 = 1;
+    let mut schedules: u64 = 200;
+    let mut rate: f64 = 0.3;
+    let mut keep_going = false;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if let Some(v) = flag_value(a, "--seed", &mut iter)? {
+            seed = v
+                .parse()
+                .map_err(|_| format!("--seed: invalid seed `{v}`"))?;
+        } else if let Some(v) = flag_value(a, "--schedules", &mut iter)? {
+            schedules = v
+                .parse()
+                .map_err(|_| format!("--schedules: invalid count `{v}`"))?;
+        } else if let Some(v) = flag_value(a, "--rate", &mut iter)? {
+            rate = v
+                .parse()
+                .map_err(|_| format!("--rate: invalid probability `{v}`"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("--rate: probability `{v}` out of [0, 1]"));
+            }
+        } else if a == "--keep-going" {
+            keep_going = true;
+        } else {
+            return Err(format!("unknown argument `{a}` for `chaos soak`"));
+        }
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let work = std::env::temp_dir().join(format!("spo-chaos-soak-{}", std::process::id()));
+    std::fs::create_dir_all(&work).map_err(|e| format!("{}: {e}", work.display()))?;
+    let fixture_a = work.join("a.jir");
+    let fixture_b = work.join("b.jir");
+    std::fs::write(&fixture_a, CHAOS_FIXTURE_A).map_err(|e| format!("a.jir: {e}"))?;
+    std::fs::write(&fixture_b, CHAOS_FIXTURE_B).map_err(|e| format!("b.jir: {e}"))?;
+
+    // Fault-free baselines. Every invariant below compares against these
+    // bytes, so a failed baseline is fatal, not a violation.
+    let clean_a = soak_clean_run(&exe, &[&fixture_a], &[])?;
+    let clean_ab = soak_clean_run(&exe, &[&fixture_a, &fixture_b], &[])?;
+    let serve_baseline = soak_serve_schedule(&exe, &work, "baseline", &fixture_a, None)
+        .map_err(|v| format!("chaos soak: clean serve baseline failed: {}", v.why))?
+        .0;
+
+    let env = SoakEnv {
+        exe,
+        work: work.clone(),
+        fixture_a,
+        fixture_ab: fixture_b,
+        rate,
+        clean_a,
+        clean_ab,
+        serve_baseline,
+    };
+    let mut srng = spo_rng::SmallRng::seed_from_u64(seed);
+    let (mut injected, mut recovered, mut violations) = (0u64, 0u64, 0u64);
+    for k in 0..schedules {
+        let schedule_seed = srng.next_u64();
+        let mode = srng.gen_range(0..3u32);
+        let (label, outcome) = match mode {
+            0 => ("cache", soak_cache_schedule(&env, k, schedule_seed)),
+            1 => ("engine", soak_engine_schedule(&env, schedule_seed)),
+            _ => ("serve", soak_serve_mode_schedule(&env, k, schedule_seed)),
+        };
+        match outcome {
+            Ok((i, r)) => {
+                injected += i;
+                recovered += r;
+                println!(
+                    "schedule {k}: mode={label} seed={schedule_seed} ok injected={i} recovered={r}"
+                );
+            }
+            Err(v) => {
+                violations += 1;
+                println!(
+                    "schedule {k}: mode={label} seed={schedule_seed} VIOLATION: {}",
+                    v.why
+                );
+                println!("  minimized seed: {schedule_seed}");
+                println!("  replay schedule: {}", v.replay);
+                println!(
+                    "  replay soak:     spo chaos soak --seed {seed} --schedules {}",
+                    k + 1
+                );
+                if !keep_going {
+                    let _ = std::fs::remove_dir_all(&work);
+                    println!("# soak: FAILED at schedule {k} of {schedules} (seed {seed})");
+                    return Ok(ExitCode::from(EXIT_FINDINGS));
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&work);
+    println!(
+        "# soak: {schedules} schedule(s), {violations} violation(s), injected={injected} recovered={recovered} (seed {seed})"
+    );
+    Ok(if violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_FINDINGS)
+    })
+}
+
+/// Runs `spo analyze` with faults disarmed, returning stdout. Exit must
+/// be clean — these bytes anchor every later comparison.
+fn soak_clean_run(
+    exe: &std::path::Path,
+    inputs: &[&std::path::PathBuf],
+    extra: &[&str],
+) -> Result<Vec<u8>, String> {
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("analyze");
+    for i in inputs {
+        cmd.arg(i);
+    }
+    cmd.args(extra)
+        .args(["--jobs", "2"])
+        .env_remove(spo_chaos::ENV_VAR);
+    let out = cmd
+        .output()
+        .map_err(|e| format!("spawn {}: {e}", exe.display()))?;
+    if !out.status.success() {
+        return Err(format!(
+            "chaos soak: clean baseline exited {:?}: {}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    Ok(out.stdout)
+}
+
+/// Parses the `# chaos: injected=N recovered=M seed=S` summary a
+/// chaos-armed `spo` process prints on stderr at exit.
+fn parse_chaos_summary(stderr: &[u8]) -> (u64, u64) {
+    let text = String::from_utf8_lossy(stderr);
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# chaos: ") {
+            let mut injected = 0;
+            let mut recovered = 0;
+            for field in rest.split_whitespace() {
+                if let Some(v) = field.strip_prefix("injected=") {
+                    injected = v.parse().unwrap_or(0);
+                } else if let Some(v) = field.strip_prefix("recovered=") {
+                    recovered = v.parse().unwrap_or(0);
+                }
+            }
+            return (injected, recovered);
+        }
+    }
+    (0, 0)
+}
+
+/// Cache-mode schedule: two chaos-armed cached runs (cold then
+/// pack-extending), then a disarmed run over the same directory. All
+/// three must exit clean with byte-identical stdout — injected cache
+/// faults may cost recomputation and stderr warnings, never report bytes
+/// or exit codes — and the disarmed flush must leave a healed pack.
+fn soak_cache_schedule(env: &SoakEnv, k: u64, seed: u64) -> Result<(u64, u64), SoakViolation> {
+    let spec = format!(
+        "seed={seed},rate={:.2},sites={}+{}+{}+{}",
+        env.rate,
+        spo_chaos::sites::CACHE_WRITE_SHORT,
+        spo_chaos::sites::CACHE_RENAME_FAIL,
+        spo_chaos::sites::CACHE_BITFLIP,
+        spo_chaos::sites::CACHE_FSYNC_FAIL,
+    );
+    let dir = env.work.join(format!("cache-{k}"));
+    let dir_s = dir.display().to_string();
+    let replay = format!(
+        "SPO_CHAOS='{spec}' {} analyze {} --cache-dir {dir_s} --jobs 2",
+        env.exe.display(),
+        env.fixture_a.display(),
+    );
+    let mut totals = (0u64, 0u64);
+    let runs: [(&[&std::path::PathBuf], &[u8], Option<&str>); 3] = [
+        (&[&env.fixture_a], &env.clean_a, Some(spec.as_str())),
+        (
+            &[&env.fixture_a, &env.fixture_ab],
+            &env.clean_ab,
+            Some(spec.as_str()),
+        ),
+        // Disarmed: the cache must come back from whatever the faults
+        // left on disk and the flush must land a pack.
+        (&[&env.fixture_a, &env.fixture_ab], &env.clean_ab, None),
+    ];
+    for (step, (inputs, want, chaos)) in runs.iter().enumerate() {
+        let mut cmd = std::process::Command::new(&env.exe);
+        cmd.arg("analyze");
+        for i in *inputs {
+            cmd.arg(i);
+        }
+        cmd.args(["--cache-dir", &dir_s, "--jobs", "2"]);
+        match chaos {
+            Some(spec) => cmd.env(spo_chaos::ENV_VAR, spec),
+            None => cmd.env_remove(spo_chaos::ENV_VAR),
+        };
+        let out = cmd.output().map_err(|e| SoakViolation {
+            why: format!("spawn failed: {e}"),
+            replay: replay.clone(),
+        })?;
+        if out.status.code() != Some(0) {
+            return Err(SoakViolation {
+                why: format!(
+                    "cache run {step} exited {:?} (cache faults must never change the exit code): {}",
+                    out.status.code(),
+                    String::from_utf8_lossy(&out.stderr)
+                ),
+                replay,
+            });
+        }
+        if out.stdout != *want {
+            return Err(SoakViolation {
+                why: format!("cache run {step} stdout diverged from the fault-free report"),
+                replay,
+            });
+        }
+        let (i, r) = parse_chaos_summary(&out.stderr);
+        totals.0 += i;
+        totals.1 += r;
+    }
+    if !dir.join(spo_cache::PACK_FILE).is_file() {
+        return Err(SoakViolation {
+            why: "pack did not self-heal: no pack file after a disarmed flush".to_owned(),
+            replay,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(totals)
+}
+
+/// Engine-mode schedule: keyed per-root panics and delays. The run may
+/// degrade (exit 2) but must not crash; surviving roots' report lines
+/// must be a subset of the clean report (the `#` summary footer counts
+/// change with the survivor set).
+fn soak_engine_schedule(env: &SoakEnv, seed: u64) -> Result<(u64, u64), SoakViolation> {
+    let spec = format!(
+        "seed={seed},sites={}:{:.2}+{}:{:.2}",
+        spo_chaos::sites::ENGINE_ROOT_PANIC,
+        env.rate * 0.5,
+        spo_chaos::sites::ENGINE_ROOT_DELAY,
+        env.rate,
+    );
+    let replay = format!(
+        "SPO_CHAOS='{spec}' {} analyze {} {} --jobs 2",
+        env.exe.display(),
+        env.fixture_a.display(),
+        env.fixture_ab.display(),
+    );
+    let out = std::process::Command::new(&env.exe)
+        .arg("analyze")
+        .arg(&env.fixture_a)
+        .arg(&env.fixture_ab)
+        .args(["--jobs", "2"])
+        .env(spo_chaos::ENV_VAR, &spec)
+        .output()
+        .map_err(|e| SoakViolation {
+            why: format!("spawn failed: {e}"),
+            replay: replay.clone(),
+        })?;
+    let code = out.status.code();
+    if code != Some(0) && code != Some(i32::from(EXIT_DEGRADED)) {
+        return Err(SoakViolation {
+            why: format!(
+                "engine run exited {code:?} (want 0 or 2): {}",
+                String::from_utf8_lossy(&out.stderr)
+            ),
+            replay,
+        });
+    }
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    if stderr.contains("panicked at") {
+        return Err(SoakViolation {
+            why: "an injected panic escaped the quarantine onto stderr".to_owned(),
+            replay,
+        });
+    }
+    let clean = String::from_utf8_lossy(&env.clean_ab);
+    let clean_lines: std::collections::BTreeSet<&str> = clean.lines().collect();
+    let got = String::from_utf8_lossy(&out.stdout);
+    for line in got.lines().filter(|l| !l.starts_with('#')) {
+        if !clean_lines.contains(line) {
+            return Err(SoakViolation {
+                why: format!("surviving-root output line not present in the clean report: {line}"),
+                replay,
+            });
+        }
+    }
+    Ok(parse_chaos_summary(&out.stderr))
+}
+
+/// Serve-mode schedule: a chaos-armed daemon (connection drops, stalls,
+/// split frames) queried by a disarmed `spo rpc` client with retries.
+/// The client must exit clean with stdout byte-identical to the
+/// fault-free baseline — injected drops are the client's to absorb.
+fn soak_serve_mode_schedule(env: &SoakEnv, k: u64, seed: u64) -> Result<(u64, u64), SoakViolation> {
+    // Drops are capped well below the retry budget; stalls ride at the
+    // schedule rate and only cost latency.
+    let spec = format!(
+        "seed={seed},sites={}:{:.2}+{}:{:.2}+{}:{:.2}+{}:{:.2}",
+        spo_chaos::sites::SERVE_CONN_DROP,
+        (env.rate * 0.5).min(0.25),
+        spo_chaos::sites::SERVE_WRITE_STALL,
+        env.rate,
+        spo_chaos::sites::SERVE_FRAME_SPLIT,
+        env.rate,
+        spo_chaos::sites::SERVE_READ_STALL,
+        env.rate,
+    );
+    let tag = format!("s{k}");
+    let (stdout, counts) =
+        soak_serve_schedule(&env.exe, &env.work, &tag, &env.fixture_a, Some(&spec))?;
+    if stdout != env.serve_baseline {
+        return Err(SoakViolation {
+            why: "rpc responses diverged from the fault-free baseline".to_owned(),
+            replay: format!(
+                "SPO_CHAOS='{spec}' {} serve --socket <SOCK> --load lib={} --jobs 2  # then: {} rpc --socket <SOCK> --retries 8 --retry-base-ms 10 '...'",
+                env.exe.display(),
+                env.fixture_a.display(),
+                env.exe.display(),
+            ),
+        });
+    }
+    Ok(counts)
+}
+
+/// Starts one daemon (chaos-armed when `spec` is set), runs the fixed
+/// request sequence through a disarmed retrying client, shuts the daemon
+/// down, and returns the client's stdout plus the daemon's fault
+/// counters.
+fn soak_serve_schedule(
+    exe: &std::path::Path,
+    work: &std::path::Path,
+    tag: &str,
+    fixture: &std::path::Path,
+    spec: Option<&str>,
+) -> Result<(Vec<u8>, (u64, u64)), SoakViolation> {
+    let sock = work.join(format!("sock-{tag}"));
+    let _ = std::fs::remove_file(&sock);
+    let replay = match spec {
+        Some(s) => format!(
+            "SPO_CHAOS='{s}' {} serve --socket {} --load lib={} --jobs 2",
+            exe.display(),
+            sock.display(),
+            fixture.display(),
+        ),
+        None => format!(
+            "{} serve --socket {} --load lib={} --jobs 2",
+            exe.display(),
+            sock.display(),
+            fixture.display(),
+        ),
+    };
+    let fail = |why: String| SoakViolation {
+        why,
+        replay: replay.clone(),
+    };
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("serve")
+        .arg("--socket")
+        .arg(&sock)
+        .arg("--load")
+        .arg(format!("lib={}", fixture.display()))
+        .args(["--jobs", "2", "--drain-grace", "5"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped());
+    match spec {
+        Some(s) => cmd.env(spo_chaos::ENV_VAR, s),
+        None => cmd.env_remove(spo_chaos::ENV_VAR),
+    };
+    let mut daemon = cmd
+        .spawn()
+        .map_err(|e| fail(format!("daemon spawn failed: {e}")))?;
+    // Wait for the socket to come up; a daemon that dies first is a
+    // violation in itself.
+    let t0 = std::time::Instant::now();
+    while !sock.exists() {
+        if let Ok(Some(status)) = daemon.try_wait() {
+            let mut err = String::new();
+            if let Some(mut pipe) = daemon.stderr.take() {
+                use std::io::Read;
+                let _ = pipe.read_to_string(&mut err);
+            }
+            return Err(fail(format!(
+                "daemon exited {status:?} before binding: {err}"
+            )));
+        }
+        if t0.elapsed() > Duration::from_secs(10) {
+            let _ = daemon.kill();
+            let _ = daemon.wait();
+            return Err(fail("daemon never bound its socket within 10s".to_owned()));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut client = std::process::Command::new(exe);
+    client
+        .arg("rpc")
+        .arg("--socket")
+        .arg(&sock)
+        .args(["--retries", "8", "--retry-base-ms", "10"])
+        .args(SOAK_RPC_REQUESTS)
+        .env_remove(spo_chaos::ENV_VAR);
+    let out = client
+        .output()
+        .map_err(|e| fail(format!("client spawn failed: {e}")))?;
+    // Shut the daemon down; losing the shutdown *response* to an injected
+    // drop is fine (the daemon still exits), so the client verdict for
+    // this request is advisory.
+    let _ = std::process::Command::new(exe)
+        .arg("rpc")
+        .arg("--socket")
+        .arg(&sock)
+        .arg(r#"{"spo-rpc":1,"id":99,"method":"shutdown"}"#)
+        .env_remove(spo_chaos::ENV_VAR)
+        .output();
+    let t1 = std::time::Instant::now();
+    let status = loop {
+        match daemon.try_wait() {
+            Ok(Some(status)) => break status,
+            Ok(None) if t1.elapsed() > Duration::from_secs(10) => {
+                let _ = daemon.kill();
+                let _ = daemon.wait();
+                return Err(fail(
+                    "daemon did not exit within 10s of shutdown".to_owned(),
+                ));
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+            Err(e) => {
+                let _ = daemon.kill();
+                return Err(fail(format!("daemon wait failed: {e}")));
+            }
+        }
+    };
+    let mut daemon_err = String::new();
+    if let Some(mut pipe) = daemon.stderr.take() {
+        use std::io::Read;
+        let _ = pipe.read_to_string(&mut daemon_err);
+    }
+    if !status.success() {
+        return Err(fail(format!(
+            "daemon exited {:?} after drain: {daemon_err}",
+            status.code()
+        )));
+    }
+    if daemon_err.contains("panicked at") {
+        return Err(fail(
+            "a daemon thread panicked under injected faults".to_owned(),
+        ));
+    }
+    if out.status.code() != Some(0) {
+        return Err(fail(format!(
+            "rpc client exited {:?} (retries must absorb injected drops): {}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        )));
+    }
+    let counts = parse_chaos_summary(daemon_err.as_bytes());
+    let _ = std::fs::remove_file(&sock);
+    Ok((out.stdout, counts))
 }
 
 #[cfg(test)]

@@ -743,3 +743,63 @@ fn unknown_flags_are_rejected_not_swallowed() {
     assert_ne!(out.status.code(), Some(3), "{out:?}");
     assert!(String::from_utf8_lossy(&out.stdout).contains("lint finding"));
 }
+
+/// `spo analyze ... | head -1`: when the reader hangs up after one line,
+/// the analysis must exit with its verdict, not die on SIGPIPE or panic
+/// on the failed stdout write. The child writes a report much larger than
+/// the pipe buffer consumes, so the broken pipe genuinely fires.
+#[test]
+#[cfg(unix)]
+fn broken_stdout_pipe_exits_quietly() {
+    use std::io::Read;
+    // A program wide enough that its report overflows a pipe the reader
+    // abandoned: many classes, each an entry point with a policy.
+    let mut src = String::from(RUNTIME);
+    for i in 0..400 {
+        src.push_str(&format!(
+            r#"
+class pipe.C{i} {{
+  method public void write(java.lang.String p) {{
+    local java.lang.SecurityManager sm;
+    sm = staticinvoke java.lang.System.getSecurityManager();
+    virtualinvoke sm.checkWrite(p);
+    staticinvoke pipe.C{i}.op();
+    return;
+  }}
+  method private static native void op();
+}}
+"#
+        ));
+    }
+    let big = write_temp("broken_pipe_big.jir", &src);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_spo"))
+        .arg("analyze")
+        .arg(&big)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    // Read one byte, then hang up — everything the child writes after the
+    // pipe buffer drains raises EPIPE/BrokenPipe at its end.
+    let mut stdout = child.stdout.take().expect("stdout piped");
+    let mut one = [0u8; 1];
+    stdout.read_exact(&mut one).expect("first byte");
+    drop(stdout);
+    let status = child.wait().expect("child exits");
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .expect("stderr piped")
+        .read_to_string(&mut stderr)
+        .expect("read stderr");
+    assert_eq!(
+        status.code(),
+        Some(0),
+        "broken pipe is a quiet success, got {status:?}: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "no panic on the broken pipe: {stderr}"
+    );
+}

@@ -32,20 +32,34 @@ struct Daemon {
     socket: PathBuf,
 }
 
+/// The socket path [`Daemon::start`] binds for `tag` — exposed so tests
+/// can pre-plant state (e.g. a stale socket file) at the same path.
+fn daemon_socket(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("spo-serve-test-{}-{tag}.sock", std::process::id()))
+}
+
 impl Daemon {
     fn start(tag: &str, extra: &[&str]) -> Daemon {
-        let socket =
-            std::env::temp_dir().join(format!("spo-serve-test-{}-{tag}.sock", std::process::id()));
-        let _ = std::fs::remove_file(&socket);
-        let child = Command::new(env!("CARGO_BIN_EXE_spo"))
-            .arg("serve")
+        Daemon::start_env(tag, extra, &[])
+    }
+
+    /// Like [`Daemon::start`], with extra environment variables for the
+    /// daemon process (used to arm `SPO_CHAOS` fault plans). The socket
+    /// file is deliberately NOT removed first: startup must handle
+    /// whatever is already at the path.
+    fn start_env(tag: &str, extra: &[&str], envs: &[(&str, &str)]) -> Daemon {
+        let socket = daemon_socket(tag);
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_spo"));
+        cmd.arg("serve")
             .arg("--socket")
             .arg(&socket)
             .args(extra)
             .stdout(Stdio::null())
-            .stderr(Stdio::null())
-            .spawn()
-            .expect("daemon starts");
+            .stderr(Stdio::null());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let child = cmd.spawn().expect("daemon starts");
         let deadline = Instant::now() + Duration::from_secs(30);
         while !socket.exists() {
             assert!(Instant::now() < deadline, "daemon never bound {socket:?}");
@@ -423,5 +437,155 @@ fn rpc_client_round_trips_and_maps_exit_codes() {
         r#"{"spo-rpc":1,"method":"nope"}"#,
     ]);
     assert_eq!(err.status.code(), Some(3), "error responses exit 3");
+    assert_eq!(daemon.shutdown(), 0);
+}
+
+/// Seeded fuzz loop over the wire protocol: requests split into random
+/// chunks, garbage interleaves, oversized-then-valid lines, and mid-frame
+/// disconnects must each leave the daemon healthy enough to answer the
+/// next well-formed request byte-identically.
+#[test]
+fn adversarial_byte_streams_never_wedge_the_daemon() {
+    use spo_rng::SmallRng;
+    let jdk = fixture("figure1_jdk.jir");
+    let load = format!("lib={}", jdk.display());
+    let daemon = Daemon::start(
+        "fuzz",
+        &["--no-cache", "--max-line-bytes", "4096", "--load", &load],
+    );
+    let query = r#"{"spo-rpc":1,"id":7,"method":"query","params":{"name":"lib"}}"#;
+    let want = report(&daemon.connect().rpc(query));
+    let mut rng = SmallRng::seed_from_u64(0xC4A05);
+    for round in 0..24u32 {
+        let mut s = daemon.connect();
+        match rng.gen_range(0..4u32) {
+            0 => {
+                // The valid request, dribbled in random partial writes.
+                let bytes = format!("{query}\n").into_bytes();
+                let mut i = 0;
+                while i < bytes.len() {
+                    let n = (1 + rng.gen_range(0..9usize)).min(bytes.len() - i);
+                    s.stream.write_all(&bytes[i..i + n]).expect("chunk");
+                    s.stream.flush().expect("flush");
+                    i += n;
+                    if rng.gen_bool(0.2) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                let v = s.recv();
+                assert_eq!(status(&v), "ok", "round {round}: split frame");
+                assert_eq!(report(&v), want, "round {round}: split frame bytes");
+            }
+            1 => {
+                // Garbage line (never starting with '{'), then the real
+                // request on the same connection.
+                let len = 1 + rng.gen_range(0..48usize);
+                let garbage: String = (0..len)
+                    .map(|k| {
+                        let c = (0x23 + rng.gen_range(0..0x5au8)) as char;
+                        if k == 0 && c == '{' {
+                            'g'
+                        } else {
+                            c
+                        }
+                    })
+                    .collect();
+                let e = s.rpc(&garbage);
+                assert_eq!(status(&e), "error", "round {round}: garbage rejected");
+                let v = s.rpc(query);
+                assert_eq!(report(&v), want, "round {round}: recovery after garbage");
+            }
+            2 => {
+                // A line past --max-line-bytes, then the real request.
+                let big = "x".repeat(4096 + rng.gen_range(0..4096usize));
+                let e = s.rpc(&big);
+                assert_eq!(status(&e), "error", "round {round}: oversized rejected");
+                let v = s.rpc(query);
+                assert_eq!(report(&v), want, "round {round}: recovery after oversize");
+            }
+            _ => {
+                // Mid-frame disconnect: a partial request with no
+                // terminator, then the socket torn down.
+                let cut = 1 + rng.gen_range(0..query.len() - 1);
+                s.stream.write_all(&query.as_bytes()[..cut]).expect("part");
+                s.stream.flush().expect("flush");
+                drop(s);
+                let v = daemon.connect().rpc(query);
+                assert_eq!(report(&v), want, "round {round}: fresh session after cut");
+            }
+        }
+    }
+    assert_eq!(daemon.shutdown(), 0);
+}
+
+/// A socket file left behind by a crashed daemon must not block startup:
+/// the new daemon detects that nobody answers and takes the address over.
+#[test]
+fn stale_socket_file_is_taken_over_on_startup() {
+    let path = daemon_socket("stale");
+    let _ = std::fs::remove_file(&path);
+    // Bind and drop without unlinking — exactly the wreckage a SIGKILLed
+    // daemon leaves.
+    let listener = std::os::unix::net::UnixListener::bind(&path).expect("plant stale socket");
+    drop(listener);
+    assert!(path.exists(), "stale socket file planted");
+    let daemon = Daemon::start("stale", &["--no-cache"]);
+    // The planted file satisfies start()'s existence poll before the
+    // daemon has reclaimed the address; wait until it actually answers.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while UnixStream::connect(&daemon.socket).is_err() {
+        assert!(Instant::now() < deadline, "daemon never reclaimed socket");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let pong = daemon
+        .connect()
+        .rpc(r#"{"spo-rpc":1,"id":1,"method":"stats"}"#);
+    assert_eq!(status(&pong), "ok", "daemon serves over the reclaimed path");
+    assert_eq!(daemon.shutdown(), 0);
+}
+
+/// With a `serve.conn.drop:once` fault armed in the daemon, the first
+/// response is cut mid-frame — `spo rpc` must reconnect, retry the
+/// idempotent request, and exit 0 with stdout identical to an
+/// undisturbed run.
+#[test]
+fn rpc_retries_recover_from_injected_connection_drop() {
+    let jdk = fixture("figure1_jdk.jir");
+    let load = format!("lib={}", jdk.display());
+    let clean = Daemon::start("retryclean", &["--no-cache", "--load", &load]);
+    let query = r#"{"spo-rpc":1,"id":4,"method":"query","params":{"name":"lib"}}"#;
+    let baseline = spo(&["rpc", "--socket", clean.socket.to_str().unwrap(), query]);
+    assert_eq!(baseline.status.code(), Some(0));
+    assert_eq!(clean.shutdown(), 0);
+
+    let daemon = Daemon::start_env(
+        "retrydrop",
+        &["--no-cache", "--load", &load],
+        &[("SPO_CHAOS", "seed=1,sites=serve.conn.drop:once")],
+    );
+    let out = spo(&[
+        "rpc",
+        "--socket",
+        daemon.socket.to_str().unwrap(),
+        "--retries",
+        "5",
+        "--retry-base-ms",
+        "5",
+        query,
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "retries absorb the injected drop: {stderr}"
+    );
+    assert_eq!(
+        out.stdout, baseline.stdout,
+        "retried responses are byte-identical to the undisturbed run"
+    );
+    assert!(
+        stderr.contains("retrying"),
+        "the reconnect is surfaced on stderr: {stderr}"
+    );
     assert_eq!(daemon.shutdown(), 0);
 }
