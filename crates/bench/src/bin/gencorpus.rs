@@ -17,7 +17,12 @@ use std::path::PathBuf;
 
 fn main() {
     let mut out_dir = PathBuf::from("corpus-out");
-    let mut scale = 0.1f64;
+    // `SPO_SCALE` (the knob every table binary honours) seeds the default;
+    // `--scale` still wins when both are given.
+    let mut scale = std::env::var("SPO_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1f64);
     let mut seed = CorpusConfig::default().seed;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -46,6 +51,7 @@ fn main() {
 
     std::fs::write(out_dir.join("prelude.jir"), spo_corpus::prelude_source())
         .expect("write prelude");
+    let (mut entry_points, mut methods, mut bytes) = (0usize, 0usize, 0usize);
     for lib in Lib::ALL {
         let mut src = String::new();
         for fig in ALL_FIGURES.iter().chain([&FP_GET_PROPERTY]) {
@@ -58,6 +64,10 @@ fn main() {
         let path = out_dir.join(format!("{lib}.jir"));
         std::fs::write(&path, &src).expect("write library source");
         eprintln!("wrote {} ({} bytes)", path.display(), src.len());
+        let program = corpus.program(lib);
+        entry_points += spo_resolve::entry_points(program).len();
+        methods += program.all_methods().count();
+        bytes += src.len();
     }
 
     let mut catalog = String::from("# ground-truth bug census (id lib category kind culprit)\n");
@@ -71,4 +81,6 @@ fn main() {
     }
     std::fs::write(out_dir.join("catalog.txt"), catalog).expect("write catalog");
     eprintln!("wrote {}", out_dir.join("catalog.txt").display());
+    // One greppable line for sweep scripts.
+    println!("corpus scale={scale} entry_points={entry_points} methods={methods} bytes={bytes}");
 }

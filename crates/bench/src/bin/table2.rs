@@ -27,7 +27,7 @@ use spo_bench::{
 use spo_cache::PolicyCache;
 use spo_core::{AnalysisOptions, MemoScope};
 use spo_corpus::Lib;
-use spo_engine::{AnalysisEngine, EngineStats};
+use spo_engine::{AnalysisEngine, EngineStats, Publication};
 use spo_guard::GuardConfig;
 use spo_obs::Snapshot;
 use spo_serve::{OptionsSpec, Registry};
@@ -430,6 +430,119 @@ fn measure_rpc_retries(corpus: &spo_corpus::Corpus) -> u64 {
     retries
 }
 
+/// One (jobs × publication) cell of the scale sweep.
+struct SweepRow {
+    jobs: usize,
+    publication: &'static str,
+    stats: EngineStats,
+}
+
+impl SweepRow {
+    fn wall_ms(&self) -> f64 {
+        self.stats.wall_nanos as f64 / 1e6
+    }
+    fn lock_wait_us(&self, q: f64) -> f64 {
+        let w = self.stats.lock_wait();
+        if w.count == 0 {
+            0.0
+        } else {
+            w.quantile(q) as f64 / 1e3
+        }
+    }
+}
+
+/// One swept corpus scale and its grid of runs.
+struct SweepScale {
+    scale: f64,
+    entry_points: usize,
+    rows: Vec<SweepRow>,
+}
+
+fn env_list(var: &str, default: &str) -> Vec<f64> {
+    std::env::var(var)
+        .unwrap_or_else(|_| default.to_owned())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+/// The scale sweep: for each corpus scale in `SPO_SWEEP_SCALES` (default
+/// `1,10`), analyze the jdk implementation under global memoization at
+/// each worker count in `SPO_SWEEP_JOBS` (default `1,2,4,8`), once with
+/// write-behind publication and once with the direct-publication
+/// baseline. Cross-jobs speedup is only meaningful relative to the
+/// machine's core count, which the JSON records alongside the rows.
+fn measure_scale_sweep() -> (usize, Vec<SweepScale>) {
+    use spo_corpus::{generate, CorpusConfig};
+    let scales = env_list("SPO_SWEEP_SCALES", "1,10");
+    let jobs: Vec<usize> = env_list("SPO_SWEEP_JOBS", "1,2,4,8")
+        .into_iter()
+        .map(|j| j as usize)
+        .filter(|&j| j > 0)
+        .collect();
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let options = AnalysisOptions {
+        memo: MemoScope::Global,
+        ..Default::default()
+    };
+    let mut out = Vec::new();
+    for &scale in &scales {
+        eprintln!("scale sweep: generating jdk corpus at scale {scale} ...");
+        let corpus = generate(&CorpusConfig {
+            scale,
+            ..Default::default()
+        });
+        let program = corpus.program(Lib::Jdk);
+        let entry_points = spo_resolve::entry_points(program).len();
+        // One untimed warm-up run per scale: the first analysis of a
+        // freshly generated corpus pays page faults and allocator growth
+        // that would otherwise be billed to whichever grid cell runs
+        // first.
+        let _ = AnalysisEngine::new(1).analyze_library(program, "jdk", options);
+        let mut rows = Vec::new();
+        for &j in &jobs {
+            for (publication, name) in [
+                (Publication::WriteBehind, "write_behind"),
+                (Publication::Direct, "direct"),
+            ] {
+                // Best of 3 trials by wall clock: a single scheduler
+                // preemption while a shard lock is held shows up as a
+                // milliseconds-long wait outlier, and the sweep is about
+                // the publication protocol, not the host's time slicing.
+                let stats = (0..3)
+                    .map(|_| {
+                        let engine = AnalysisEngine::new(j).with_publication(publication);
+                        engine.analyze_library(program, "jdk", options).1
+                    })
+                    .min_by_key(|s| s.wall_nanos)
+                    .expect("at least one trial");
+                let row = SweepRow {
+                    jobs: j,
+                    publication: name,
+                    stats,
+                };
+                eprintln!(
+                    "scale {scale:>4} jobs {j} {name:<12} wall {:>9.1} ms  \
+                     lock p99 {:>7.1} us  {} flushes  {} batches stolen",
+                    row.wall_ms(),
+                    row.lock_wait_us(0.99),
+                    row.stats.writeback_flushes,
+                    row.stats.batches_stolen,
+                );
+                rows.push(row);
+            }
+        }
+        out.push(SweepScale {
+            scale,
+            entry_points,
+            rows,
+        });
+    }
+    (cores, out)
+}
+
 /// One instrumented (recorder-enabled) global-memo run of one library.
 struct Instrumented {
     config: &'static str,
@@ -472,6 +585,7 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     path: &str,
     scale: f64,
@@ -479,6 +593,8 @@ fn write_json(
     instrumented: &[Vec<Instrumented>],
     serve: &ServeLatency,
     chaos: &ChaosRobustness,
+    cores: usize,
+    sweep: &[SweepScale],
 ) -> std::io::Result<()> {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -496,7 +612,8 @@ fn write_json(
                 out,
                 "        {{ \"library\": \"{}\", \"may_ms\": {:.3}, \"must_ms\": {:.3}, \
                  \"wall_ms\": {:.3}, \"frames\": {}, \"memo_hits\": {}, \"memo_misses\": {}, \
-                 \"memo_hit_rate\": {:.4}, \"steals\": {}, \"contended\": {}, \
+                 \"memo_hit_rate\": {:.4}, \"steals\": {}, \"batches_stolen\": {}, \
+                 \"contended\": {}, \
                  \"lock_wait_events\": {}, \"lock_wait_p50_us\": {:.3}, \
                  \"lock_wait_p99_us\": {:.3}, \"contention\": \"{}\", \
                  \"cache_hits\": {}, \"cache_misses\": {} }}{}",
@@ -509,6 +626,7 @@ fn write_json(
                 a.memo_misses,
                 m.hit_rate(),
                 m.stats.steals,
+                m.stats.batches_stolen,
                 m.stats.contended(),
                 m.stats.lock_wait().count,
                 m.lock_wait_us(0.5),
@@ -557,6 +675,62 @@ fn write_json(
         );
     }
     out.push_str("  ],\n");
+    // Scale sweep: jdk under global memo across corpus scales × worker
+    // counts × publication modes. `parallel_speedup` is relative to the
+    // jobs=1 run of the same scale and publication mode; `cores` bounds
+    // what any cross-jobs speedup can honestly reach on this machine.
+    out.push_str("  \"scale_sweep\": {\n");
+    let _ = writeln!(out, "    \"cores\": {cores},");
+    out.push_str("    \"scales\": [\n");
+    for (si, s) in sweep.iter().enumerate() {
+        let _ = writeln!(out, "      {{");
+        let _ = writeln!(out, "        \"scale\": {},", s.scale);
+        let _ = writeln!(out, "        \"entry_points\": {},", s.entry_points);
+        out.push_str("        \"rows\": [\n");
+        for (ri, r) in s.rows.iter().enumerate() {
+            let baseline = s
+                .rows
+                .iter()
+                .find(|b| b.jobs == 1 && b.publication == r.publication)
+                .map_or(0.0, SweepRow::wall_ms);
+            let speedup = if r.wall_ms() > 0.0 {
+                baseline / r.wall_ms()
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "          {{ \"jobs\": {}, \"publication\": \"{}\", \"workers\": {}, \
+                 \"wall_ms\": {:.3}, \"parallel_speedup\": {:.3}, \
+                 \"lock_wait_events\": {}, \"lock_wait_p50_us\": {:.3}, \
+                 \"lock_wait_p99_us\": {:.3}, \"steals\": {}, \"batches_stolen\": {}, \
+                 \"batches_formed\": {}, \"writeback.flushes\": {}, \
+                 \"writeback.deferred_hits\": {} }}{}",
+                r.jobs,
+                r.publication,
+                r.stats.workers,
+                r.wall_ms(),
+                speedup,
+                r.stats.lock_wait().count,
+                r.lock_wait_us(0.5),
+                r.lock_wait_us(0.99),
+                r.stats.steals,
+                r.stats.batches_stolen,
+                r.stats.batches_formed,
+                r.stats.writeback_flushes,
+                r.stats.writeback_deferred_hits,
+                if ri + 1 < s.rows.len() { "," } else { "" },
+            );
+        }
+        out.push_str("        ]\n");
+        let _ = writeln!(
+            out,
+            "      }}{}",
+            if si + 1 < sweep.len() { "," } else { "" }
+        );
+    }
+    out.push_str("    ]\n");
+    out.push_str("  },\n");
     // Headline: parallel global vs serial global, total wall clock.
     let total_wall = |ms: &[Measurement]| ms.iter().map(Measurement::wall_ms).sum::<f64>();
     let serial_global = total_wall(&runs[2]);
@@ -687,6 +861,7 @@ fn main() {
         "serial wall ms",
         "parallel wall ms",
         "speedup",
+        "batches stolen",
         "shard contention",
     ]);
     for (serial, par) in runs[2].iter().zip(&runs[3]) {
@@ -696,6 +871,7 @@ fn main() {
             format!("{s:.1}"),
             format!("{p:.1}"),
             format!("{:.1}x", s / p),
+            format!("{} ({} roots)", par.stats.batches_stolen, par.stats.steals),
             par.contention_summary(),
         ]);
     }
@@ -788,6 +964,42 @@ fn main() {
     println!("Cache efficiency and fixpoint cost (instrumented runs)\n");
     println!("{}", table.render());
 
+    // Scale sweep: does parallel analysis win at scale, and what does
+    // summary publication cost in lock waits when it matters?
+    eprintln!("measuring scale sweep (SPO_SWEEP_SCALES x SPO_SWEEP_JOBS) ...");
+    let (cores, sweep) = measure_scale_sweep();
+    let mut table = Table::new(vec![
+        "scale",
+        "jobs",
+        "publication",
+        "wall ms",
+        "speedup",
+        "lock p99 us",
+        "wb flushes",
+        "batches stolen",
+    ]);
+    for s in &sweep {
+        for r in &s.rows {
+            let baseline = s
+                .rows
+                .iter()
+                .find(|b| b.jobs == 1 && b.publication == r.publication)
+                .map_or(0.0, SweepRow::wall_ms);
+            table.row(vec![
+                format!("{}", s.scale),
+                r.jobs.to_string(),
+                r.publication.to_string(),
+                format!("{:.1}", r.wall_ms()),
+                format!("{:.2}x", baseline / r.wall_ms().max(1e-9)),
+                format!("{:.1}", r.lock_wait_us(0.99)),
+                r.stats.writeback_flushes.to_string(),
+                r.stats.batches_stolen.to_string(),
+            ]);
+        }
+    }
+    println!("Scale sweep, jdk, global memo ({cores} cores)\n");
+    println!("{}", table.render());
+
     // Chaos robustness: seeded fault plans against the cache flush path
     // and the daemon/client loop; correctness is asserted inside, the
     // counters are the published output.
@@ -813,6 +1025,8 @@ fn main() {
         &instrumented,
         &serve,
         &chaos,
+        cores,
+        &sweep,
     ) {
         Ok(()) => eprintln!("wrote BENCH_table2.json"),
         Err(e) => eprintln!("BENCH_table2.json: {e}"),

@@ -46,5 +46,8 @@ pub use report::{
     group_differences, render_analysis, render_entry, render_reports, root_keys, ReportGroup,
     ReportTally, RootCause,
 };
-pub use store::{LocalStore, MemoKey, ShardStats, SharedStore, Summary, SummaryStore};
+pub use store::{
+    FrameCost, LocalStore, MemoKey, ShardStats, SharedStore, Summary, SummaryStore, WriteBehind,
+    WriteBehindStats, DEFAULT_SHARDS,
+};
 pub use throws::{diff_throws, LibraryThrows, ThrowSet, ThrowsAnalyzer, ThrowsDifference};

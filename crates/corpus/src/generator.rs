@@ -136,9 +136,10 @@ pub fn generate(config: &CorpusConfig) -> Corpus {
 
     // Background mass: identical text appended to every member of a group.
     let mut rng = SmallRng::seed_from_u64(config.seed);
+    let depth = util_depth(config.scale);
     for (group, target) in GROUP_TARGETS {
         let n = ((target as f64) * config.scale).round() as usize;
-        let text = emit_background(group, n.max(1), &mut rng);
+        let text = emit_background(group, n.max(1), depth, &mut rng);
         for lib in Lib::ALL {
             if group.contains(lib) {
                 sources.get_mut(&lib).unwrap().push_str(&text);
@@ -182,15 +183,29 @@ pub fn generate(config: &CorpusConfig) -> Corpus {
 // Background emission
 // ---------------------------------------------------------------------------
 
-fn emit_background(group: Group, n: usize, rng: &mut SmallRng) -> String {
+/// Utility-chain depth as a function of scale. Scale ≤ 1 keeps the
+/// historical depth of 8 (sources at those scales stay byte-identical);
+/// above that, depth grows logarithmically so `SPO_SCALE=10` reaches
+/// Table-1-order call-graph depth (~21) without quadratic source blowup.
+fn util_depth(scale: f64) -> usize {
+    if scale <= 1.0 {
+        8
+    } else {
+        ((8.0 + 4.0 * scale.log2()).round() as usize).min(32)
+    }
+}
+
+fn emit_background(group: Group, n: usize, depth: usize, rng: &mut SmallRng) -> String {
     let mut out = String::new();
     let tag = group.tag();
     // Shared per-package utility layer with call fan-out: u0 calls u1
     // twice, u1 calls u2 twice, ... — a diamond-rich call DAG whose
-    // re-analysis cost memoization collapses (Table 2).
+    // re-analysis cost memoization collapses (Table 2). Levels past the
+    // diamond head (j ≥ 5) chain with fan-out 1 down to the leaf at
+    // `depth - 1`, so deeper corpora cost linearly more frames per cone.
     for pkg in PACKAGES {
         writeln!(out, "class gen.{tag}.{pkg}.Util {{").unwrap();
-        for j in 0..8 {
+        for j in 0..depth {
             writeln!(out, "  method public static int u{j}(int x) {{").unwrap();
             writeln!(out, "    local int a, b;").unwrap();
             writeln!(out, "    a = x + {j};").unwrap();
@@ -207,7 +222,7 @@ fn emit_background(group: Group, n: usize, rng: &mut SmallRng) -> String {
                     j + 1
                 )
                 .unwrap();
-            } else if j < 7 {
+            } else if j < depth - 1 {
                 writeln!(
                     out,
                     "    b = staticinvoke gen.{tag}.{pkg}.Util.u{}(a);",
@@ -1121,6 +1136,27 @@ mod tests {
         });
         assert!(larger.sources[&Lib::Jdk].len() > small.sources[&Lib::Jdk].len());
         assert_eq!(small.catalog.bugs.len(), larger.catalog.bugs.len());
+    }
+
+    #[test]
+    fn util_depth_fixed_at_or_below_scale_one_and_grows_above() {
+        assert_eq!(util_depth(0.02), 8);
+        assert_eq!(util_depth(1.0), 8);
+        assert_eq!(util_depth(3.0), 14);
+        assert_eq!(util_depth(10.0), 21);
+        // Bounded, however absurd the scale.
+        assert_eq!(util_depth(1e9), 32);
+    }
+
+    #[test]
+    fn deep_utility_chain_emits_and_parses() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let depth = util_depth(10.0);
+        let text = emit_background(Group::All, 4, depth, &mut rng);
+        assert!(text.contains("u20"), "deepest level present");
+        assert!(!text.contains("u21"), "depth bounded");
+        let mut p = crate::prelude_program();
+        spo_jir::parse_into(&text, &mut p).expect("deep chain parses");
     }
 
     #[test]

@@ -43,11 +43,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod schedule;
+
 use spo_cache::{CacheKeyer, ContentTable, PolicyCache};
 use spo_core::{
     diff_libraries, group_differences, root_keys, AnalysisOptions, AnalysisStats, Analyzer,
     DiffResult, EntryPolicy, LibraryPolicies, LocalStore, MemoScope, ReportGroup, ShardStats,
-    SharedStore,
+    SharedStore, WriteBehind, DEFAULT_SHARDS,
 };
 use spo_dataflow::{Dnf, MustSet};
 use spo_guard::{quarantine, Diagnostic, Fault, GuardConfig};
@@ -70,8 +72,20 @@ pub struct EngineStats {
     /// Analysis counters summed over all workers (frames, memo hits and
     /// misses, unresolved calls, per-pass CPU time).
     pub analysis: AnalysisStats,
-    /// Roots taken from another worker's deque.
+    /// Roots taken from another worker's deque (every root of a stolen
+    /// batch counts).
     pub steals: u64,
+    /// Whole batches taken from another worker's deque — the steal
+    /// granularity, alongside the per-root `steals`.
+    pub batches_stolen: u64,
+    /// Cone-overlap batches formed by the scheduler for this run.
+    pub batches_formed: u64,
+    /// Shard-grouped write-behind publications performed across all
+    /// workers (0 with direct publication or non-global memo scopes).
+    pub writeback_flushes: u64,
+    /// Lookups served from a worker-local write-behind buffer without
+    /// touching a shard lock.
+    pub writeback_deferred_hits: u64,
     /// Per-shard counters of the MAY-pass summary store (empty unless the
     /// memo scope was [`MemoScope::Global`]).
     pub may_shards: Vec<ShardStats>,
@@ -118,6 +132,10 @@ impl EngineStats {
         self.entry_points += other.entry_points;
         self.analysis.absorb(&other.analysis);
         self.steals += other.steals;
+        self.batches_stolen += other.batches_stolen;
+        self.batches_formed += other.batches_formed;
+        self.writeback_flushes += other.writeback_flushes;
+        self.writeback_deferred_hits += other.writeback_deferred_hits;
         self.wall_nanos += other.wall_nanos;
         self.roots_degraded += other.roots_degraded;
         self.cache_hits += other.cache_hits;
@@ -193,6 +211,7 @@ pub struct ComparisonSet {
 pub struct AnalysisEngine {
     jobs: usize,
     shards: usize,
+    publication: Publication,
     recorder: Recorder,
     tracer: Tracer,
     guard: GuardConfig,
@@ -200,6 +219,49 @@ pub struct AnalysisEngine {
     resident: Option<Arc<ResidentStore>>,
     chaos: spo_chaos::FaultPlan,
 }
+
+/// How workers publish freshly computed summaries to the shared store
+/// (global memo scope only; other scopes never share).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Publication {
+    /// Every clean summary is inserted into its shard as it is computed —
+    /// one lock acquisition per summary. The pre-batching behavior, kept
+    /// as the bench baseline for the write-behind lock-wait comparison.
+    Direct,
+    /// Workers buffer summaries locally and publish in shard-grouped
+    /// batches at batch boundaries (one lock acquisition per touched
+    /// shard per flush), reading through the local buffer first. Results
+    /// and deterministic stats are byte-identical to [`Direct`] — see
+    /// [`WriteBehind`].
+    #[default]
+    WriteBehind,
+}
+
+/// The error [`AnalysisEngine::with_shards`] returns when the requested
+/// shard count disagrees with an attached [`ResidentStore`]'s: the
+/// resident pair was already built with its own stripe count, so silently
+/// keeping either value would make the engine's stats and the store's
+/// layout lie about each other.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShardMismatch {
+    /// The shard count passed to `with_shards`.
+    pub requested: usize,
+    /// The attached resident store's shard count.
+    pub resident: usize,
+}
+
+impl std::fmt::Display for ShardMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "requested {} summary-store shards but the attached resident store has {}; \
+             drop the resident store or build it with the matching shard count",
+            self.requested, self.resident
+        )
+    }
+}
+
+impl std::error::Error for ShardMismatch {}
 
 /// A MAY/MUST summary-store pair that outlives a single engine run, so a
 /// resident process (the `spo serve` daemon) can re-enter the analysis
@@ -241,12 +303,18 @@ impl ResidentStore {
         use spo_core::SummaryStore as _;
         self.may.len() + self.must.len()
     }
+
+    /// Lock stripes per store.
+    pub fn shard_count(&self) -> usize {
+        self.may.shard_count()
+    }
 }
 
 impl Default for ResidentStore {
-    /// Matches the engine's default shard count.
+    /// Matches the engine's default shard count ([`DEFAULT_SHARDS`] —
+    /// one constant, shared with [`SharedStore::default`]).
     fn default() -> ResidentStore {
-        ResidentStore::new(16)
+        ResidentStore::new(DEFAULT_SHARDS)
     }
 }
 
@@ -263,7 +331,8 @@ impl AnalysisEngine {
     pub fn new(jobs: usize) -> Self {
         AnalysisEngine {
             jobs,
-            shards: 16,
+            shards: DEFAULT_SHARDS,
+            publication: Publication::default(),
             recorder: Recorder::disabled(),
             tracer: Tracer::disabled(),
             guard: GuardConfig::default(),
@@ -291,6 +360,10 @@ impl AnalysisEngine {
     /// discipline documented on [`ResidentStore`] — one store per
     /// (program, options) pairing. Other memo scopes ignore it.
     pub fn with_resident(mut self, resident: Arc<ResidentStore>) -> Self {
+        // The resident pair's layout is fixed at its construction; the
+        // engine adopts it so the two can never drift apart. A later
+        // `with_shards` with a different count is a validated error.
+        self.shards = resident.shard_count();
         self.resident = Some(resident);
         self
     }
@@ -332,9 +405,30 @@ impl AnalysisEngine {
         &self.guard
     }
 
-    /// Overrides the number of summary-store shards (default 16).
-    pub fn with_shards(mut self, shards: usize) -> Self {
-        self.shards = shards.max(1);
+    /// Overrides the number of summary-store shards (default
+    /// [`DEFAULT_SHARDS`]). With a [`ResidentStore`] attached the store
+    /// layout is already fixed, so any *different* count is a
+    /// [`ShardMismatch`] error instead of a silent disagreement between
+    /// the engine's bookkeeping and the store it actually uses.
+    pub fn with_shards(mut self, shards: usize) -> Result<Self, ShardMismatch> {
+        let shards = shards.max(1);
+        if let Some(resident) = &self.resident {
+            if resident.shard_count() != shards {
+                return Err(ShardMismatch {
+                    requested: shards,
+                    resident: resident.shard_count(),
+                });
+            }
+        }
+        self.shards = shards;
+        Ok(self)
+    }
+
+    /// Selects the summary publication mode (default
+    /// [`Publication::WriteBehind`]). [`Publication::Direct`] is the
+    /// per-summary baseline the bench sweep measures lock waits against.
+    pub fn with_publication(mut self, publication: Publication) -> Self {
+        self.publication = publication;
         self
     }
 
@@ -466,20 +560,20 @@ impl AnalysisEngine {
         // so this run's stats report only its own traffic.
         let shards_before = shared.map(|(may, must)| (may.shard_stats(), must.shard_stats()));
 
-        // Contiguous blocks per worker: neighbouring roots tend to share
-        // callees, so block ownership maximizes warm memo paths; stealing
-        // from the victim's back preserves what locality remains.
-        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-            .map(|w| {
-                Mutex::new(
-                    (0..work.len())
-                        .filter(|i| i * workers / work.len().max(1) == w)
-                        .map(|i| work[i])
-                        .collect(),
-                )
-            })
-            .collect();
+        // Cone-batched scheduling: roots sharing callees are grouped into
+        // batches owned by one worker (their memo hits stay in that
+        // worker's write-behind buffer), deepest cones dealt first so the
+        // call graph's bottom is flushed to the shared store before the
+        // shallow tail needs it. Stealing moves whole batches from the
+        // victim's back — the shallowest, least locality-valuable end.
+        let plan = schedule::plan(program, roots, &work, workers);
+        let batches_formed = plan.formed;
+        let deques: Vec<Mutex<VecDeque<Vec<usize>>>> =
+            plan.deques.into_iter().map(Mutex::new).collect();
         let steals = AtomicU64::new(0);
+        let batches_stolen = AtomicU64::new(0);
+        let wb_flushes = AtomicU64::new(0);
+        let wb_deferred_hits = AtomicU64::new(0);
         let results: Mutex<Vec<(usize, String, EntryPolicy, AnalysisStats)>> =
             Mutex::new(Vec::with_capacity(roots.len()));
         let faults: Mutex<Vec<(usize, String, Fault)>> = Mutex::new(Vec::new());
@@ -510,61 +604,109 @@ impl AnalysisEngine {
                 let guard = &self.guard;
                 let chaos = &self.chaos;
                 let lanes = &worker_lanes;
+                let publication = self.publication;
+                let batches_stolen = &batches_stolen;
+                let wb_flushes = &wb_flushes;
+                let wb_deferred_hits = &wb_deferred_hits;
                 s.spawn(move || {
                     let _lane_bound = trace::bind(&lanes[w]);
                     let worker_roots = rec.work_counter(&format!("engine.worker{w:02}.roots"));
                     let mut local: Vec<(usize, String, EntryPolicy, AnalysisStats)> = Vec::new();
                     let mut local_faults: Vec<(usize, String, Fault)> = Vec::new();
-                    while let Some(idx) = next_root(w, deques, steals) {
-                        worker_roots.incr();
-                        let sig = program.method_signature(roots[idx]);
-                        // One complete event per root, named by its
-                        // signature — the per-root cost timeline.
-                        let _root_span = lanes[w].span(&sig, "root");
-                        let mut stats = AnalysisStats::default();
-                        // Fault-isolation boundary: a panic, budget trip, or
-                        // observed cancellation inside this root degrades
-                        // this root alone. Once a run is cancelled, roots
-                        // not yet started drain through the governor's
-                        // first check point, so the pool joins promptly.
-                        let governor = guard.governor();
-                        let outcome = quarantine(|| {
-                            guard.maybe_inject(&sig);
-                            // Chaos fault sites, keyed by root signature so
-                            // the set of perturbed roots is a pure function
-                            // of the plan seed under any work-stealing
-                            // interleaving. The panic is quarantined like
-                            // any real one: this root degrades, the rest
-                            // are byte-identical to a clean run.
-                            if chaos.should_fire_keyed(spo_chaos::sites::ENGINE_ROOT_DELAY, &sig) {
-                                std::thread::sleep(std::time::Duration::from_millis(
-                                    1 + chaos.amount(spo_chaos::sites::ENGINE_ROOT_DELAY, 20),
-                                ));
-                            }
-                            if chaos.should_fire_keyed(spo_chaos::sites::ENGINE_ROOT_PANIC, &sig) {
-                                panic!("chaos: injected fault at engine.root.panic for {sig}");
-                            }
-                            governor.check_point();
-                            match shared {
-                                Some((may, must)) => analyzer.analyze_root_governed(
-                                    roots[idx], may, must, &mut stats, rec, &governor,
-                                ),
-                                None => {
-                                    let may = LocalStore::default();
-                                    let must = LocalStore::default();
-                                    analyzer.analyze_root_governed(
-                                        roots[idx], &may, &must, &mut stats, rec, &governor,
-                                    )
-                                }
-                            }
+                    // Write-behind façades over the shared pair: reads go
+                    // through this worker's buffer first, writes publish
+                    // in shard-grouped flushes at batch boundaries.
+                    let wb = (publication == Publication::WriteBehind)
+                        .then_some(shared)
+                        .flatten()
+                        .map(|(may, must)| {
+                            (WriteBehind::new(may, rec), WriteBehind::new(must, rec))
                         });
-                        match outcome {
-                            // The quarantined root's partial stats are
-                            // dropped so the surviving roots' totals match
-                            // a clean run restricted to them.
-                            Ok((sig, entry)) => local.push((idx, sig, entry, stats)),
-                            Err(fault) => local_faults.push((idx, sig, fault)),
+                    let run_root =
+                        |idx: usize,
+                         local: &mut Vec<(usize, String, EntryPolicy, AnalysisStats)>,
+                         local_faults: &mut Vec<(usize, String, Fault)>| {
+                            worker_roots.incr();
+                            let sig = program.method_signature(roots[idx]);
+                            // One complete event per root, named by its
+                            // signature — the per-root cost timeline.
+                            let _root_span = lanes[w].span(&sig, "root");
+                            let mut stats = AnalysisStats::default();
+                            // Fault-isolation boundary: a panic, budget trip, or
+                            // observed cancellation inside this root degrades
+                            // this root alone. Once a run is cancelled, roots
+                            // not yet started drain through the governor's
+                            // first check point, so the pool joins promptly.
+                            let governor = guard.governor();
+                            let outcome = quarantine(|| {
+                                guard.maybe_inject(&sig);
+                                // Chaos fault sites, keyed by root signature so
+                                // the set of perturbed roots is a pure function
+                                // of the plan seed under any work-stealing
+                                // interleaving. The panic is quarantined like
+                                // any real one: this root degrades, the rest
+                                // are byte-identical to a clean run.
+                                if chaos
+                                    .should_fire_keyed(spo_chaos::sites::ENGINE_ROOT_DELAY, &sig)
+                                {
+                                    std::thread::sleep(std::time::Duration::from_millis(
+                                        1 + chaos.amount(spo_chaos::sites::ENGINE_ROOT_DELAY, 20),
+                                    ));
+                                }
+                                if chaos
+                                    .should_fire_keyed(spo_chaos::sites::ENGINE_ROOT_PANIC, &sig)
+                                {
+                                    panic!("chaos: injected fault at engine.root.panic for {sig}");
+                                }
+                                governor.check_point();
+                                match (&wb, shared) {
+                                    (Some((may, must)), _) => analyzer.analyze_root_governed(
+                                        roots[idx], may, must, &mut stats, rec, &governor,
+                                    ),
+                                    (None, Some((may, must))) => analyzer.analyze_root_governed(
+                                        roots[idx], may, must, &mut stats, rec, &governor,
+                                    ),
+                                    (None, None) => {
+                                        let may = LocalStore::default();
+                                        let must = LocalStore::default();
+                                        analyzer.analyze_root_governed(
+                                            roots[idx], &may, &must, &mut stats, rec, &governor,
+                                        )
+                                    }
+                                }
+                            });
+                            match outcome {
+                                // The quarantined root's partial stats are
+                                // dropped so the surviving roots' totals match
+                                // a clean run restricted to them. Clean
+                                // summaries its subtree completed stay
+                                // buffered: they are pure functions of their
+                                // keys, exactly as valid as under direct
+                                // publication.
+                                Ok((sig, entry)) => local.push((idx, sig, entry, stats)),
+                                Err(fault) => local_faults.push((idx, sig, fault)),
+                            }
+                        };
+                    while let Some(batch) = next_batch(w, deques, steals, batches_stolen) {
+                        let _batch_span =
+                            lanes[w].span(&format!("batch ({} roots)", batch.len()), "batch");
+                        for idx in batch {
+                            run_root(idx, &mut local, &mut local_faults);
                         }
+                        // Batch boundary: publish everything the batch
+                        // buffered so other workers' cones can hit it.
+                        if let Some((may, must)) = &wb {
+                            may.flush();
+                            must.flush();
+                        }
+                    }
+                    if let Some((may, must)) = &wb {
+                        may.flush();
+                        must.flush();
+                        let (a, b) = (may.stats(), must.stats());
+                        wb_flushes.fetch_add(a.flushes + b.flushes, Ordering::Relaxed);
+                        wb_deferred_hits
+                            .fetch_add(a.deferred_hits + b.deferred_hits, Ordering::Relaxed);
                     }
                     // Batch commit, itself quarantined, with poisoned-lock
                     // recovery: a panic that unwinds while a sibling held a
@@ -668,6 +810,10 @@ impl AnalysisEngine {
                 0
             },
             steals: steals.into_inner(),
+            batches_stolen: batches_stolen.into_inner(),
+            batches_formed,
+            writeback_flushes: wb_flushes.into_inner(),
+            writeback_deferred_hits: wb_deferred_hits.into_inner(),
             may_shards: shared
                 .zip(shards_before.as_ref())
                 .map(|((m, _), (before, _))| shard_delta(m.shard_stats(), before))
@@ -730,6 +876,9 @@ impl AnalysisEngine {
         rec.work_counter("engine.roots")
             .add(stats.entry_points as u64);
         rec.work_counter("engine.steals").add(stats.steals);
+        rec.work_counter("engine.batches_stolen")
+            .add(stats.batches_stolen);
+        rec.work_counter("batch.formed").add(stats.batches_formed);
         rec.work_counter("guard.roots_degraded")
             .add(stats.roots_degraded);
         for (prefix, shards) in [
@@ -827,32 +976,39 @@ fn shard_delta(after: Vec<ShardStats>, before: &[ShardStats]) -> Vec<ShardStats>
         .collect()
 }
 
-/// Pops the next root for worker `w`: front of its own deque, else stolen
-/// from the back of the first non-empty victim.
+/// Pops the next batch for worker `w`: front of its own deque, else a
+/// whole batch stolen from the back of the first non-empty victim (the
+/// shallowest-cone end — the least locality-valuable work it holds).
 ///
 /// Poisoned deques are recovered, not propagated: a panic that unwinds
 /// while a sibling held the lock (possible only between two complete
 /// pop/push operations on the plain `VecDeque`) leaves the queue in a
 /// valid state, and every worker unwrapping the poison would cascade one
 /// quarantined fault into a whole-run abort.
-fn next_root(w: usize, deques: &[Mutex<VecDeque<usize>>], steals: &AtomicU64) -> Option<usize> {
-    if let Some(idx) = deques[w]
+fn next_batch(
+    w: usize,
+    deques: &[Mutex<VecDeque<Vec<usize>>>],
+    steals: &AtomicU64,
+    batches_stolen: &AtomicU64,
+) -> Option<Vec<usize>> {
+    if let Some(batch) = deques[w]
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .pop_front()
     {
-        return Some(idx);
+        return Some(batch);
     }
     for off in 1..deques.len() {
         let victim = (w + off) % deques.len();
-        if let Some(idx) = deques[victim]
+        if let Some(batch) = deques[victim]
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .pop_back()
         {
-            steals.fetch_add(1, Ordering::Relaxed);
+            steals.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            batches_stolen.fetch_add(1, Ordering::Relaxed);
             trace::instant_now("steal", "engine");
-            return Some(idx);
+            return Some(batch);
         }
     }
     None
@@ -969,15 +1125,53 @@ class t.A {
     }
 
     #[test]
-    fn shared_store_records_cross_worker_reuse() {
+    fn cone_batching_keeps_shared_reuse_worker_local() {
         let program = sample_program();
         let (_, stats) =
             AnalysisEngine::new(2).analyze_library(&program, "t", AnalysisOptions::default());
         // `t.A.shared` is reached from both entry points with the same
-        // context, so one of the two analyses must hit the global memo.
+        // context. Cone batching places both roots in one batch, so the
+        // second analysis hits the first's write-behind buffer instead of
+        // paying a shared-store lock.
+        assert!(stats.analysis.memo_hits > 0, "{stats}");
+        assert!(stats.batches_formed > 0, "{stats}");
+        assert!(stats.writeback_deferred_hits > 0, "{stats}");
+        assert!(stats.writeback_flushes > 0, "{stats}");
+        // The buffered summaries still reach the shared store at flush.
+        let entries: usize = stats.may_shards.iter().map(|s| s.entries).sum();
+        assert!(entries > 0, "{stats}");
+    }
+
+    #[test]
+    fn direct_publication_still_records_shard_hits() {
+        let program = sample_program();
+        let (_, stats) = AnalysisEngine::new(1)
+            .with_publication(Publication::Direct)
+            .analyze_library(&program, "t", AnalysisOptions::default());
+        // The bench baseline bypasses write-behind: every memo probe and
+        // publication goes straight to the shared store.
         assert!(stats.analysis.memo_hits > 0, "{stats}");
         let shard_hits: u64 = stats.may_shards.iter().map(|s| s.hits).sum();
-        assert!(shard_hits > 0);
+        assert!(shard_hits > 0, "{stats}");
+        assert_eq!(stats.writeback_flushes, 0, "{stats}");
+        assert_eq!(stats.writeback_deferred_hits, 0, "{stats}");
+    }
+
+    #[test]
+    fn with_shards_rejects_mismatch_against_attached_resident() {
+        let resident = Arc::new(ResidentStore::default());
+        let err = AnalysisEngine::new(2)
+            .with_resident(Arc::clone(&resident))
+            .with_shards(DEFAULT_SHARDS + 1)
+            .unwrap_err();
+        assert_eq!(err.requested, DEFAULT_SHARDS + 1);
+        assert_eq!(err.resident, DEFAULT_SHARDS);
+        // Matching counts (and detached engines) stay accepted.
+        AnalysisEngine::new(2)
+            .with_resident(resident)
+            .with_shards(DEFAULT_SHARDS)
+            .expect("matching shard count");
+        AnalysisEngine::new(2).with_shards(4).expect("no resident");
     }
 
     #[test]

@@ -1107,8 +1107,7 @@ fn cmd_rpc(args: &[String]) -> Result<ExitCode, String> {
         let response = loop {
             let step = (|| -> std::io::Result<String> {
                 if conn.is_none() {
-                    let fresh =
-                        connect().map_err(std::io::Error::other)?;
+                    let fresh = connect().map_err(std::io::Error::other)?;
                     conn = Some(fresh);
                 }
                 let c = conn.as_mut().expect("connection established above");
