@@ -76,7 +76,7 @@
 #![forbid(unsafe_code)]
 
 use spo_chaos::FaultPlan;
-use spo_core::{AnalysisOptions, EntryPolicy, EventKey, EventPolicy};
+use spo_core::{AnalysisOptions, EntryPolicy, EventPolicy};
 use spo_dataflow::{BitSet32, Dnf};
 use spo_guard::{Cause, Diagnostic, Phase, Severity};
 use spo_jir::{
@@ -112,12 +112,10 @@ fn fold_key(opts: &str, salt: u64, sorted_contents: &[u64]) -> u64 {
 
 /// Renders the result-affecting analysis options into the key. The memo
 /// scope is excluded: summaries are memo-invariant, so one cache serves
-/// every memoization configuration.
+/// every memoization configuration. Shared with the compiled policy
+/// index so both identify an options configuration by the same token.
 fn options_token(options: &AnalysisOptions) -> String {
-    format!(
-        "icp={} events={:?} interprocedural={}",
-        options.icp, options.events, options.interprocedural
-    )
+    spo_index::options_token(options)
 }
 
 /// Current identity → content hashes of every method in one program, plus
@@ -659,38 +657,13 @@ impl Drop for PolicyCache {
 //
 // EventKey = u8 tag (0 = ApiReturn, 1 = Native, 2 = DataRead,
 // 3 = DataWrite) + str name for every tag but 0.
+//
+// The primitive writers and the bounded reader are shared with the
+// compiled policy index ([`spo_index::codec`]); only the blob layout is
+// cache-specific.
 // ---------------------------------------------------------------------------
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_str(buf: &mut Vec<u8>, s: &str) {
-    put_u32(buf, s.len() as u32);
-    buf.extend_from_slice(s.as_bytes());
-}
-
-fn put_event_key(buf: &mut Vec<u8>, key: &EventKey) {
-    match key {
-        EventKey::ApiReturn => buf.push(0),
-        EventKey::Native(name) => {
-            buf.push(1);
-            put_str(buf, name);
-        }
-        EventKey::DataRead(name) => {
-            buf.push(2);
-            put_str(buf, name);
-        }
-        EventKey::DataWrite(name) => {
-            buf.push(3);
-            put_str(buf, name);
-        }
-    }
-}
+use spo_index::codec::{put_event_key, put_str, put_u32, put_u64, Cursor};
 
 fn encode_blob(key: u64, cone: &[u64], entry: &EntryPolicy) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64 + 8 * cone.len());
@@ -730,65 +703,21 @@ fn encode_blob(key: u64, cone: &[u64], entry: &EntryPolicy) -> Vec<u8> {
     buf
 }
 
-/// Bounded reader over a blob; every method fails soundly on truncation.
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&e| e <= self.bytes.len())
-            .ok_or("truncated entry")?;
-        let slice = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(slice)
-    }
-
-    fn u8(&mut self) -> Result<u8, String> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn str(&mut self) -> Result<String, String> {
-        let len = self.u32()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 in entry".to_owned())
-    }
-
-    fn event_key(&mut self) -> Result<EventKey, String> {
-        match self.u8()? {
-            0 => Ok(EventKey::ApiReturn),
-            1 => Ok(EventKey::Native(self.str()?)),
-            2 => Ok(EventKey::DataRead(self.str()?)),
-            3 => Ok(EventKey::DataWrite(self.str()?)),
-            t => Err(format!("unknown event tag {t}")),
-        }
-    }
-}
-
 /// Decodes a blob and validates its stored cone against `table`.
 /// `Ok(None)` means well-formed but stale (cone re-keys differently);
 /// the policy body is then not decoded at all.
+///
+/// Every length-prefixed collection is read through the shared checked
+/// counted reads ([`Cursor::counted`]): a count is validated against the
+/// bytes actually remaining *before* anything is reserved, so a length
+/// field truncated or corrupted into a huge value degrades to the
+/// cold-fallback diagnostic path instead of a capacity panic.
 fn decode_blob(blob: &[u8], table: &ContentTable) -> Result<Option<(String, EntryPolicy)>, String> {
-    let mut c = Cursor {
-        bytes: blob,
-        pos: 0,
-    };
+    let mut c = Cursor::new(blob);
     let signature = c.str()?;
     let key = c.u64()?;
-    let cone_len = c.u32()?;
-    let mut cone = Vec::with_capacity(cone_len.min(1 << 16) as usize);
+    let cone_len = c.counted(8)?;
+    let mut cone = Vec::with_capacity(cone_len as usize);
     for _ in 0..cone_len {
         cone.push(c.u64()?);
     }
@@ -796,11 +725,12 @@ fn decode_blob(blob: &[u8], table: &ContentTable) -> Result<Option<(String, Entr
         return Ok(None);
     }
     let mut entry = EntryPolicy::new(signature);
-    for _ in 0..c.u32()? {
+    // Min event encoding: u8 tag + u32 must + u32 may + u32 disjunct count.
+    for _ in 0..c.counted(13)? {
         let event = c.event_key()?;
         let must = spo_core::CheckSet::from_bits(BitSet32::from_bits(c.u32()?));
         let may = spo_core::CheckSet::from_bits(BitSet32::from_bits(c.u32()?));
-        let n_disjuncts = c.u32()?;
+        let n_disjuncts = c.counted(4)?;
         let may_paths: Dnf = (0..n_disjuncts)
             .map(|_| c.u32().map(BitSet32::from_bits))
             .collect::<Result<Vec<_>, _>>()?
@@ -815,19 +745,20 @@ fn decode_blob(blob: &[u8], table: &ContentTable) -> Result<Option<(String, Entr
             },
         );
     }
-    for _ in 0..c.u32()? {
+    // Min origin-list encoding: u8 event tag / check + u32 count.
+    for _ in 0..c.counted(5)? {
         let event = c.event_key()?;
-        let n = c.u32()?;
+        let n = c.counted(4)?;
         let origins = (0..n).map(|_| c.str()).collect::<Result<_, _>>()?;
         entry.event_origins.insert(event, origins);
     }
-    for _ in 0..c.u32()? {
+    for _ in 0..c.counted(5)? {
         let check = c.u8()?;
-        let n = c.u32()?;
+        let n = c.counted(4)?;
         let origins = (0..n).map(|_| c.str()).collect::<Result<_, _>>()?;
         entry.check_origins.insert(check, origins);
     }
-    if c.pos != blob.len() {
+    if c.pos() != blob.len() {
         return Err("trailing bytes in entry".to_owned());
     }
     let signature = entry.signature.clone();
@@ -885,14 +816,14 @@ fn parse_pack(bytes: &[u8]) -> Result<HashMap<u64, Vec<u8>>, String> {
         return Err("pack checksum mismatch (corrupt cache)".to_owned());
     }
     let bytes = body;
-    let mut c = Cursor {
-        bytes,
-        pos: header_end + 1,
-    };
+    let mut c = Cursor::at(bytes, header_end + 1);
+    // Min entry encoding: u64 key + u32 length. The checked counted read
+    // bounds the count against the remaining bytes before the map is
+    // sized, so a corrupt count cannot drive a huge reservation.
     let count = c
-        .u64()
+        .counted64(12)
         .map_err(|_| "truncated pack (no entry count)".to_owned())?;
-    let mut entries = HashMap::with_capacity(count.min(1 << 20) as usize);
+    let mut entries = HashMap::with_capacity(count as usize);
     for i in 0..count {
         let frame = || format!("truncated pack (entry {i} of {count})");
         let key = c.u64().map_err(|_| frame())?;
@@ -900,7 +831,7 @@ fn parse_pack(bytes: &[u8]) -> Result<HashMap<u64, Vec<u8>>, String> {
         let blob = c.take(len).map_err(|_| frame())?;
         entries.insert(key, blob.to_vec());
     }
-    if c.pos != bytes.len() {
+    if c.pos() != bytes.len() {
         return Err("trailing bytes after last pack entry".to_owned());
     }
     Ok(entries)

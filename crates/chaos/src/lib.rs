@@ -75,6 +75,10 @@ pub mod sites {
     /// Engine worker sleeps while analyzing a root (keyed by root
     /// signature; exercises deadlines and drain grace).
     pub const ENGINE_ROOT_DELAY: &str = "engine.root.delay";
+    /// One byte of a compiled policy index flips between the `read()`
+    /// and the checksum verify (must surface as a typed parse failure,
+    /// never a wrong answer).
+    pub const INDEX_READ_BITFLIP: &str = "index.read.bitflip";
 
     /// Every named site, in canonical order.
     pub const ALL: &[&str] = &[
@@ -88,6 +92,7 @@ pub mod sites {
         SERVE_FRAME_SPLIT,
         ENGINE_ROOT_PANIC,
         ENGINE_ROOT_DELAY,
+        INDEX_READ_BITFLIP,
     ];
 }
 

@@ -56,6 +56,7 @@ fn main() -> ExitCode {
         Some("throws") => cmd_throws(&args[1..]),
         Some("stats-validate") => cmd_stats_validate(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
+        Some("index") => cmd_index(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("rpc") => cmd_rpc(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
@@ -99,7 +100,10 @@ USAGE:
   spo throws <left.jir>... --vs <right.jir>...
   spo stats-validate [--schema spo-stats/1|spo-trace/1] <snapshot.json>
   spo cache (stats|clear) --cache-dir PATH
-  spo serve --socket PATH [--tcp ADDR] [--workers N] [--jobs N] [--load NAME=FILE[,FILE...]]... [--cache-dir PATH] [--no-cache] [--default-timeout-ms N] [--write-timeout-ms N] [--max-line-bytes N] [--drain-grace SECS] [--stats] [--stats-json PATH]
+  spo cache export-index <file.jir>... --out PATH.spi [--name NAME] [--no-icp] [--broad] [--jobs N]
+  spo index query [ENTRY-SIG] --index PATH.spi
+  spo index diff <left.spi> <right.spi>
+  spo serve --socket PATH [--tcp ADDR] [--workers N] [--jobs N] [--load NAME=FILE[,FILE...]]... [--index NAME=PATH.spi]... [--cache-dir PATH] [--no-cache] [--default-timeout-ms N] [--write-timeout-ms N] [--max-line-bytes N] [--drain-grace SECS] [--stats] [--stats-json PATH]
   spo rpc --socket PATH | --tcp ADDR [--stats-json PATH] [--retries N] [--retry-base-ms N] <request-json>...
   spo trace --socket PATH | --tcp ADDR [--trace-id ID] [--out PATH]
   spo chaos soak [--seed N] [--schedules N] [--rate P] [--keep-going]
@@ -148,6 +152,19 @@ self-healing cache), printing the minimized failing seed on violation.
 exponential backoff (`--retries`, `--retry-base-ms`); `spo serve
 --write-timeout-ms N` bounds each response write, shedding clients that
 stall past it.
+
+`spo cache export-index` compiles a library's full analysis (plus its
+intraprocedural ablation) into a single-file index (`spo-index/1`,
+conventionally `policies.spi`): an interned, checksummed, offset-table
+pack answering `query`/`diff` in sub-millisecond time without rerunning
+the engine. `spo index query` binary-searches one entry point (or lists
+the whole library); `spo index diff` runs the oracle over two indexes.
+Both print bytes identical to the `analyze`/`diff` path. A corrupt,
+truncated, or version-skewed index is a fatal typed error (exit 3) —
+re-export it or fall back to full analysis; it never yields a wrong
+answer. `spo serve --index NAME=PATH.spi` preloads an index so the
+daemon answers `query`/`diff` for NAME from the warm index (falling
+back to full analysis, with a stderr diagnostic, if it fails to load).
 
 `--cache-dir PATH` warm-starts the analysis from a persistent summary
 cache at PATH (created on first use): roots whose call-graph cone is
@@ -861,11 +878,15 @@ fn cmd_stats_validate(args: &[String]) -> Result<ExitCode, String> {
 
 /// `spo cache (stats|clear) --cache-dir PATH`: inspect or empty the
 /// persistent summary cache without running an analysis.
+/// `spo cache export-index` compiles an analysis into a `.spi` index.
 fn cmd_cache(args: &[String]) -> Result<ExitCode, String> {
     let action = args
         .first()
         .map(String::as_str)
-        .ok_or("cache needs an action: `stats` or `clear`")?;
+        .ok_or("cache needs an action: `stats`, `clear`, or `export-index`")?;
+    if action == "export-index" {
+        return cmd_cache_export_index(&args[1..]);
+    }
     let (cache_dir, rest) = extract_cache(&args[1..])?;
     if let Some(extra) = rest.first() {
         return Err(format!("cache: unexpected argument `{extra}`"));
@@ -887,11 +908,195 @@ fn cmd_cache(args: &[String]) -> Result<ExitCode, String> {
         }
         other => {
             return Err(format!(
-                "cache: unknown action `{other}` (use stats or clear)"
+                "cache: unknown action `{other}` (use stats, clear, or export-index)"
             ))
         }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `spo cache export-index <file.jir>... --out PATH.spi`: run the full
+/// analysis plus its intraprocedural ablation and compile both into one
+/// `spo-index/1` file. Compiling a degraded analysis is refused — an
+/// index is durable, so baking in a lower-bound answer would let it
+/// masquerade as the complete one forever after.
+fn cmd_cache_export_index(args: &[String]) -> Result<ExitCode, String> {
+    let (jobs, args) = extract_jobs(args)?;
+    let (guard, args) = extract_guard(&args)?;
+    let mut flags = Vec::new();
+    let mut name = "library".to_owned();
+    let mut out: Option<String> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if let Some(v) = flag_value(a, "--name", &mut iter)? {
+            name = v;
+        } else if let Some(v) = flag_value(a, "--out", &mut iter)? {
+            out = Some(v);
+        } else if a.starts_with("--") {
+            flags.push(a.as_str());
+        } else {
+            positional.push(a);
+        }
+    }
+    let out = out.ok_or("cache export-index: `--out PATH` is required")?;
+    let options = options_from(&flags)?;
+    if !options.interprocedural {
+        return Err(
+            "cache export-index: drop `--intra-only` — the index always stores both the \
+             full and the intraprocedural analysis"
+                .to_owned(),
+        );
+    }
+    let rec = Recorder::disabled();
+    let mut diags = Vec::new();
+    let program = load_program(&positional, &rec, &mut diags)?;
+    if !diags.is_empty() {
+        for d in &diags {
+            eprintln!("{d}");
+        }
+        return Err(
+            "cache export-index: refusing to compile an index from a degraded parse".to_owned(),
+        );
+    }
+    let engine = AnalysisEngine::new(jobs).with_guard(guard);
+    let (full, stats) = engine.analyze_library(&program, &name, options);
+    let intra_options = AnalysisOptions {
+        interprocedural: false,
+        ..options
+    };
+    let (intra, _) = engine.analyze_library(&program, &name, intra_options);
+    // Cone fingerprints let a later run detect staleness without
+    // reanalysis; they use the same keyer as the summary cache.
+    let roots = spo_resolve::entry_points(&program);
+    let keyer = spo_cache::CacheKeyer::new(&program, &roots, &options);
+    let mut fingerprints = std::collections::BTreeMap::new();
+    for &root in &roots {
+        if let Some(key) = keyer.key(root) {
+            fingerprints.insert(program.method_signature(root), key);
+        }
+    }
+    let bytes = spo_index::IndexBuilder::new(&name, &options, &full, &intra)
+        .fingerprints(&fingerprints)
+        .build()
+        .map_err(|e| format!("cache export-index: {e}"))?;
+    std::fs::write(&out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!(
+        "spo cache export-index: wrote {out}: {} entry points, {} bytes",
+        stats.entry_points,
+        bytes.len(),
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `spo index (query|diff)`: answer from a compiled `.spi` index without
+/// running the engine. Any parse/decode failure is fatal (exit 3) with a
+/// diagnostic naming the file — degraded, never wrong.
+fn cmd_index(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(String::as_str) {
+        Some("query") => cmd_index_query(&args[1..]),
+        Some("diff") => cmd_index_diff(&args[1..]),
+        Some(other) => Err(format!(
+            "index: unknown action `{other}` (use query or diff)"
+        )),
+        None => Err("index needs an action: `query` or `diff`".to_owned()),
+    }
+}
+
+/// Reads and parses one index file, mapping every failure to a fatal
+/// diagnostic that names the file and suggests the fallback.
+fn load_index_bytes(path: &str) -> Result<Vec<u8>, String> {
+    spo_index::read_index_file(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn index_parse_err(path: &str, e: &str) -> String {
+    format!("{path}: {e}; the index is unusable — re-export it or fall back to `spo analyze`/`spo diff`")
+}
+
+fn cmd_index_query(args: &[String]) -> Result<ExitCode, String> {
+    let mut index_path: Option<String> = None;
+    let mut roots: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if let Some(v) = flag_value(a, "--index", &mut iter)? {
+            index_path = Some(v);
+        } else if a.starts_with("--") {
+            return Err(format!("unknown argument `{a}` for `index query`"));
+        } else {
+            roots.push(a);
+        }
+    }
+    let path = index_path.ok_or("index query: `--index PATH` is required")?;
+    if roots.len() > 1 {
+        return Err(format!(
+            "index query takes at most one entry-point signature (got {})",
+            roots.len()
+        ));
+    }
+    let bytes = load_index_bytes(&path)?;
+    let index = spo_index::PolicyIndex::parse(&bytes).map_err(|e| index_parse_err(&path, &e))?;
+    match roots.first() {
+        None => {
+            let report = index
+                .render_full()
+                .map_err(|e| index_parse_err(&path, &e))?;
+            print_report(&report)?;
+        }
+        Some(sig) => {
+            let report = index
+                .query(sig)
+                .map_err(|e| index_parse_err(&path, &e))?
+                .ok_or_else(|| format!("no entry point \"{sig}\" in \"{}\"", index.library()))?;
+            print_report(&report)?;
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_index_diff(args: &[String]) -> Result<ExitCode, String> {
+    let mut paths: Vec<&String> = Vec::new();
+    for a in args {
+        if a.starts_with("--") {
+            return Err(format!("unknown argument `{a}` for `index diff`"));
+        }
+        paths.push(a);
+    }
+    let [left_path, right_path] = paths[..] else {
+        return Err(format!(
+            "index diff needs exactly two .spi files (got {})",
+            paths.len()
+        ));
+    };
+    let left_bytes = load_index_bytes(left_path)?;
+    let right_bytes = load_index_bytes(right_path)?;
+    let left =
+        spo_index::PolicyIndex::parse(&left_bytes).map_err(|e| index_parse_err(left_path, &e))?;
+    let right =
+        spo_index::PolicyIndex::parse(&right_bytes).map_err(|e| index_parse_err(right_path, &e))?;
+    // Mixed analysis options would make every difference suspect, so the
+    // tokens must match exactly — same rule as the summary cache.
+    if left.options_token() != right.options_token() {
+        return Err(format!(
+            "index diff: analysis options mismatch: {left_path} was compiled under `{}`, \
+             {right_path} under `{}`",
+            left.options_token(),
+            right.options_token(),
+        ));
+    }
+    let (left_full, left_intra) = left
+        .to_libraries()
+        .map_err(|e| index_parse_err(left_path, &e))?;
+    let (right_full, right_intra) = right
+        .to_libraries()
+        .map_err(|e| index_parse_err(right_path, &e))?;
+    let (report, findings) =
+        spo_index::diff_rendered(&left_full, &left_intra, &right_full, &right_intra);
+    print_report(&report)?;
+    Ok(if findings {
+        ExitCode::from(EXIT_FINDINGS)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 /// `spo serve`: run the resident oracle daemon until a `shutdown` request
@@ -980,6 +1185,14 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
                 name.to_owned(),
                 paths.split(',').map(str::to_owned).collect(),
             ));
+        } else if let Some(v) = flag_value(a, "--index", &mut iter)? {
+            let (name, path) = v
+                .split_once('=')
+                .ok_or_else(|| format!("--index: expected NAME=PATH.spi, got `{v}`"))?;
+            if name.is_empty() || path.is_empty() {
+                return Err(format!("--index: expected NAME=PATH.spi, got `{v}`"));
+            }
+            config.preload_index.push((name.to_owned(), path.into()));
         } else {
             return Err(format!("unknown argument `{a}` for `serve`"));
         }
@@ -1414,6 +1627,10 @@ struct SoakEnv {
     clean_a: Vec<u8>,
     clean_ab: Vec<u8>,
     serve_baseline: Vec<u8>,
+    /// A disarmed `spo cache export-index` of fixture A, built once.
+    index_a: std::path::PathBuf,
+    /// Fault-free `spo index query --index index_a` stdout.
+    index_baseline: Vec<u8>,
 }
 
 /// The two fixed rpc requests every serve-mode schedule (and the
@@ -1425,7 +1642,8 @@ const SOAK_RPC_REQUESTS: [&str; 2] = [
 ];
 
 /// `spo chaos soak`: drive randomized fault schedules against the cache,
-/// the engine, and a live daemon, asserting the standing invariants —
+/// the engine, a live daemon, and the compiled policy index, asserting
+/// the standing invariants —
 /// no panic escapes, exit codes keep their contract, surviving output is
 /// byte-identical to a clean run, and the cache self-heals. Every
 /// schedule derives from `--seed`, so a red run replays exactly.
@@ -1472,6 +1690,39 @@ fn chaos_soak(args: &[String]) -> Result<ExitCode, String> {
     let serve_baseline = soak_serve_schedule(&exe, &work, "baseline", &fixture_a, None)
         .map_err(|v| format!("chaos soak: clean serve baseline failed: {}", v.why))?
         .0;
+    // Disarmed index export + query: the anchor for index-mode schedules.
+    let index_a = work.join("a.spi");
+    let export = std::process::Command::new(&exe)
+        .arg("cache")
+        .arg("export-index")
+        .arg(&fixture_a)
+        .arg("--out")
+        .arg(&index_a)
+        .args(["--name", "lib", "--jobs", "2"])
+        .env_remove(spo_chaos::ENV_VAR)
+        .output()
+        .map_err(|e| format!("spawn {}: {e}", exe.display()))?;
+    if !export.status.success() {
+        return Err(format!(
+            "chaos soak: clean index export failed: {}",
+            String::from_utf8_lossy(&export.stderr)
+        ));
+    }
+    let query = std::process::Command::new(&exe)
+        .arg("index")
+        .arg("query")
+        .arg("--index")
+        .arg(&index_a)
+        .env_remove(spo_chaos::ENV_VAR)
+        .output()
+        .map_err(|e| format!("spawn {}: {e}", exe.display()))?;
+    if !query.status.success() {
+        return Err(format!(
+            "chaos soak: clean index query baseline failed: {}",
+            String::from_utf8_lossy(&query.stderr)
+        ));
+    }
+    let index_baseline = query.stdout;
 
     let env = SoakEnv {
         exe,
@@ -1482,16 +1733,19 @@ fn chaos_soak(args: &[String]) -> Result<ExitCode, String> {
         clean_a,
         clean_ab,
         serve_baseline,
+        index_a,
+        index_baseline,
     };
     let mut srng = spo_rng::SmallRng::seed_from_u64(seed);
     let (mut injected, mut recovered, mut violations) = (0u64, 0u64, 0u64);
     for k in 0..schedules {
         let schedule_seed = srng.next_u64();
-        let mode = srng.gen_range(0..3u32);
+        let mode = srng.gen_range(0..4u32);
         let (label, outcome) = match mode {
             0 => ("cache", soak_cache_schedule(&env, k, schedule_seed)),
             1 => ("engine", soak_engine_schedule(&env, schedule_seed)),
-            _ => ("serve", soak_serve_mode_schedule(&env, k, schedule_seed)),
+            2 => ("serve", soak_serve_mode_schedule(&env, k, schedule_seed)),
+            _ => ("index", soak_index_schedule(&env, schedule_seed)),
         };
         match outcome {
             Ok((i, r)) => {
@@ -1712,6 +1966,78 @@ fn soak_engine_schedule(env: &SoakEnv, seed: u64) -> Result<(u64, u64), SoakViol
         if !clean_lines.contains(line) {
             return Err(SoakViolation {
                 why: format!("surviving-root output line not present in the clean report: {line}"),
+                replay,
+            });
+        }
+    }
+    Ok(parse_chaos_summary(&out.stderr))
+}
+
+/// Index-mode schedule: a chaos-armed `spo index query` over a known-good
+/// compiled index, with `index.read.bitflip` flipping one read byte. A
+/// schedule where the fault holds fire must reproduce the clean report
+/// byte-for-byte; a schedule where it fires must die with the typed
+/// "unusable index" diagnostic (exit 3, empty stdout) — degraded, never
+/// a wrong answer, never a panic.
+fn soak_index_schedule(env: &SoakEnv, seed: u64) -> Result<(u64, u64), SoakViolation> {
+    let spec = format!(
+        "seed={seed},sites={}:{:.2}",
+        spo_chaos::sites::INDEX_READ_BITFLIP,
+        env.rate,
+    );
+    let replay = format!(
+        "SPO_CHAOS='{spec}' {} index query --index {}",
+        env.exe.display(),
+        env.index_a.display(),
+    );
+    let out = std::process::Command::new(&env.exe)
+        .arg("index")
+        .arg("query")
+        .arg("--index")
+        .arg(&env.index_a)
+        .env(spo_chaos::ENV_VAR, &spec)
+        .output()
+        .map_err(|e| SoakViolation {
+            why: format!("spawn failed: {e}"),
+            replay: replay.clone(),
+        })?;
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    if stderr.contains("panicked at") {
+        return Err(SoakViolation {
+            why: "index query panicked under a read bitflip".to_owned(),
+            replay,
+        });
+    }
+    match out.status.code() {
+        Some(0) => {
+            if out.stdout != env.index_baseline {
+                return Err(SoakViolation {
+                    why: "index query exited clean but its report diverged from the \
+                          fault-free baseline (a flipped byte slipped past the checksum)"
+                        .to_owned(),
+                    replay,
+                });
+            }
+        }
+        Some(code) if code == i32::from(EXIT_FATAL) => {
+            if !out.stdout.is_empty() {
+                return Err(SoakViolation {
+                    why: "index query failed but still wrote a partial report to stdout".to_owned(),
+                    replay,
+                });
+            }
+            if !stderr.contains("the index is unusable") {
+                return Err(SoakViolation {
+                    why: format!(
+                        "index query exited 3 without the typed unusable-index diagnostic: {stderr}"
+                    ),
+                    replay,
+                });
+            }
+        }
+        code => {
+            return Err(SoakViolation {
+                why: format!("index query exited {code:?} (want 0 clean or 3 typed failure)"),
                 replay,
             });
         }

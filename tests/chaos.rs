@@ -1,7 +1,7 @@
 //! End-to-end tests of `spo chaos`: the deterministic fault-injection
 //! soak must be replayable — one seed, one fault schedule — and a full
-//! run over all three fault domains (cache IO, engine workers, daemon
-//! sessions) must hold the standing invariants.
+//! run over all four fault domains (cache IO, engine workers, daemon
+//! sessions, compiled-index reads) must hold the standing invariants.
 
 #![cfg(unix)]
 
@@ -79,4 +79,26 @@ fn malformed_chaos_plan_is_fatal() {
         String::from_utf8_lossy(&out.stderr).contains("SPO_CHAOS"),
         "error names the environment variable"
     );
+}
+
+/// Seed 42's first schedules draw the index mode, arming
+/// `index.read.bitflip` against a compiled `.spi` file: a flip must
+/// surface as the typed unusable-index failure (or hold fire and
+/// reproduce the clean report), never a wrong answer — so the run
+/// finishes with zero violations.
+#[test]
+fn soak_index_mode_holds_the_degraded_not_wrong_invariant() {
+    let out = spo(&["chaos", "soak", "--seed", "42", "--schedules", "4"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "soak is clean: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("mode=index"),
+        "seed 42 exercises the index mode: {stdout}"
+    );
+    assert!(stdout.contains("0 violation(s)"), "no violations: {stdout}");
 }

@@ -589,3 +589,141 @@ fn rpc_retries_recover_from_injected_connection_drop() {
     );
     assert_eq!(daemon.shutdown(), 0);
 }
+
+/// Compiles `jir` into a `.spi` index at `out` via the CLI.
+fn export_index(name: &str, jir: &Path, out: &Path) {
+    let run = spo(&[
+        "cache",
+        "export-index",
+        jir.to_str().unwrap(),
+        "--name",
+        name,
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        run.status.code(),
+        Some(0),
+        "export-index succeeds: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+}
+
+/// A daemon answering from a preloaded compiled index must be
+/// indistinguishable from one running full analyses: same query and diff
+/// response bytes, and — the regression this pins — the same typed
+/// `not-found` error (kind and exit code 3) for a library neither daemon
+/// has loaded.
+#[test]
+fn warm_index_daemon_matches_analysis_daemon_and_errors_uniformly() {
+    let jdk = fixture("figure1_jdk.jir");
+    let harmony = fixture("figure1_harmony.jir");
+    let dir = std::env::temp_dir().join(format!("spo-serve-index-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("workdir");
+    let left_spi = dir.join("left.spi");
+    let right_spi = dir.join("right.spi");
+    export_index("left", &jdk, &left_spi);
+    export_index("right", &harmony, &right_spi);
+
+    let query = r#"{"spo-rpc":1,"id":1,"method":"query","params":{"name":"left"}}"#;
+    let missing = r#"{"spo-rpc":1,"id":2,"method":"query","params":{"name":"nope"}}"#;
+    let diff = r#"{"spo-rpc":1,"id":3,"method":"diff","params":{"left":"left","right":"right"}}"#;
+
+    // Analysis-served baseline.
+    let left_load = format!("left={}", jdk.display());
+    let right_load = format!("right={}", harmony.display());
+    let analysis = Daemon::start(
+        "ixbase",
+        &["--no-cache", "--load", &left_load, "--load", &right_load],
+    );
+    let sock = analysis.socket.to_str().unwrap().to_owned();
+    let base_query = spo(&["rpc", "--socket", &sock, query]);
+    assert_eq!(base_query.status.code(), Some(0));
+    let base_missing = spo(&["rpc", "--socket", &sock, missing]);
+    assert_eq!(
+        base_missing.status.code(),
+        Some(3),
+        "analysis-served missing library exits 3"
+    );
+    let base_diff = spo(&["rpc", "--socket", &sock, diff]);
+    assert_eq!(base_diff.status.code(), Some(0), "diff response is ok");
+    assert_eq!(analysis.shutdown(), 0);
+
+    // Index-served run: same requests, byte-identical answers.
+    let left_ix = format!("left={}", left_spi.display());
+    let right_ix = format!("right={}", right_spi.display());
+    let indexed = Daemon::start(
+        "ixwarm",
+        &["--no-cache", "--index", &left_ix, "--index", &right_ix],
+    );
+    let sock = indexed.socket.to_str().unwrap().to_owned();
+    let ix_query = spo(&["rpc", "--socket", &sock, query]);
+    assert_eq!(ix_query.status.code(), Some(0));
+    assert_eq!(
+        ix_query.stdout, base_query.stdout,
+        "index-served query bytes match the analysis daemon"
+    );
+    let ix_missing = spo(&["rpc", "--socket", &sock, missing]);
+    assert_eq!(
+        ix_missing.status.code(),
+        Some(3),
+        "index-served missing library exits 3 too"
+    );
+    assert_eq!(
+        ix_missing.stdout, base_missing.stdout,
+        "the not-found error is byte-identical across serving modes"
+    );
+    let v = parse(String::from_utf8_lossy(&ix_missing.stdout).trim()).expect("error json");
+    let kind = v
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Value::as_str);
+    assert_eq!(kind, Some("not-found"), "typed error kind");
+    let ix_diff = spo(&["rpc", "--socket", &sock, diff]);
+    assert_eq!(ix_diff.status.code(), Some(0));
+    assert_eq!(
+        ix_diff.stdout, base_diff.stdout,
+        "index-served diff bytes match the analysis daemon"
+    );
+    assert_eq!(indexed.shutdown(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A damaged preloaded index must not take the daemon down or produce a
+/// wrong answer: startup logs the failure, and requests for that name
+/// fall back to whatever the registry holds — the full-analysis path
+/// when the same name was `--load`ed, a typed `not-found` otherwise.
+#[test]
+fn corrupt_index_preload_falls_back_to_full_analysis() {
+    let jdk = fixture("figure1_jdk.jir");
+    let dir = std::env::temp_dir().join(format!("spo-serve-badix-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("workdir");
+    let spi = dir.join("lib.spi");
+    export_index("lib", &jdk, &spi);
+    let mut bytes = std::fs::read(&spi).expect("read index");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&spi, &bytes).expect("write damaged index");
+
+    let load = format!("lib={}", jdk.display());
+    let clean = Daemon::start("badixbase", &["--no-cache", "--load", &load]);
+    let query = r#"{"spo-rpc":1,"id":1,"method":"query","params":{"name":"lib"}}"#;
+    let baseline = spo(&["rpc", "--socket", clean.socket.to_str().unwrap(), query]);
+    assert_eq!(baseline.status.code(), Some(0));
+    assert_eq!(clean.shutdown(), 0);
+
+    let ix = format!("lib={}", spi.display());
+    let daemon = Daemon::start("badix", &["--no-cache", "--index", &ix, "--load", &load]);
+    let out = spo(&["rpc", "--socket", daemon.socket.to_str().unwrap(), query]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "the damaged index never reaches the client"
+    );
+    assert_eq!(
+        out.stdout, baseline.stdout,
+        "fallback analysis serves the same bytes a clean daemon would"
+    );
+    assert_eq!(daemon.shutdown(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
